@@ -1,0 +1,70 @@
+package fsam
+
+import (
+	"time"
+
+	"repro/internal/ir"
+	"repro/internal/nonsparse"
+	"repro/internal/pipeline"
+)
+
+// Baseline is a completed NONSPARSE run (the paper's comparison analysis).
+type Baseline struct {
+	Prog   *ir.Program
+	Base   *pipeline.Base
+	Result *nonsparse.Result
+	Stats  Stats
+	// OOT reports that the run exceeded its deadline before convergence.
+	OOT bool
+}
+
+// AnalyzeSourceNonSparse parses and analyzes src with the NONSPARSE
+// baseline. timeout <= 0 disables the deadline.
+func AnalyzeSourceNonSparse(name, src string, timeout time.Duration) (*Baseline, error) {
+	prog, err := pipeline.Compile(name, src)
+	if err != nil {
+		return nil, err
+	}
+	return AnalyzeProgramNonSparse(prog, timeout), nil
+}
+
+// AnalyzeProgramNonSparse runs the baseline over an existing program.
+func AnalyzeProgramNonSparse(prog *ir.Program, timeout time.Duration) *Baseline {
+	b := &Baseline{Prog: prog}
+	t0 := time.Now()
+	base := pipeline.BuildBase(prog, 0)
+	b.Base = base
+	b.Stats.Times.PreAnalysis = time.Since(t0)
+
+	t0 = time.Now()
+	b.Result = nonsparse.Analyze(base, timeout)
+	b.Stats.Times.Sparse = time.Since(t0) // the data-flow solve slot
+	b.OOT = b.Result.OOT
+
+	b.Stats.Threads = len(base.Model.Threads)
+	b.Stats.Iterations = b.Result.Iterations
+	b.Stats.Stmts = prog.NumStmts()
+	b.Stats.Bytes = b.Result.Bytes() + base.Pre.Bytes()
+	return b
+}
+
+// PointsToGlobal mirrors Analysis.PointsToGlobal for the baseline.
+func (b *Baseline) PointsToGlobal(name string) ([]string, error) {
+	var obj *ir.Object
+	for _, o := range b.Prog.Objects {
+		if o.Kind == ir.ObjGlobal && o.Name == name {
+			obj = o
+			break
+		}
+	}
+	if obj == nil {
+		return nil, errNoGlobal(name)
+	}
+	set := b.Result.ObjAtExit(b.Prog.Main, obj)
+	var out []string
+	set.ForEach(func(id uint32) {
+		out = append(out, b.Prog.Objects[id].Name)
+	})
+	sortStrings(out)
+	return out, nil
+}

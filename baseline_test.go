@@ -1,0 +1,132 @@
+package fsam_test
+
+import (
+	"testing"
+	"time"
+
+	fsam "repro"
+)
+
+const baselineProg = `
+int x; int y; int z;
+int *p; int *q; int *r; int *c;
+void foo(void *arg) { *p = q; }
+int main() {
+	p = &x; q = &y; r = &z;
+	thread_t t;
+	t = spawn(foo, NULL);
+	*p = r;
+	c = *p;
+	join(t);
+	return 0;
+}
+`
+
+func TestBaselineSoundOnFig1a(t *testing.T) {
+	b, err := fsam.AnalyzeSourceNonSparse("t.mc", baselineProg, 30*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.OOT {
+		t.Fatal("OOT on a tiny program")
+	}
+	got, err := b.PointsToGlobal("c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	has := map[string]bool{}
+	for _, n := range got {
+		has[n] = true
+	}
+	if !has["y"] || !has["z"] {
+		t.Errorf("baseline pt(c) = %v, want y and z", got)
+	}
+}
+
+func TestBaselineStats(t *testing.T) {
+	b, err := fsam.AnalyzeSourceNonSparse("t.mc", baselineProg, time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Stats.Stmts == 0 || b.Stats.Threads != 2 || b.Stats.Iterations == 0 || b.Stats.Bytes == 0 {
+		t.Errorf("stats not populated: %+v", b.Stats)
+	}
+}
+
+func TestBaselineUnknownGlobal(t *testing.T) {
+	b, err := fsam.AnalyzeSourceNonSparse("t.mc", baselineProg, time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.PointsToGlobal("nosuch"); err == nil {
+		t.Error("expected error for unknown global")
+	}
+}
+
+func TestBaselineParseError(t *testing.T) {
+	if _, err := fsam.AnalyzeSourceNonSparse("bad.mc", "int main( {", time.Minute); err == nil {
+		t.Error("expected parse error")
+	}
+}
+
+func TestFacadeParseError(t *testing.T) {
+	if _, err := fsam.AnalyzeSource("bad.mc", "not a program", fsam.Config{}); err == nil {
+		t.Error("expected parse error")
+	}
+}
+
+func TestFacadeUnknownGlobal(t *testing.T) {
+	a, err := fsam.AnalyzeSource("t.mc", "int main() { return 0; }", fsam.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.PointsToGlobal("missing"); err == nil {
+		t.Error("expected error for unknown global")
+	}
+	if _, err := a.PointsToGlobalAnywhere("missing"); err == nil {
+		t.Error("expected error for unknown global (anywhere)")
+	}
+	if _, err := a.AndersenPointsToGlobal("missing"); err == nil {
+		t.Error("expected error for unknown global (andersen)")
+	}
+}
+
+func TestPhaseTimesPopulated(t *testing.T) {
+	a, err := fsam.AnalyzeSource("t.mc", baselineProg, fsam.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Stats.Times.Total() <= 0 {
+		t.Error("phase times must be positive")
+	}
+	if a.Stats.Times.PreAnalysis <= 0 {
+		t.Error("pre-analysis time missing")
+	}
+}
+
+func TestAblationConfigsProduceResults(t *testing.T) {
+	for _, cfg := range []fsam.Config{
+		{NoInterleaving: true},
+		{NoValueFlow: true},
+		{NoLock: true},
+		{NoInterleaving: true, NoValueFlow: true, NoLock: true},
+		{CtxDepth: 2},
+	} {
+		a, err := fsam.AnalyzeSource("t.mc", baselineProg, cfg)
+		if err != nil {
+			t.Fatalf("%+v: %v", cfg, err)
+		}
+		got, err := a.PointsToGlobal("c")
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Every ablation must still include the sound answer {y, z}.
+		has := map[string]bool{}
+		for _, n := range got {
+			has[n] = true
+		}
+		if !has["y"] || !has["z"] {
+			t.Errorf("%+v: pt(c) = %v, want ⊇ {y,z}", cfg, got)
+		}
+	}
+}

@@ -1,0 +1,161 @@
+// Command fsam analyzes a MiniC program with the sparse flow-sensitive
+// pointer analysis for multithreaded programs (or the NONSPARSE baseline)
+// and reports points-to results, statistics, and optionally data races.
+//
+// Usage:
+//
+//	fsam [flags] prog.mc
+//
+//	-baseline          run the NONSPARSE baseline instead of FSAM
+//	-races             report candidate data races (FSAM only)
+//	-globals           print the points-to set of every global at exit
+//	-query NAME        print the points-to set of one global
+//	-stats             print analysis statistics
+//	-no-interleaving / -no-valueflow / -no-lock   phase ablations
+//	-timeout D         baseline deadline (default 2h, like the paper)
+//	-ir                dump the partial-SSA IR instead of analyzing
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	fsam "repro"
+	"repro/internal/ir"
+	"repro/internal/pipeline"
+)
+
+func main() {
+	var (
+		baseline = flag.Bool("baseline", false, "run the NonSparse baseline")
+		races    = flag.Bool("races", false, "report candidate data races")
+		globals  = flag.Bool("globals", false, "print points-to of every global at exit")
+		query    = flag.String("query", "", "print points-to of one global")
+		stats    = flag.Bool("stats", false, "print analysis statistics")
+		noIL     = flag.Bool("no-interleaving", false, "disable the interleaving analysis (use PCG)")
+		noVF     = flag.Bool("no-valueflow", false, "disable the value-flow aliasing premise")
+		noLK     = flag.Bool("no-lock", false, "disable the lock analysis")
+		timeout  = flag.Duration("timeout", 2*time.Hour, "baseline deadline")
+		dumpIR   = flag.Bool("ir", false, "dump the partial-SSA IR and exit")
+		dotVFG   = flag.Bool("dot-vfg", false, "dump the def-use graph as Graphviz DOT")
+		dotICFG  = flag.Bool("dot-icfg", false, "dump the ICFG as Graphviz DOT")
+	)
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: fsam [flags] prog.mc")
+		flag.Usage()
+		os.Exit(2)
+	}
+	srcBytes, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	src := string(srcBytes)
+
+	if *dumpIR {
+		prog, err := pipeline.Compile(flag.Arg(0), src)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(prog.String())
+		return
+	}
+
+	if *baseline {
+		b, err := fsam.AnalyzeSourceNonSparse(flag.Arg(0), src, *timeout)
+		if err != nil {
+			fatal(err)
+		}
+		if b.OOT {
+			fmt.Printf("NONSPARSE: out of time after %s\n", *timeout)
+			os.Exit(1)
+		}
+		fmt.Printf("NONSPARSE: %d stmts, %d threads, %d iterations, %.2f MB\n",
+			b.Stats.Stmts, b.Stats.Threads, b.Stats.Iterations, float64(b.Stats.Bytes)/1e6)
+		if *query != "" {
+			pt, err := b.PointsToGlobal(*query)
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Printf("pt(%s) = {%s}\n", *query, strings.Join(pt, ", "))
+		}
+		return
+	}
+
+	cfg := fsam.Config{NoInterleaving: *noIL, NoValueFlow: *noVF, NoLock: *noLK}
+	a, err := fsam.AnalyzeSource(flag.Arg(0), src, cfg)
+	if err != nil {
+		fatal(err)
+	}
+
+	if *dotVFG {
+		if err := a.Graph.WriteDot(os.Stdout); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	if *dotICFG {
+		if err := a.Base.G.WriteDot(os.Stdout); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
+	if *stats {
+		st := a.Stats
+		fmt.Printf("statements:        %d\n", st.Stmts)
+		fmt.Printf("abstract threads:  %d\n", st.Threads)
+		fmt.Printf("def-use edges:     %d (%d thread-oblivious + %d thread-aware)\n",
+			st.DefUseEdges, st.ObliviousEdges, st.ThreadEdges)
+		fmt.Printf("lock spans:        %d\n", st.LockSpans)
+		fmt.Printf("solver iterations: %d\n", st.Iterations)
+		fmt.Printf("memory:            %.2f MB\n", float64(st.Bytes)/1e6)
+		fmt.Printf("time: pre=%s interleave=%s locks=%s defuse=%s sparse=%s\n",
+			st.Times.PreAnalysis, st.Times.Interleave, st.Times.LockSpans,
+			st.Times.DefUse, st.Times.Sparse)
+	}
+
+	if *query != "" {
+		pt, err := a.PointsToGlobal(*query)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("pt(%s) = {%s}\n", *query, strings.Join(pt, ", "))
+	}
+
+	if *globals {
+		for _, o := range a.Prog.Objects {
+			if o.Kind != ir.ObjGlobal {
+				continue
+			}
+			pt, err := a.PointsToGlobal(o.Name)
+			if err != nil {
+				continue
+			}
+			if len(pt) > 0 {
+				fmt.Printf("pt(%s) = {%s}\n", o.Name, strings.Join(pt, ", "))
+			}
+		}
+	}
+
+	if *races {
+		reports, err := a.Races()
+		if err != nil {
+			fatal(err)
+		}
+		if len(reports) == 0 {
+			fmt.Println("no candidate races")
+		}
+		for _, r := range reports {
+			fmt.Println(r)
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "fsam:", err)
+	os.Exit(1)
+}

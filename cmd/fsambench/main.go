@@ -1,0 +1,55 @@
+// Command fsambench regenerates the paper's evaluation artifacts over the
+// synthetic workload suite:
+//
+//	fsambench -table1              benchmark statistics (Table 1)
+//	fsambench -table2              FSAM vs NONSPARSE time/memory (Table 2)
+//	fsambench -figure12            ablation slowdowns (Figure 12)
+//	fsambench -all                 everything
+//
+// Flags -scale and -timeout control workload size and the NONSPARSE budget
+// (the stand-in for the paper's two-hour limit).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/harness"
+)
+
+func main() {
+	var (
+		table1   = flag.Bool("table1", false, "print Table 1 (program statistics)")
+		table2   = flag.Bool("table2", false, "print Table 2 (time and memory, FSAM vs NonSparse)")
+		figure12 = flag.Bool("figure12", false, "print Figure 12 (phase-ablation slowdowns)")
+		all      = flag.Bool("all", false, "print every artifact")
+		scale    = flag.Int("scale", harness.DefaultScale, "workload scale factor")
+		timeout  = flag.Duration("timeout", harness.DefaultTimeout, "NonSparse deadline (stand-in for the paper's 2h)")
+	)
+	flag.Parse()
+
+	if !*table1 && !*table2 && !*figure12 && !*all {
+		flag.Usage()
+		os.Exit(2)
+	}
+	if *all {
+		*table1, *table2, *figure12 = true, true, true
+	}
+
+	if *table1 {
+		harness.PrintTable1(os.Stdout, harness.RunTable1(*scale))
+		fmt.Println()
+	}
+	if *table2 {
+		start := time.Now()
+		rows := harness.RunTable2(*scale, *timeout)
+		harness.PrintTable2(os.Stdout, rows)
+		fmt.Printf("(total harness time %.1fs, scale %d, timeout %s)\n\n",
+			time.Since(start).Seconds(), *scale, *timeout)
+	}
+	if *figure12 {
+		harness.PrintFigure12(os.Stdout, harness.RunFigure12(*scale))
+	}
+}

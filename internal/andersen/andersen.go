@@ -1,0 +1,584 @@
+// Package andersen implements the flow- and context-insensitive
+// inclusion-based pointer analysis used as FSAM's pre-analysis (paper
+// Section 1.2 and Figure 2).
+//
+// The solver uses difference (wave-style) propagation with periodic SCC
+// collapsing of the copy-edge graph, following the constraint-resolution
+// techniques of Pereira and Berlin cited by the paper. It is field-sensitive
+// (one sub-object per struct field, arrays monolithic; nested aggregates are
+// collapsed onto their field object, which bounds field derivation and
+// subsumes positive-weight-cycle collapsing) and builds the call graph
+// on the fly, resolving function pointers and indirect fork routines.
+package andersen
+
+import (
+	"sort"
+
+	"repro/internal/ir"
+	"repro/internal/pts"
+)
+
+// node identifies a pointer-valued node in the constraint graph: all
+// top-level variables first, then all abstract objects.
+type node = uint32
+
+// gepCon is a field-address constraint dst ⊇ gep(watch, field).
+type gepCon struct {
+	dst   node
+	field int
+}
+
+// Result holds the pre-analysis outcome.
+type Result struct {
+	Prog *ir.Program
+
+	// varPts[v] / objPts[o] are points-to sets of ObjIDs.
+	varPts []*pts.Set
+	objPts []*pts.Set
+
+	// CallTargets resolves every call statement (direct calls included) to
+	// its possible callees, and ForkTargets every fork to its routines.
+	CallTargets map[*ir.Call][]*ir.Function
+	ForkTargets map[*ir.Fork][]*ir.Function
+
+	// Callers lists the call statements (Call or Fork) that may invoke each
+	// function.
+	Callers map[*ir.Function][]ir.Stmt
+
+	// Iterations counts worklist pops, for diagnostics and benchmarks.
+	Iterations int
+}
+
+// PointsToVar returns the set of ObjIDs v may point to (never nil).
+func (r *Result) PointsToVar(v *ir.Var) *pts.Set {
+	if v == nil || int(v.ID) >= len(r.varPts) || r.varPts[v.ID] == nil {
+		return &pts.Set{}
+	}
+	return r.varPts[v.ID]
+}
+
+// PointsToObj returns the set of ObjIDs stored in object o (never nil).
+func (r *Result) PointsToObj(o *ir.Object) *pts.Set {
+	if o == nil || int(o.ID) >= len(r.objPts) || r.objPts[o.ID] == nil {
+		return &pts.Set{}
+	}
+	return r.objPts[o.ID]
+}
+
+// Obj maps an ObjID from a points-to set back to its object.
+func (r *Result) Obj(id uint32) *ir.Object { return r.Prog.Objects[id] }
+
+// MayAlias reports whether *a and *b may reference a common object.
+func (r *Result) MayAlias(a, b *ir.Var) bool {
+	return r.PointsToVar(a).IntersectsWith(r.PointsToVar(b))
+}
+
+// AliasSet returns the common pointees of a and b (the paper's AS(*p,*q)).
+func (r *Result) AliasSet(a, b *ir.Var) *pts.Set {
+	return r.PointsToVar(a).Intersect(r.PointsToVar(b))
+}
+
+// Bytes reports the memory footprint of the stored points-to sets.
+func (r *Result) Bytes() uint64 {
+	var total uint64
+	for _, s := range r.varPts {
+		if s != nil {
+			total += s.Bytes()
+		}
+	}
+	for _, s := range r.objPts {
+		if s != nil {
+			total += s.Bytes()
+		}
+	}
+	return total
+}
+
+// solver is the constraint solver state.
+type solver struct {
+	prog    *ir.Program
+	numVars int
+
+	parent []node // union-find over constraint nodes
+
+	ptsOf   []*pts.Set // full points-to set per representative
+	delta   []*pts.Set // not-yet-processed additions per representative
+	inWork  []bool
+	work    []node
+	copyOut [][]node // copy successors per representative
+
+	loads  [][]node     // dst ⊇ *n
+	stores [][]node     // *n ⊇ src
+	geps   [][]gepCon   // dst ⊇ gep(n, f)
+	icalls [][]*ir.Call // indirect calls watching n
+	iforks [][]*ir.Fork // indirect forks watching n
+
+	resolvedCall map[*ir.Call]map[*ir.Function]bool
+	resolvedFork map[*ir.Fork]map[*ir.Function]bool
+
+	edgeCount    int
+	lastCollapse int
+	iterations   int
+	hasEdge      map[uint64]bool
+}
+
+// Analyze runs the pre-analysis over a finalized program.
+func Analyze(prog *ir.Program) *Result {
+	s := &solver{
+		prog:         prog,
+		numVars:      len(prog.Vars),
+		resolvedCall: map[*ir.Call]map[*ir.Function]bool{},
+		resolvedFork: map[*ir.Fork]map[*ir.Function]bool{},
+		hasEdge:      map[uint64]bool{},
+	}
+	s.grow()
+	s.initConstraints()
+	s.collapse()
+	s.solve()
+	return s.result()
+}
+
+func (s *solver) size() int { return s.numVars + len(s.prog.Objects) }
+
+// grow extends node-indexed slices to the current node-space size (field
+// objects are materialized during solving).
+func (s *solver) grow() {
+	n := s.size()
+	for len(s.parent) < n {
+		s.parent = append(s.parent, node(len(s.parent)))
+	}
+	extend := func(sl *[][]node) {
+		for len(*sl) < n {
+			*sl = append(*sl, nil)
+		}
+	}
+	extend(&s.copyOut)
+	extend(&s.loads)
+	extend(&s.stores)
+	for len(s.geps) < n {
+		s.geps = append(s.geps, nil)
+	}
+	for len(s.icalls) < n {
+		s.icalls = append(s.icalls, nil)
+	}
+	for len(s.iforks) < n {
+		s.iforks = append(s.iforks, nil)
+	}
+	for len(s.ptsOf) < n {
+		s.ptsOf = append(s.ptsOf, nil)
+	}
+	for len(s.delta) < n {
+		s.delta = append(s.delta, nil)
+	}
+	for len(s.inWork) < n {
+		s.inWork = append(s.inWork, false)
+	}
+}
+
+func (s *solver) varNode(v *ir.Var) node    { return node(v.ID) }
+func (s *solver) objNode(o *ir.Object) node { return node(s.numVars) + node(o.ID) }
+
+// find returns the representative of n with path halving.
+func (s *solver) find(n node) node {
+	for s.parent[n] != n {
+		s.parent[n] = s.parent[s.parent[n]]
+		n = s.parent[n]
+	}
+	return n
+}
+
+func (s *solver) ptsAt(n node) *pts.Set {
+	n = s.find(n)
+	if s.ptsOf[n] == nil {
+		s.ptsOf[n] = &pts.Set{}
+	}
+	return s.ptsOf[n]
+}
+
+// addPts inserts obj into pts(n), scheduling n when it changes.
+func (s *solver) addPts(n node, obj uint32) {
+	n = s.find(n)
+	if s.ptsAt(n).Add(obj) {
+		if s.delta[n] == nil {
+			s.delta[n] = &pts.Set{}
+		}
+		s.delta[n].Add(obj)
+		s.push(n)
+	}
+}
+
+// addPtsSet unions set into pts(n).
+func (s *solver) addPtsSet(n node, set *pts.Set) {
+	n = s.find(n)
+	if d := s.ptsAt(n).UnionDiff(set); d != nil {
+		if s.delta[n] == nil {
+			s.delta[n] = &pts.Set{}
+		}
+		s.delta[n].UnionWith(d)
+		s.push(n)
+	}
+}
+
+func (s *solver) push(n node) {
+	if !s.inWork[n] {
+		s.inWork[n] = true
+		s.work = append(s.work, n)
+	}
+}
+
+// addCopy inserts the copy edge src→dst, propagating the current set.
+func (s *solver) addCopy(src, dst node) {
+	src, dst = s.find(src), s.find(dst)
+	if src == dst {
+		return
+	}
+	key := uint64(src)<<32 | uint64(dst)
+	if s.hasEdge[key] {
+		return
+	}
+	s.hasEdge[key] = true
+	s.copyOut[src] = append(s.copyOut[src], dst)
+	s.edgeCount++
+	if s.ptsOf[src] != nil {
+		s.addPtsSet(dst, s.ptsOf[src])
+	}
+}
+
+// initConstraints seeds the graph from every statement.
+func (s *solver) initConstraints() {
+	for _, f := range s.prog.Funcs {
+		for _, b := range f.Blocks {
+			for _, st := range b.Stmts {
+				s.addStmt(f, st)
+			}
+		}
+	}
+}
+
+func (s *solver) addStmt(f *ir.Function, st ir.Stmt) {
+	switch st := st.(type) {
+	case *ir.AddrOf:
+		s.addPts(s.varNode(st.Dst), uint32(st.Obj.ID))
+	case *ir.Copy:
+		s.addCopy(s.varNode(st.Src), s.varNode(st.Dst))
+	case *ir.Phi:
+		for _, in := range st.Incoming {
+			if in != nil {
+				s.addCopy(s.varNode(in), s.varNode(st.Dst))
+			}
+		}
+	case *ir.Load:
+		n := s.find(s.varNode(st.Addr))
+		s.loads[n] = append(s.loads[n], s.varNode(st.Dst))
+		s.reprocess(n)
+	case *ir.Store:
+		n := s.find(s.varNode(st.Addr))
+		s.stores[n] = append(s.stores[n], s.varNode(st.Src))
+		s.reprocess(n)
+	case *ir.Gep:
+		n := s.find(s.varNode(st.Base))
+		s.geps[n] = append(s.geps[n], gepCon{dst: s.varNode(st.Dst), field: st.Field})
+		s.reprocess(n)
+	case *ir.Call:
+		if st.Callee != nil {
+			s.bindCall(st, st.Callee)
+		} else {
+			n := s.find(s.varNode(st.CalleeVar))
+			s.icalls[n] = append(s.icalls[n], st)
+			s.reprocess(n)
+		}
+	case *ir.Ret:
+		if st.Val != nil && f.RetVar != nil {
+			s.addCopy(s.varNode(st.Val), s.varNode(f.RetVar))
+		}
+	case *ir.Fork:
+		if st.Dst != nil {
+			s.addPts(s.varNode(st.Dst), uint32(st.Handle.ID))
+		}
+		if st.Routine != nil {
+			s.bindFork(st, st.Routine)
+		} else {
+			n := s.find(s.varNode(st.RoutineVar))
+			s.iforks[n] = append(s.iforks[n], st)
+			s.reprocess(n)
+		}
+	}
+}
+
+// reprocess requeues a node whose constraint lists changed so its existing
+// points-to set is run through the new constraints.
+func (s *solver) reprocess(n node) {
+	n = s.find(n)
+	if s.ptsOf[n] != nil && !s.ptsOf[n].IsEmpty() {
+		if s.delta[n] == nil {
+			s.delta[n] = &pts.Set{}
+		}
+		s.delta[n].UnionWith(s.ptsOf[n])
+		s.push(n)
+	}
+}
+
+// bindCall wires up parameter and return copies for call→callee.
+func (s *solver) bindCall(call *ir.Call, callee *ir.Function) {
+	set := s.resolvedCall[call]
+	if set == nil {
+		set = map[*ir.Function]bool{}
+		s.resolvedCall[call] = set
+	}
+	if set[callee] {
+		return
+	}
+	set[callee] = true
+	n := len(call.Args)
+	if len(callee.Params) < n {
+		n = len(callee.Params)
+	}
+	for i := 0; i < n; i++ {
+		s.addCopy(s.varNode(call.Args[i]), s.varNode(callee.Params[i]))
+	}
+	if call.Dst != nil && callee.RetVar != nil {
+		s.addCopy(s.varNode(callee.RetVar), s.varNode(call.Dst))
+	}
+}
+
+// bindFork wires the fork argument to the routine's first parameter.
+func (s *solver) bindFork(fork *ir.Fork, routine *ir.Function) {
+	set := s.resolvedFork[fork]
+	if set == nil {
+		set = map[*ir.Function]bool{}
+		s.resolvedFork[fork] = set
+	}
+	if set[routine] {
+		return
+	}
+	set[routine] = true
+	if fork.Arg != nil && len(routine.Params) > 0 {
+		s.addCopy(s.varNode(fork.Arg), s.varNode(routine.Params[0]))
+	}
+}
+
+// solve runs the difference-propagation worklist to a fixpoint.
+func (s *solver) solve() {
+	for len(s.work) > 0 {
+		n := s.work[len(s.work)-1]
+		s.work = s.work[:len(s.work)-1]
+		s.inWork[n] = false
+		if s.find(n) != n {
+			continue // collapsed away
+		}
+		d := s.delta[n]
+		s.delta[n] = nil
+		if d == nil || d.IsEmpty() {
+			continue
+		}
+		s.iterations++
+
+		// Complex constraints over the delta.
+		d.ForEach(func(objID uint32) {
+			obj := s.prog.Objects[objID]
+			on := s.objNode(obj)
+			for _, dst := range s.loads[n] {
+				s.addCopy(on, dst)
+			}
+			for _, src := range s.stores[n] {
+				s.addCopy(src, on)
+			}
+			for _, g := range s.geps[n] {
+				fo := s.prog.FieldObj(obj, g.field)
+				s.grow() // field objects may be new nodes
+				s.addPts(g.dst, uint32(fo.ID))
+			}
+			if obj.Kind == ir.ObjFunc && obj.Func != nil {
+				for _, call := range s.icalls[n] {
+					s.bindCall(call, obj.Func)
+				}
+				for _, fork := range s.iforks[n] {
+					s.bindFork(fork, obj.Func)
+				}
+			}
+		})
+
+		// Copy propagation of the delta.
+		for _, m := range s.copyOut[n] {
+			s.addPtsSet(m, d)
+		}
+
+		// Periodic cycle collapsing keeps chains short.
+		if s.edgeCount-s.lastCollapse > 2048 {
+			s.collapse()
+			s.lastCollapse = s.edgeCount
+		}
+	}
+}
+
+// collapse runs Tarjan's SCC algorithm over the copy graph and merges each
+// multi-node SCC into its representative.
+func (s *solver) collapse() {
+	n := s.size()
+	index := make([]int32, n)
+	low := make([]int32, n)
+	onStack := make([]bool, n)
+	for i := range index {
+		index[i] = -1
+	}
+	var stack []node
+	var counter int32
+	type frame struct {
+		v    node
+		succ int
+	}
+
+	for start := 0; start < n; start++ {
+		root := s.find(node(start))
+		if index[root] != -1 {
+			continue
+		}
+		frames := []frame{{v: root}}
+		index[root] = counter
+		low[root] = counter
+		counter++
+		stack = append(stack, root)
+		onStack[root] = true
+
+		for len(frames) > 0 {
+			fr := &frames[len(frames)-1]
+			v := fr.v
+			succs := s.copyOut[v]
+			advanced := false
+			for fr.succ < len(succs) {
+				w := s.find(succs[fr.succ])
+				fr.succ++
+				if w == v {
+					continue
+				}
+				if index[w] == -1 {
+					index[w] = counter
+					low[w] = counter
+					counter++
+					stack = append(stack, w)
+					onStack[w] = true
+					frames = append(frames, frame{v: w})
+					advanced = true
+					break
+				} else if onStack[w] {
+					if index[w] < low[v] {
+						low[v] = index[w]
+					}
+				}
+			}
+			if advanced {
+				continue
+			}
+			// Finished v.
+			if low[v] == index[v] {
+				// Pop SCC.
+				var comp []node
+				for {
+					w := stack[len(stack)-1]
+					stack = stack[:len(stack)-1]
+					onStack[w] = false
+					comp = append(comp, w)
+					if w == v {
+						break
+					}
+				}
+				if len(comp) > 1 {
+					s.merge(comp)
+				}
+			}
+			frames = frames[:len(frames)-1]
+			if len(frames) > 0 {
+				parent := frames[len(frames)-1].v
+				if low[v] < low[parent] {
+					low[parent] = low[v]
+				}
+			}
+		}
+	}
+}
+
+// merge collapses the nodes of one SCC into comp[0].
+func (s *solver) merge(comp []node) {
+	rep := comp[0]
+	for _, m := range comp[1:] {
+		if m == rep {
+			continue
+		}
+		s.parent[m] = rep
+		if s.ptsOf[m] != nil {
+			s.addPtsSet(rep, s.ptsOf[m])
+			s.ptsOf[m] = nil
+		}
+		if s.delta[m] != nil {
+			if s.delta[rep] == nil {
+				s.delta[rep] = &pts.Set{}
+			}
+			s.delta[rep].UnionWith(s.delta[m])
+			s.delta[m] = nil
+			s.push(rep)
+		}
+		s.copyOut[rep] = append(s.copyOut[rep], s.copyOut[m]...)
+		s.copyOut[m] = nil
+		s.loads[rep] = append(s.loads[rep], s.loads[m]...)
+		s.loads[m] = nil
+		s.stores[rep] = append(s.stores[rep], s.stores[m]...)
+		s.stores[m] = nil
+		s.geps[rep] = append(s.geps[rep], s.geps[m]...)
+		s.geps[m] = nil
+		s.icalls[rep] = append(s.icalls[rep], s.icalls[m]...)
+		s.icalls[m] = nil
+		s.iforks[rep] = append(s.iforks[rep], s.iforks[m]...)
+		s.iforks[m] = nil
+	}
+	// Requeue the representative so merged constraint lists see its set.
+	s.reprocess(rep)
+}
+
+// result snapshots the solver state into an immutable Result.
+func (s *solver) result() *Result {
+	s.grow()
+	r := &Result{
+		Prog:        s.prog,
+		varPts:      make([]*pts.Set, s.numVars),
+		objPts:      make([]*pts.Set, len(s.prog.Objects)),
+		CallTargets: map[*ir.Call][]*ir.Function{},
+		ForkTargets: map[*ir.Fork][]*ir.Function{},
+		Callers:     map[*ir.Function][]ir.Stmt{},
+		Iterations:  s.iterations,
+	}
+	for i := 0; i < s.numVars; i++ {
+		rep := s.find(node(i))
+		if s.ptsOf[rep] != nil {
+			r.varPts[i] = s.ptsOf[rep]
+		}
+	}
+	for i := range s.prog.Objects {
+		rep := s.find(node(s.numVars + i))
+		if s.ptsOf[rep] != nil {
+			r.objPts[i] = s.ptsOf[rep]
+		}
+	}
+	for call, fs := range s.resolvedCall {
+		list := make([]*ir.Function, 0, len(fs))
+		for f := range fs {
+			list = append(list, f)
+		}
+		sort.Slice(list, func(i, j int) bool { return list[i].Name < list[j].Name })
+		r.CallTargets[call] = list
+		for _, f := range list {
+			r.Callers[f] = append(r.Callers[f], call)
+		}
+	}
+	for fork, fs := range s.resolvedFork {
+		list := make([]*ir.Function, 0, len(fs))
+		for f := range fs {
+			list = append(list, f)
+		}
+		sort.Slice(list, func(i, j int) bool { return list[i].Name < list[j].Name })
+		r.ForkTargets[fork] = list
+		for _, f := range list {
+			r.Callers[f] = append(r.Callers[f], fork)
+		}
+	}
+	return r
+}

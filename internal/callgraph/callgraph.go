@@ -1,0 +1,310 @@
+// Package callgraph builds the program call graph from the pre-analysis
+// (on-the-fly resolved targets), computes its strongly connected components,
+// and provides the interned calling-context (call-string) machinery used by
+// every context-sensitive phase.
+//
+// As in the paper (Section 3.1), a context is a stack of call sites from
+// main's entry to the current site; call sites inside a call-graph SCC are
+// analyzed context-insensitively (pushing such a site is a no-op), which
+// keeps the context space finite even for recursive programs.
+package callgraph
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/andersen"
+	"repro/internal/ir"
+)
+
+// Graph is the program call graph.
+type Graph struct {
+	Prog *ir.Program
+	Pre  *andersen.Result
+
+	// CalleesOf maps a Call or Fork statement to its resolved targets.
+	CalleesOf map[ir.Stmt][]*ir.Function
+	// CallersOf maps a function to the call/fork statements targeting it.
+	CallersOf map[*ir.Function][]ir.Stmt
+
+	// SCCOf assigns each function its SCC index; functions in the same
+	// cycle share an index. Trivial SCCs (single function, no self loop)
+	// also get indices, with selfRecursive marking true cycles.
+	SCCOf        map[*ir.Function]int
+	sccRecursive []bool
+	numSCCs      int
+
+	// Reachable lists functions reachable from main (via calls and forks).
+	Reachable map[*ir.Function]bool
+}
+
+// Build constructs the call graph from pre-analysis results.
+func Build(pre *andersen.Result) *Graph {
+	g := &Graph{
+		Prog:      pre.Prog,
+		Pre:       pre,
+		CalleesOf: map[ir.Stmt][]*ir.Function{},
+		CallersOf: map[*ir.Function][]ir.Stmt{},
+		SCCOf:     map[*ir.Function]int{},
+		Reachable: map[*ir.Function]bool{},
+	}
+	for _, f := range pre.Prog.Funcs {
+		for _, b := range f.Blocks {
+			for _, s := range b.Stmts {
+				switch s := s.(type) {
+				case *ir.Call:
+					tgts := pre.CallTargets[s]
+					g.CalleesOf[s] = tgts
+					for _, t := range tgts {
+						g.CallersOf[t] = append(g.CallersOf[t], s)
+					}
+				case *ir.Fork:
+					tgts := pre.ForkTargets[s]
+					g.CalleesOf[s] = tgts
+					for _, t := range tgts {
+						g.CallersOf[t] = append(g.CallersOf[t], s)
+					}
+				}
+			}
+		}
+	}
+	g.computeSCCs()
+	g.computeReachable()
+	return g
+}
+
+// succs returns the callee functions of f (calls and forks).
+func (g *Graph) succs(f *ir.Function) []*ir.Function {
+	var out []*ir.Function
+	seen := map[*ir.Function]bool{}
+	for _, b := range f.Blocks {
+		for _, s := range b.Stmts {
+			for _, t := range g.CalleesOf[s] {
+				if !seen[t] {
+					seen[t] = true
+					out = append(out, t)
+				}
+			}
+		}
+	}
+	return out
+}
+
+// computeSCCs runs Tarjan's algorithm over the function graph.
+func (g *Graph) computeSCCs() {
+	index := map[*ir.Function]int{}
+	low := map[*ir.Function]int{}
+	onStack := map[*ir.Function]bool{}
+	var stack []*ir.Function
+	counter := 0
+
+	var strongconnect func(f *ir.Function)
+	strongconnect = func(f *ir.Function) {
+		index[f] = counter
+		low[f] = counter
+		counter++
+		stack = append(stack, f)
+		onStack[f] = true
+		selfLoop := false
+		for _, w := range g.succs(f) {
+			if w == f {
+				selfLoop = true
+				continue
+			}
+			if _, seen := index[w]; !seen {
+				strongconnect(w)
+				if low[w] < low[f] {
+					low[f] = low[w]
+				}
+			} else if onStack[w] {
+				if index[w] < low[f] {
+					low[f] = index[w]
+				}
+			}
+		}
+		if low[f] == index[f] {
+			id := g.numSCCs
+			g.numSCCs++
+			size := 0
+			for {
+				w := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				onStack[w] = false
+				g.SCCOf[w] = id
+				size++
+				if w == f {
+					break
+				}
+			}
+			g.sccRecursive = append(g.sccRecursive, size > 1 || selfLoop)
+		}
+	}
+	for _, f := range g.Prog.Funcs {
+		if _, seen := index[f]; !seen {
+			strongconnect(f)
+		}
+	}
+}
+
+// InRecursion reports whether f participates in a call-graph cycle.
+func (g *Graph) InRecursion(f *ir.Function) bool {
+	id, ok := g.SCCOf[f]
+	return ok && g.sccRecursive[id]
+}
+
+// SameSCC reports whether two functions share a call-graph cycle.
+func (g *Graph) SameSCC(a, b *ir.Function) bool {
+	ia, oka := g.SCCOf[a]
+	ib, okb := g.SCCOf[b]
+	return oka && okb && ia == ib && g.sccRecursive[ia]
+}
+
+func (g *Graph) computeReachable() {
+	if g.Prog.Main == nil {
+		return
+	}
+	var stack []*ir.Function
+	stack = append(stack, g.Prog.Main)
+	g.Reachable[g.Prog.Main] = true
+	for len(stack) > 0 {
+		f := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, w := range g.succs(f) {
+			if !g.Reachable[w] {
+				g.Reachable[w] = true
+				stack = append(stack, w)
+			}
+		}
+	}
+}
+
+// ReachableFuncs returns reachable functions in declaration order.
+func (g *Graph) ReachableFuncs() []*ir.Function {
+	var out []*ir.Function
+	for _, f := range g.Prog.Funcs {
+		if g.Reachable[f] {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// ---- Contexts ----
+
+// Ctx is an interned calling context (a call string). The zero value is the
+// empty context (main's entry).
+type Ctx int32
+
+// EmptyCtx is the context of main's entry.
+const EmptyCtx Ctx = 0
+
+// ctxEntry records one interned context frame.
+type ctxEntry struct {
+	parent Ctx
+	site   ir.StmtID
+	depth  int
+}
+
+// Ctxs interns contexts. It is owned by one analysis run and is not
+// goroutine-safe.
+type Ctxs struct {
+	entries []ctxEntry
+	index   map[ctxEntry]Ctx
+	// MaxDepth bounds call-string length; pushes beyond it keep the context
+	// unchanged (sound merging of deep contexts).
+	MaxDepth int
+}
+
+// NewCtxs returns a context table with the given depth bound (<=0 means a
+// generous default).
+func NewCtxs(maxDepth int) *Ctxs {
+	if maxDepth <= 0 {
+		maxDepth = 32
+	}
+	c := &Ctxs{index: map[ctxEntry]Ctx{}, MaxDepth: maxDepth}
+	c.entries = append(c.entries, ctxEntry{parent: -1, site: ir.NoStmt, depth: 0})
+	return c
+}
+
+// Push returns ctx extended with site. Pushing past MaxDepth returns ctx
+// unchanged.
+func (c *Ctxs) Push(ctx Ctx, site ir.StmtID) Ctx {
+	e := ctxEntry{parent: ctx, site: site, depth: c.entries[ctx].depth + 1}
+	if e.depth > c.MaxDepth {
+		return ctx
+	}
+	if id, ok := c.index[e]; ok {
+		return id
+	}
+	id := Ctx(len(c.entries))
+	c.entries = append(c.entries, e)
+	c.index[e] = id
+	return id
+}
+
+// Pop removes the innermost frame; popping the empty context returns it.
+func (c *Ctxs) Pop(ctx Ctx) Ctx {
+	if ctx == EmptyCtx {
+		return EmptyCtx
+	}
+	return c.entries[ctx].parent
+}
+
+// Peek returns the innermost call site, or ir.NoStmt for the empty context.
+func (c *Ctxs) Peek(ctx Ctx) ir.StmtID {
+	return c.entries[ctx].site
+}
+
+// Depth returns the number of frames in ctx.
+func (c *Ctxs) Depth(ctx Ctx) int { return c.entries[ctx].depth }
+
+// Contains reports whether site occurs anywhere in ctx (used to detect
+// context cycles when the depth bound is hit).
+func (c *Ctxs) Contains(ctx Ctx, site ir.StmtID) bool {
+	for ctx != EmptyCtx {
+		if c.entries[ctx].site == site {
+			return true
+		}
+		ctx = c.entries[ctx].parent
+	}
+	return false
+}
+
+// Sites returns the call-site IDs outermost-first.
+func (c *Ctxs) Sites(ctx Ctx) []ir.StmtID {
+	var rev []ir.StmtID
+	for ctx != EmptyCtx {
+		rev = append(rev, c.entries[ctx].site)
+		ctx = c.entries[ctx].parent
+	}
+	out := make([]ir.StmtID, len(rev))
+	for i := range rev {
+		out[i] = rev[len(rev)-1-i]
+	}
+	return out
+}
+
+// String renders ctx as [s1, s2, ...] with statement IDs.
+func (c *Ctxs) String(ctx Ctx) string {
+	sites := c.Sites(ctx)
+	parts := make([]string, len(sites))
+	for i, s := range sites {
+		parts[i] = fmt.Sprintf("%d", s)
+	}
+	return "[" + strings.Join(parts, ",") + "]"
+}
+
+// Len returns the number of interned contexts.
+func (c *Ctxs) Len() int { return len(c.entries) }
+
+// SortedFuncs returns functions sorted by name (deterministic iteration
+// helper for analyses that range over map-based graphs).
+func SortedFuncs(fs map[*ir.Function]bool) []*ir.Function {
+	out := make([]*ir.Function, 0, len(fs))
+	for f := range fs {
+		out = append(out, f)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}

@@ -1,0 +1,148 @@
+package callgraph_test
+
+import (
+	"testing"
+
+	"repro/internal/andersen"
+	"repro/internal/callgraph"
+	"repro/internal/frontend/parser"
+	"repro/internal/ir"
+	"repro/internal/irbuild"
+)
+
+func build(t *testing.T, src string) *callgraph.Graph {
+	t.Helper()
+	f, errs := parser.Parse("t.mc", src)
+	if len(errs) > 0 {
+		t.Fatalf("parse: %v", errs[0])
+	}
+	prog, err := irbuild.Build(f)
+	if err != nil {
+		t.Fatalf("build: %v", err)
+	}
+	return callgraph.Build(andersen.Analyze(prog))
+}
+
+func fn(t *testing.T, g *callgraph.Graph, name string) *ir.Function {
+	t.Helper()
+	f := g.Prog.FuncByName[name]
+	if f == nil {
+		t.Fatalf("no function %s", name)
+	}
+	return f
+}
+
+func TestDirectCallEdges(t *testing.T) {
+	g := build(t, `
+void leaf() { }
+void mid() { leaf(); }
+int main() { mid(); return 0; }
+`)
+	leaf, mid, main := fn(t, g, "leaf"), fn(t, g, "mid"), fn(t, g, "main")
+	if len(g.CallersOf[leaf]) != 1 || len(g.CallersOf[mid]) != 1 {
+		t.Error("caller counts")
+	}
+	if !g.Reachable[leaf] || !g.Reachable[mid] || !g.Reachable[main] {
+		t.Error("reachability")
+	}
+}
+
+func TestUnreachableFunction(t *testing.T) {
+	g := build(t, `
+void never() { }
+int main() { return 0; }
+`)
+	if g.Reachable[fn(t, g, "never")] {
+		t.Error("never is unreachable")
+	}
+	if len(g.ReachableFuncs()) != 1 {
+		t.Errorf("reachable funcs = %v", g.ReachableFuncs())
+	}
+}
+
+func TestMutualRecursionSCC(t *testing.T) {
+	g := build(t, `
+void a(int n);
+void b(int n) { a(n - 1); }
+void a(int n) { if (n > 0) { b(n); } }
+int main() { a(3); return 0; }
+`)
+	a, b, main := fn(t, g, "a"), fn(t, g, "b"), fn(t, g, "main")
+	if !g.SameSCC(a, b) {
+		t.Error("a and b must share an SCC")
+	}
+	if !g.InRecursion(a) || !g.InRecursion(b) {
+		t.Error("a, b recursive")
+	}
+	if g.InRecursion(main) || g.SameSCC(main, a) {
+		t.Error("main is not recursive")
+	}
+}
+
+func TestSelfRecursion(t *testing.T) {
+	g := build(t, `
+void r(int n) { if (n > 0) { r(n - 1); } }
+int main() { r(2); return 0; }
+`)
+	if !g.InRecursion(fn(t, g, "r")) {
+		t.Error("self recursion")
+	}
+}
+
+func TestForkReachability(t *testing.T) {
+	g := build(t, `
+void worker(void *a) { }
+int main() {
+	thread_t t;
+	t = spawn(worker, NULL);
+	join(t);
+	return 0;
+}
+`)
+	if !g.Reachable[fn(t, g, "worker")] {
+		t.Error("fork routine must be reachable")
+	}
+}
+
+func TestContexts(t *testing.T) {
+	ctxs := callgraph.NewCtxs(0)
+	c1 := ctxs.Push(callgraph.EmptyCtx, 5)
+	c2 := ctxs.Push(c1, 9)
+	if ctxs.Depth(c2) != 2 || ctxs.Peek(c2) != 9 {
+		t.Error("depth/peek")
+	}
+	if ctxs.Pop(c2) != c1 || ctxs.Pop(c1) != callgraph.EmptyCtx {
+		t.Error("pop")
+	}
+	if ctxs.Pop(callgraph.EmptyCtx) != callgraph.EmptyCtx {
+		t.Error("pop empty")
+	}
+	// Interning: same pushes give identical IDs.
+	if ctxs.Push(c1, 9) != c2 {
+		t.Error("interning")
+	}
+	if !ctxs.Contains(c2, 5) || ctxs.Contains(c2, 7) {
+		t.Error("contains")
+	}
+	sites := ctxs.Sites(c2)
+	if len(sites) != 2 || sites[0] != 5 || sites[1] != 9 {
+		t.Errorf("sites = %v", sites)
+	}
+	if ctxs.String(c2) != "[5,9]" {
+		t.Errorf("string = %s", ctxs.String(c2))
+	}
+}
+
+func TestContextDepthCap(t *testing.T) {
+	ctxs := callgraph.NewCtxs(2)
+	c := callgraph.EmptyCtx
+	c = ctxs.Push(c, 1)
+	c = ctxs.Push(c, 2)
+	capped := ctxs.Push(c, 3)
+	if capped != c {
+		t.Error("push past cap must be identity")
+	}
+	if ctxs.Depth(c) != 2 {
+		t.Error("depth capped")
+	}
+}

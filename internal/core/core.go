@@ -1,0 +1,386 @@
+// Package core implements FSAM's sparse flow-sensitive points-to solver
+// (paper Section 3.4, Figure 10). Points-to facts propagate only along the
+// pre-computed def-use graph: top-level variables are in SSA form so their
+// flows are direct, and address-taken objects flow between memory-definition
+// nodes (store/call/join chis, entry chis, exit phis, memory phis) built by
+// the vfg package.
+//
+// Rules: P-ADDR, P-COPY, P-PHI, P-LOAD, P-STORE and P-SU/WU. The load and
+// store rules are gated by the solver's own (more precise) points-to sets of
+// the address operands, so refinement over the pre-analysis kills spurious
+// flows; strong updates apply when a store's address resolves to exactly one
+// singleton object.
+package core
+
+import (
+	"repro/internal/ir"
+	"repro/internal/pts"
+	"repro/internal/threads"
+	"repro/internal/vfg"
+)
+
+// Result holds the solved flow-sensitive points-to information.
+type Result struct {
+	Prog  *ir.Program
+	Graph *vfg.Graph
+	Model *threads.Model
+
+	// varPts[v] is the points-to set of top-level variable v (SSA: one set
+	// per variable is flow-sensitive).
+	varPts []*pts.Set
+	// memPts[n] is the points-to set of MemNode n's object after the
+	// definition the node represents.
+	memPts []*pts.Set
+
+	singletons *pts.Set
+
+	// Iterations counts worklist pops (diagnostics and benchmarks).
+	Iterations int
+}
+
+// PointsToVar returns the points-to set (ObjIDs) of v; never nil.
+func (r *Result) PointsToVar(v *ir.Var) *pts.Set {
+	if v == nil || int(v.ID) >= len(r.varPts) || r.varPts[v.ID] == nil {
+		return &pts.Set{}
+	}
+	return r.varPts[v.ID]
+}
+
+// PointsToMem returns the points-to set at MemNode id; never nil.
+func (r *Result) PointsToMem(id int) *pts.Set {
+	if id < 0 || id >= len(r.memPts) || r.memPts[id] == nil {
+		return &pts.Set{}
+	}
+	return r.memPts[id]
+}
+
+// ObjAtExit returns the points-to set of obj at f's exit (the merged final
+// state), or an empty set when f never defines obj.
+func (r *Result) ObjAtExit(f *ir.Function, obj *ir.Object) *pts.Set {
+	if id := r.Graph.ExitPhiNode(f, obj); id >= 0 {
+		return r.PointsToMem(id)
+	}
+	return &pts.Set{}
+}
+
+// Obj resolves an ObjID from a points-to set.
+func (r *Result) Obj(id uint32) *ir.Object { return r.Prog.Objects[id] }
+
+// Bytes reports the memory footprint of the points-to sets (the quantity
+// Table 2 reports, dominated by per-def points-to storage).
+func (r *Result) Bytes() uint64 {
+	var total uint64
+	for _, s := range r.varPts {
+		if s != nil {
+			total += s.Bytes()
+		}
+	}
+	for _, s := range r.memPts {
+		if s != nil {
+			total += s.Bytes()
+		}
+	}
+	return total + r.Graph.Bytes()
+}
+
+// solver is the in-flight state.
+type solver struct {
+	r *Result
+	g *vfg.Graph
+
+	// varUses[v] lists statements to re-process when pt(v) changes.
+	varUses map[ir.VarID][]ir.Stmt
+	// chiOfStore lists the StoreChi node IDs of each store (re-gated when
+	// the address set changes).
+	chiOfStore map[*ir.Store][]int
+
+	// callersOfRet[f.RetVar] lists call statements consuming f's return.
+	retUses map[ir.VarID][]ir.Stmt
+
+	inWorkStmt map[ir.StmtID]bool
+	workStmt   []ir.Stmt
+	inWorkMem  []bool
+	workMem    []int
+}
+
+// Solve runs the sparse analysis over a built def-use graph.
+func Solve(model *threads.Model, g *vfg.Graph) *Result {
+	r := &Result{
+		Prog:       model.Prog,
+		Graph:      g,
+		Model:      model,
+		varPts:     make([]*pts.Set, len(model.Prog.Vars)),
+		memPts:     make([]*pts.Set, len(g.Nodes)),
+		singletons: model.SingletonObjects(),
+	}
+	s := &solver{
+		r:          r,
+		g:          g,
+		varUses:    map[ir.VarID][]ir.Stmt{},
+		chiOfStore: map[*ir.Store][]int{},
+		retUses:    map[ir.VarID][]ir.Stmt{},
+		inWorkStmt: map[ir.StmtID]bool{},
+		inWorkMem:  make([]bool, len(g.Nodes)),
+	}
+	s.buildIndexes()
+	s.seed()
+	s.run()
+	return r
+}
+
+func (s *solver) buildIndexes() {
+	prog := s.r.Prog
+	for _, st := range prog.Stmts {
+		for _, u := range ir.Uses(st) {
+			s.varUses[u.ID] = append(s.varUses[u.ID], st)
+		}
+		if c, ok := st.(*ir.Call); ok && c.Dst != nil {
+			for _, callee := range s.g.Pre.CallTargets[c] {
+				if callee.RetVar != nil {
+					s.retUses[callee.RetVar.ID] = append(s.retUses[callee.RetVar.ID], c)
+				}
+			}
+		}
+	}
+	for _, n := range s.g.Nodes {
+		if n.Kind == vfg.MStoreChi {
+			st := n.Stmt.(*ir.Store)
+			s.chiOfStore[st] = append(s.chiOfStore[st], n.ID)
+		}
+	}
+}
+
+func (s *solver) pushStmt(st ir.Stmt) {
+	if !s.inWorkStmt[st.ID()] {
+		s.inWorkStmt[st.ID()] = true
+		s.workStmt = append(s.workStmt, st)
+	}
+}
+
+func (s *solver) pushMem(id int) {
+	if !s.inWorkMem[id] {
+		s.inWorkMem[id] = true
+		s.workMem = append(s.workMem, id)
+	}
+}
+
+// varChanged schedules everything depending on v.
+func (s *solver) varChanged(v *ir.Var) {
+	for _, st := range s.varUses[v.ID] {
+		s.pushStmt(st)
+		// A store's chis re-gate when its address or source changes.
+		if store, ok := st.(*ir.Store); ok {
+			for _, id := range s.chiOfStore[store] {
+				s.pushMem(id)
+			}
+		}
+	}
+	for _, c := range s.retUses[v.ID] {
+		s.pushStmt(c)
+	}
+}
+
+// addVar unions set into pt(v), scheduling dependents on change.
+func (s *solver) addVar(v *ir.Var, set *pts.Set) {
+	if v == nil || set == nil || set.IsEmpty() {
+		return
+	}
+	p := s.r.varPts[v.ID]
+	if p == nil {
+		p = &pts.Set{}
+		s.r.varPts[v.ID] = p
+	}
+	if p.UnionWith(set) {
+		s.varChanged(v)
+	}
+}
+
+func (s *solver) addVarObj(v *ir.Var, obj uint32) {
+	if v == nil {
+		return
+	}
+	p := s.r.varPts[v.ID]
+	if p == nil {
+		p = &pts.Set{}
+		s.r.varPts[v.ID] = p
+	}
+	if p.Add(obj) {
+		s.varChanged(v)
+	}
+}
+
+// addMem unions set into a MemNode's points-to, scheduling successors.
+func (s *solver) addMem(id int, set *pts.Set) {
+	if set == nil || set.IsEmpty() {
+		return
+	}
+	p := s.r.memPts[id]
+	if p == nil {
+		p = &pts.Set{}
+		s.r.memPts[id] = p
+	}
+	if p.UnionWith(set) {
+		for _, e := range s.g.Out[id] {
+			if e.ToMem >= 0 {
+				s.pushMem(e.ToMem)
+			} else if e.ToLoad != nil {
+				s.pushStmt(e.ToLoad)
+			}
+		}
+	}
+}
+
+// seed schedules every statement and memory node once.
+func (s *solver) seed() {
+	for _, st := range s.r.Prog.Stmts {
+		s.pushStmt(st)
+	}
+	for id := range s.g.Nodes {
+		s.pushMem(id)
+	}
+}
+
+func (s *solver) run() {
+	for len(s.workStmt) > 0 || len(s.workMem) > 0 {
+		for len(s.workMem) > 0 {
+			id := s.workMem[len(s.workMem)-1]
+			s.workMem = s.workMem[:len(s.workMem)-1]
+			s.inWorkMem[id] = false
+			s.r.Iterations++
+			s.processMem(id)
+		}
+		for len(s.workStmt) > 0 {
+			st := s.workStmt[len(s.workStmt)-1]
+			s.workStmt = s.workStmt[:len(s.workStmt)-1]
+			s.inWorkStmt[st.ID()] = false
+			s.r.Iterations++
+			s.processStmt(st)
+		}
+	}
+}
+
+// processStmt applies the top-level rules (P-ADDR, P-COPY, P-PHI, P-LOAD's
+// variable side, call/return copies, gep field addressing).
+func (s *solver) processStmt(st ir.Stmt) {
+	r := s.r
+	switch st := st.(type) {
+	case *ir.AddrOf:
+		s.addVarObj(st.Dst, uint32(st.Obj.ID)) // P-ADDR
+
+	case *ir.Copy:
+		s.addVar(st.Dst, r.PointsToVar(st.Src)) // P-COPY
+
+	case *ir.Phi:
+		for _, in := range st.Incoming { // P-PHI
+			if in != nil {
+				s.addVar(st.Dst, r.PointsToVar(in))
+			}
+		}
+
+	case *ir.Gep:
+		base := r.PointsToVar(st.Base)
+		base.ForEach(func(id uint32) {
+			fo := r.Prog.FieldObj(r.Prog.Objects[id], st.Field)
+			s.addVarObj(st.Dst, uint32(fo.ID))
+		})
+
+	case *ir.Load: // P-LOAD
+		addrSet := r.PointsToVar(st.Addr)
+		for _, e := range s.g.LoadIn[st] {
+			def := s.g.Nodes[e.ToMem]
+			if e.Ungated || addrSet.Has(uint32(def.Obj.ID)) {
+				s.addVar(st.Dst, r.PointsToMem(e.ToMem))
+			}
+		}
+
+	case *ir.Store:
+		// P-STORE/P-SU/WU are applied at the store's chi nodes; schedule
+		// them (addr/src changes reach here via varUses).
+		for _, id := range s.chiOfStore[st] {
+			s.pushMem(id)
+		}
+
+	case *ir.Call:
+		for _, callee := range s.g.Pre.CallTargets[st] {
+			n := len(st.Args)
+			if len(callee.Params) < n {
+				n = len(callee.Params)
+			}
+			for i := 0; i < n; i++ {
+				s.addVar(callee.Params[i], r.PointsToVar(st.Args[i]))
+			}
+			if st.Dst != nil && callee.RetVar != nil {
+				s.addVar(st.Dst, r.PointsToVar(callee.RetVar))
+			}
+		}
+
+	case *ir.Ret:
+		if st.Val != nil {
+			if f := ir.StmtFunc(st); f != nil && f.RetVar != nil {
+				s.addVar(f.RetVar, r.PointsToVar(st.Val))
+			}
+		}
+
+	case *ir.Fork:
+		if st.Dst != nil {
+			s.addVarObj(st.Dst, uint32(st.Handle.ID))
+		}
+		for _, routine := range s.g.Pre.ForkTargets[st] {
+			if st.Arg != nil && len(routine.Params) > 0 {
+				s.addVar(routine.Params[0], r.PointsToVar(st.Arg))
+			}
+		}
+	}
+}
+
+// processMem applies the memory transfer at one MemNode.
+func (s *solver) processMem(id int) {
+	r := s.r
+	n := s.g.Nodes[id]
+	switch n.Kind {
+	case vfg.MStoreChi:
+		st := n.Stmt.(*ir.Store)
+		addrSet := r.PointsToVar(st.Addr)
+		objID := uint32(n.Obj.ID)
+		preAliased := s.g.Pre.PointsToVar(st.Addr).Has(objID)
+
+		if !preAliased {
+			// Ablation chi (No-Value-Flow): an unconditional weak write so
+			// the configuration pays the spurious propagation cost.
+			s.addMem(id, r.PointsToVar(st.Src))
+			s.mergeIn(id)
+			return
+		}
+		// Figure 10 kill(s,p): pt(addr) = ∅ kills everything (the store
+		// cannot execute soundly); a singleton {obj} kills the incoming
+		// value (strong update, P-SU); otherwise the old value survives
+		// (weak update, P-WU). Every branch grows monotonically as the
+		// address and source sets grow, so recomputation stays sound.
+		if addrSet.IsEmpty() {
+			return
+		}
+		if addrSet.Has(objID) {
+			s.addMem(id, r.PointsToVar(st.Src)) // P-STORE
+			single, ok := addrSet.Single()
+			strong := ok && single == objID && s.r.singletons.Has(objID)
+			if !strong {
+				s.mergeIn(id)
+			}
+			return
+		}
+		// The store writes other objects only: obj passes through.
+		s.mergeIn(id)
+
+	default:
+		// Entry chis, call/join chis, exit phis and memory phis merge their
+		// incoming definitions.
+		s.mergeIn(id)
+	}
+}
+
+// mergeIn unions all incoming memory definitions into node id.
+func (s *solver) mergeIn(id int) {
+	for _, in := range s.g.In[id] {
+		s.addMem(id, s.r.PointsToMem(in))
+	}
+}

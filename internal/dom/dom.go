@@ -1,0 +1,183 @@
+// Package dom computes dominator trees and dominance frontiers of IR
+// function CFGs using the Cooper-Harvey-Kennedy iterative algorithm. It is
+// shared by the mem2reg SSA construction and the memory-SSA phase of the
+// def-use graph builder.
+package dom
+
+import "repro/internal/ir"
+
+// Info holds the dominator tree of one function.
+type Info struct {
+	// Blocks in reverse postorder.
+	Blocks   []*ir.Block
+	rpoIndex map[*ir.Block]int
+	idom     map[*ir.Block]*ir.Block
+	children map[*ir.Block][]*ir.Block
+	frontier map[*ir.Block][]*ir.Block
+}
+
+// Compute builds dominator tree and dominance frontiers for f.
+func Compute(f *ir.Function) *Info {
+	d := &Info{
+		rpoIndex: map[*ir.Block]int{},
+		idom:     map[*ir.Block]*ir.Block{},
+		children: map[*ir.Block][]*ir.Block{},
+		frontier: map[*ir.Block][]*ir.Block{},
+	}
+	if f.Entry == nil {
+		return d
+	}
+	// Postorder DFS from entry (iterative to handle deep CFGs).
+	seen := map[*ir.Block]bool{f.Entry: true}
+	type frame struct {
+		b *ir.Block
+		i int
+	}
+	stack := []frame{{b: f.Entry}}
+	var post []*ir.Block
+	for len(stack) > 0 {
+		fr := &stack[len(stack)-1]
+		if fr.i < len(fr.b.Succs) {
+			s := fr.b.Succs[fr.i]
+			fr.i++
+			if !seen[s] {
+				seen[s] = true
+				stack = append(stack, frame{b: s})
+			}
+			continue
+		}
+		post = append(post, fr.b)
+		stack = stack[:len(stack)-1]
+	}
+	for i := len(post) - 1; i >= 0; i-- {
+		d.rpoIndex[post[i]] = len(d.Blocks)
+		d.Blocks = append(d.Blocks, post[i])
+	}
+
+	intersect := func(b1, b2 *ir.Block) *ir.Block {
+		for b1 != b2 {
+			for d.rpoIndex[b1] > d.rpoIndex[b2] {
+				b1 = d.idom[b1]
+			}
+			for d.rpoIndex[b2] > d.rpoIndex[b1] {
+				b2 = d.idom[b2]
+			}
+		}
+		return b1
+	}
+
+	d.idom[f.Entry] = f.Entry
+	for changed := true; changed; {
+		changed = false
+		for _, blk := range d.Blocks {
+			if blk == f.Entry {
+				continue
+			}
+			var newIdom *ir.Block
+			for _, p := range blk.Preds {
+				if d.idom[p] == nil {
+					continue
+				}
+				if newIdom == nil {
+					newIdom = p
+				} else {
+					newIdom = intersect(p, newIdom)
+				}
+			}
+			if newIdom != nil && d.idom[blk] != newIdom {
+				d.idom[blk] = newIdom
+				changed = true
+			}
+		}
+	}
+	for _, blk := range d.Blocks {
+		if blk != f.Entry {
+			p := d.idom[blk]
+			d.children[p] = append(d.children[p], blk)
+		}
+	}
+	// Note: no join-node (≥2 preds) shortcut — a self-loop on a single-pred
+	// block must still put the block in its own frontier.
+	for _, blk := range d.Blocks {
+		for _, p := range blk.Preds {
+			if d.idom[p] == nil {
+				continue
+			}
+			if p == blk {
+				// Self-loop: a block is always in its own frontier (even
+				// the entry, whose idom is itself).
+				d.addFrontier(blk, blk)
+				continue
+			}
+			runner := p
+			for runner != d.idom[blk] {
+				d.addFrontier(runner, blk)
+				runner = d.idom[runner]
+			}
+			// A back edge into the entry: the sentinel idom(entry) == entry
+			// stops the walk before adding the entry itself, but the entry
+			// dominates p without strictly dominating itself, so it belongs
+			// to its own frontier.
+			if blk == d.idom[blk] {
+				d.addFrontier(blk, blk)
+			}
+		}
+	}
+	return d
+}
+
+// addFrontier appends once (preds may repeat across edges).
+func (d *Info) addFrontier(runner, blk *ir.Block) {
+	for _, existing := range d.frontier[runner] {
+		if existing == blk {
+			return
+		}
+	}
+	d.frontier[runner] = append(d.frontier[runner], blk)
+}
+
+// Idom returns the immediate dominator of b (entry maps to itself;
+// unreachable blocks map to nil).
+func (d *Info) Idom(b *ir.Block) *ir.Block { return d.idom[b] }
+
+// Children returns the dominator-tree children of b.
+func (d *Info) Children(b *ir.Block) []*ir.Block { return d.children[b] }
+
+// Frontier returns the dominance frontier of b.
+func (d *Info) Frontier(b *ir.Block) []*ir.Block { return d.frontier[b] }
+
+// Reachable reports whether b was reachable from the entry.
+func (d *Info) Reachable(b *ir.Block) bool {
+	_, ok := d.rpoIndex[b]
+	return ok
+}
+
+// IteratedFrontier returns the iterated dominance frontier of the given
+// definition blocks (the phi-placement set).
+func (d *Info) IteratedFrontier(defs []*ir.Block) []*ir.Block {
+	inResult := map[*ir.Block]bool{}
+	inWork := map[*ir.Block]bool{}
+	var work []*ir.Block
+	for _, b := range defs {
+		if d.Reachable(b) && !inWork[b] {
+			inWork[b] = true
+			work = append(work, b)
+		}
+	}
+	var out []*ir.Block
+	for len(work) > 0 {
+		b := work[len(work)-1]
+		work = work[:len(work)-1]
+		for _, fb := range d.frontier[b] {
+			if !inResult[fb] {
+				inResult[fb] = true
+				out = append(out, fb)
+				if !inWork[fb] {
+					inWork[fb] = true
+					work = append(work, fb)
+				}
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,213 @@
+package dom_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/dom"
+	"repro/internal/ir"
+)
+
+// diamond builds the classic CFG: entry → {a, b} → merge.
+func diamond() (*ir.Function, []*ir.Block) {
+	p := ir.NewProgram()
+	f := p.NewFunc("f")
+	entry := f.NewBlock("entry")
+	a := f.NewBlock("a")
+	b := f.NewBlock("b")
+	merge := f.NewBlock("merge")
+	entry.AddEdge(a)
+	entry.AddEdge(b)
+	a.AddEdge(merge)
+	b.AddEdge(merge)
+	return f, []*ir.Block{entry, a, b, merge}
+}
+
+func TestDiamondDominators(t *testing.T) {
+	f, blocks := diamond()
+	d := dom.Compute(f)
+	entry, a, b, merge := blocks[0], blocks[1], blocks[2], blocks[3]
+	if d.Idom(a) != entry || d.Idom(b) != entry || d.Idom(merge) != entry {
+		t.Errorf("idoms: a=%v b=%v merge=%v", d.Idom(a), d.Idom(b), d.Idom(merge))
+	}
+	// Frontier of a and b is the merge block.
+	if len(d.Frontier(a)) != 1 || d.Frontier(a)[0] != merge {
+		t.Errorf("frontier(a) = %v", d.Frontier(a))
+	}
+	if len(d.Frontier(entry)) != 0 {
+		t.Errorf("frontier(entry) = %v", d.Frontier(entry))
+	}
+}
+
+func TestLoopDominators(t *testing.T) {
+	p := ir.NewProgram()
+	f := p.NewFunc("f")
+	entry := f.NewBlock("entry")
+	head := f.NewBlock("head")
+	body := f.NewBlock("body")
+	exit := f.NewBlock("exit")
+	entry.AddEdge(head)
+	head.AddEdge(body)
+	head.AddEdge(exit)
+	body.AddEdge(head)
+	d := dom.Compute(f)
+	if d.Idom(head) != entry || d.Idom(body) != head || d.Idom(exit) != head {
+		t.Error("loop idoms wrong")
+	}
+	// The loop head is in the frontier of the body (back edge) and itself.
+	found := false
+	for _, fb := range d.Frontier(body) {
+		if fb == head {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("frontier(body) = %v, want head", d.Frontier(body))
+	}
+}
+
+func TestIteratedFrontier(t *testing.T) {
+	f, blocks := diamond()
+	d := dom.Compute(f)
+	idf := d.IteratedFrontier([]*ir.Block{blocks[1]})
+	if len(idf) != 1 || idf[0] != blocks[3] {
+		t.Errorf("IDF = %v", idf)
+	}
+}
+
+func TestUnreachableBlock(t *testing.T) {
+	p := ir.NewProgram()
+	f := p.NewFunc("f")
+	entry := f.NewBlock("entry")
+	island := f.NewBlock("island")
+	_ = entry
+	d := dom.Compute(f)
+	if d.Reachable(island) {
+		t.Error("island must be unreachable")
+	}
+	if d.Idom(island) != nil {
+		t.Error("unreachable block has no idom")
+	}
+}
+
+// naiveDominates computes dominance by brute force: b dominates v iff
+// removing b makes v unreachable from entry.
+func naiveDominates(f *ir.Function, b, v *ir.Block) bool {
+	if b == v {
+		return true
+	}
+	seen := map[*ir.Block]bool{b: true}
+	var stack []*ir.Block
+	if f.Entry != b {
+		stack = append(stack, f.Entry)
+		seen[f.Entry] = true
+	}
+	for len(stack) > 0 {
+		cur := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if cur == v {
+			return false
+		}
+		for _, s := range cur.Succs {
+			if !seen[s] {
+				seen[s] = true
+				stack = append(stack, s)
+			}
+		}
+	}
+	return true
+}
+
+// TestRandomCFGsAgainstNaive property-checks idom against the brute-force
+// dominance relation on random CFGs.
+func TestRandomCFGsAgainstNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 60; trial++ {
+		p := ir.NewProgram()
+		f := p.NewFunc("f")
+		n := 3 + rng.Intn(10)
+		blocks := make([]*ir.Block, n)
+		for i := range blocks {
+			blocks[i] = f.NewBlock("")
+		}
+		// Random edges with guaranteed forward chain for reachability.
+		for i := 0; i < n-1; i++ {
+			blocks[i].AddEdge(blocks[i+1])
+		}
+		extra := rng.Intn(2 * n)
+		for i := 0; i < extra; i++ {
+			from := blocks[rng.Intn(n)]
+			to := blocks[rng.Intn(n)]
+			from.AddEdge(to)
+		}
+		d := dom.Compute(f)
+		for _, v := range blocks {
+			if v == f.Entry {
+				continue
+			}
+			idom := d.Idom(v)
+			if idom == nil {
+				t.Fatalf("trial %d: reachable block without idom", trial)
+			}
+			// The immediate dominator must dominate v...
+			if !naiveDominates(f, idom, v) {
+				t.Fatalf("trial %d: idom(%v)=%v does not dominate", trial, v.Index, idom.Index)
+			}
+			// ...and every proper dominator of v must dominate idom(v).
+			for _, w := range blocks {
+				if w == v || w == idom {
+					continue
+				}
+				if naiveDominates(f, w, v) && !naiveDominates(f, w, idom) {
+					t.Fatalf("trial %d: %v dominates %v but not idom %v",
+						trial, w.Index, v.Index, idom.Index)
+				}
+			}
+		}
+	}
+}
+
+// TestFrontierProperty checks the dominance-frontier definition on random
+// CFGs: y ∈ DF(x) iff x dominates a predecessor of y but not y strictly.
+func TestFrontierProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 40; trial++ {
+		p := ir.NewProgram()
+		f := p.NewFunc("f")
+		n := 3 + rng.Intn(8)
+		blocks := make([]*ir.Block, n)
+		for i := range blocks {
+			blocks[i] = f.NewBlock("")
+		}
+		for i := 0; i < n-1; i++ {
+			blocks[i].AddEdge(blocks[i+1])
+		}
+		for i := 0; i < rng.Intn(2*n); i++ {
+			blocks[rng.Intn(n)].AddEdge(blocks[rng.Intn(n)])
+		}
+		d := dom.Compute(f)
+		inFrontier := func(x, y *ir.Block) bool {
+			for _, fb := range d.Frontier(x) {
+				if fb == y {
+					return true
+				}
+			}
+			return false
+		}
+		for _, x := range blocks {
+			for _, y := range blocks {
+				want := false
+				for _, pred := range y.Preds {
+					if d.Reachable(pred) && naiveDominates(f, x, pred) &&
+						(x == y || !naiveDominates(f, x, y)) {
+						want = true
+					}
+				}
+				if got := inFrontier(x, y); got != want && d.Reachable(x) {
+					t.Fatalf("trial %d: DF(%d) contains %d = %v, want %v",
+						trial, x.Index, y.Index, got, want)
+				}
+			}
+		}
+	}
+}

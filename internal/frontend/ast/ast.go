@@ -1,0 +1,314 @@
+// Package ast defines the abstract syntax tree produced by the MiniC parser.
+package ast
+
+import (
+	"repro/internal/frontend/token"
+	"repro/internal/frontend/types"
+)
+
+// Node is the root interface of all AST nodes.
+type Node interface {
+	Pos() token.Pos
+}
+
+// ---- Declarations ----
+
+// File is a parsed translation unit.
+type File struct {
+	Name    string // source name, for diagnostics
+	Structs []*StructDecl
+	Globals []*VarDecl
+	Funcs   []*FuncDecl
+}
+
+// StructDecl declares a struct type.
+type StructDecl struct {
+	P    token.Pos
+	Name string
+	Type *types.Struct
+}
+
+func (d *StructDecl) Pos() token.Pos { return d.P }
+
+// VarDecl declares a variable (global or local). Init is optional.
+type VarDecl struct {
+	P    token.Pos
+	Name string
+	Type types.Type
+	Init Expr
+}
+
+func (d *VarDecl) Pos() token.Pos { return d.P }
+
+// Param is a function parameter.
+type Param struct {
+	P    token.Pos
+	Name string
+	Type types.Type
+}
+
+// FuncDecl declares (Body == nil) or defines a function.
+type FuncDecl struct {
+	P      token.Pos
+	Name   string
+	Params []*Param
+	Ret    types.Type
+	Body   *BlockStmt
+}
+
+func (d *FuncDecl) Pos() token.Pos { return d.P }
+
+// Signature returns the function's type.
+func (d *FuncDecl) Signature() *types.Func {
+	ps := make([]types.Type, len(d.Params))
+	for i, p := range d.Params {
+		ps[i] = p.Type
+	}
+	return &types.Func{Params: ps, Ret: d.Ret}
+}
+
+// ---- Statements ----
+
+// Stmt is implemented by all statements.
+type Stmt interface {
+	Node
+	stmtNode()
+}
+
+// DeclStmt is a local variable declaration.
+type DeclStmt struct {
+	Decl *VarDecl
+}
+
+func (s *DeclStmt) Pos() token.Pos { return s.Decl.P }
+func (s *DeclStmt) stmtNode()      {}
+
+// AssignStmt is lhs = rhs.
+type AssignStmt struct {
+	P   token.Pos
+	LHS Expr
+	RHS Expr
+}
+
+func (s *AssignStmt) Pos() token.Pos { return s.P }
+func (s *AssignStmt) stmtNode()      {}
+
+// ExprStmt is an expression evaluated for effect (typically a call).
+type ExprStmt struct {
+	P token.Pos
+	X Expr
+}
+
+func (s *ExprStmt) Pos() token.Pos { return s.P }
+func (s *ExprStmt) stmtNode()      {}
+
+// IfStmt is if (Cond) Then [else Else].
+type IfStmt struct {
+	P    token.Pos
+	Cond Expr
+	Then Stmt
+	Else Stmt // may be nil
+}
+
+func (s *IfStmt) Pos() token.Pos { return s.P }
+func (s *IfStmt) stmtNode()      {}
+
+// WhileStmt is while (Cond) Body.
+type WhileStmt struct {
+	P    token.Pos
+	Cond Expr
+	Body Stmt
+}
+
+func (s *WhileStmt) Pos() token.Pos { return s.P }
+func (s *WhileStmt) stmtNode()      {}
+
+// ForStmt is for (Init; Cond; Post) Body; any part may be nil.
+type ForStmt struct {
+	P    token.Pos
+	Init Stmt // AssignStmt or DeclStmt or nil
+	Cond Expr
+	Post Stmt // AssignStmt or ExprStmt or nil
+	Body Stmt
+}
+
+func (s *ForStmt) Pos() token.Pos { return s.P }
+func (s *ForStmt) stmtNode()      {}
+
+// ReturnStmt is return [X].
+type ReturnStmt struct {
+	P token.Pos
+	X Expr // may be nil
+}
+
+func (s *ReturnStmt) Pos() token.Pos { return s.P }
+func (s *ReturnStmt) stmtNode()      {}
+
+// BreakStmt is break.
+type BreakStmt struct{ P token.Pos }
+
+func (s *BreakStmt) Pos() token.Pos { return s.P }
+func (s *BreakStmt) stmtNode()      {}
+
+// ContinueStmt is continue.
+type ContinueStmt struct{ P token.Pos }
+
+func (s *ContinueStmt) Pos() token.Pos { return s.P }
+func (s *ContinueStmt) stmtNode()      {}
+
+// BlockStmt is { Stmts... }.
+type BlockStmt struct {
+	P     token.Pos
+	Stmts []Stmt
+}
+
+func (s *BlockStmt) Pos() token.Pos { return s.P }
+func (s *BlockStmt) stmtNode()      {}
+
+// FreeStmt is free(X) — deallocate a heap object.
+type FreeStmt struct {
+	P token.Pos
+	X Expr
+}
+
+func (s *FreeStmt) Pos() token.Pos { return s.P }
+func (s *FreeStmt) stmtNode()      {}
+
+// JoinStmt is join(Handle) — pthread_join.
+type JoinStmt struct {
+	P      token.Pos
+	Handle Expr
+}
+
+func (s *JoinStmt) Pos() token.Pos { return s.P }
+func (s *JoinStmt) stmtNode()      {}
+
+// LockStmt is lock(Ptr) — pthread_mutex_lock.
+type LockStmt struct {
+	P   token.Pos
+	Ptr Expr
+}
+
+func (s *LockStmt) Pos() token.Pos { return s.P }
+func (s *LockStmt) stmtNode()      {}
+
+// UnlockStmt is unlock(Ptr) — pthread_mutex_unlock.
+type UnlockStmt struct {
+	P   token.Pos
+	Ptr Expr
+}
+
+func (s *UnlockStmt) Pos() token.Pos { return s.P }
+func (s *UnlockStmt) stmtNode()      {}
+
+// ---- Expressions ----
+
+// Expr is implemented by all expressions.
+type Expr interface {
+	Node
+	exprNode()
+}
+
+// Ident is a variable or function reference.
+type Ident struct {
+	P    token.Pos
+	Name string
+}
+
+func (e *Ident) Pos() token.Pos { return e.P }
+func (e *Ident) exprNode()      {}
+
+// IntLit is an integer literal.
+type IntLit struct {
+	P     token.Pos
+	Value int64
+}
+
+func (e *IntLit) Pos() token.Pos { return e.P }
+func (e *IntLit) exprNode()      {}
+
+// StringLit is a string literal (its object identity is ignored by the
+// analyses; it behaves as an opaque non-pointer value).
+type StringLit struct {
+	P     token.Pos
+	Value string
+}
+
+func (e *StringLit) Pos() token.Pos { return e.P }
+func (e *StringLit) exprNode()      {}
+
+// NullLit is NULL.
+type NullLit struct{ P token.Pos }
+
+func (e *NullLit) Pos() token.Pos { return e.P }
+func (e *NullLit) exprNode()      {}
+
+// Unary is OP X for OP in * & - !.
+type Unary struct {
+	P  token.Pos
+	Op token.Kind
+	X  Expr
+}
+
+func (e *Unary) Pos() token.Pos { return e.P }
+func (e *Unary) exprNode()      {}
+
+// Binary is X OP Y for arithmetic/comparison/logical operators.
+type Binary struct {
+	P    token.Pos
+	Op   token.Kind
+	X, Y Expr
+}
+
+func (e *Binary) Pos() token.Pos { return e.P }
+func (e *Binary) exprNode()      {}
+
+// Index is X[I].
+type Index struct {
+	P token.Pos
+	X Expr
+	I Expr
+}
+
+func (e *Index) Pos() token.Pos { return e.P }
+func (e *Index) exprNode()      {}
+
+// FieldSel is X.Name (Arrow=false) or X->Name (Arrow=true).
+type FieldSel struct {
+	P     token.Pos
+	X     Expr
+	Name  string
+	Arrow bool
+}
+
+func (e *FieldSel) Pos() token.Pos { return e.P }
+func (e *FieldSel) exprNode()      {}
+
+// CallExpr is Fun(Args...); Fun may be an Ident (direct or function-pointer
+// variable) or an arbitrary pointer expression.
+type CallExpr struct {
+	P    token.Pos
+	Fun  Expr
+	Args []Expr
+}
+
+func (e *CallExpr) Pos() token.Pos { return e.P }
+func (e *CallExpr) exprNode()      {}
+
+// MallocExpr is malloc(): a fresh heap allocation site.
+type MallocExpr struct {
+	P token.Pos
+}
+
+func (e *MallocExpr) Pos() token.Pos { return e.P }
+func (e *MallocExpr) exprNode()      {}
+
+// SpawnExpr is spawn(Routine[, Arg]): pthread_create returning a thread_t.
+type SpawnExpr struct {
+	P       token.Pos
+	Routine Expr
+	Arg     Expr // may be nil
+}
+
+func (e *SpawnExpr) Pos() token.Pos { return e.P }
+func (e *SpawnExpr) exprNode()      {}

@@ -1,0 +1,125 @@
+// Package token defines the lexical tokens of MiniC, the C subset used as
+// input language for the analyses (the stand-in for LLVM bitcode described
+// in DESIGN.md).
+package token
+
+import "fmt"
+
+// Kind enumerates token kinds.
+type Kind int
+
+const (
+	ILLEGAL Kind = iota
+	EOF
+
+	IDENT  // foo
+	INT    // 123
+	STRING // "abc" (accepted and ignored by the builder)
+
+	// Operators and delimiters.
+	ASSIGN   // =
+	PLUS     // +
+	MINUS    // -
+	STAR     // *
+	SLASH    // /
+	PERCENT  // %
+	AMP      // &
+	NOT      // !
+	EQ       // ==
+	NEQ      // !=
+	LT       // <
+	GT       // >
+	LE       // <=
+	GE       // >=
+	LAND     // &&
+	LOR      // ||
+	INC      // ++
+	DEC      // --
+	ARROW    // ->
+	DOT      // .
+	COMMA    // ,
+	SEMI     // ;
+	LPAREN   // (
+	RPAREN   // )
+	LBRACE   // {
+	RBRACE   // }
+	LBRACKET // [
+	RBRACKET // ]
+
+	// Keywords.
+	KwInt
+	KwVoid
+	KwChar
+	KwStruct
+	KwIf
+	KwElse
+	KwWhile
+	KwFor
+	KwReturn
+	KwBreak
+	KwContinue
+	KwNull
+	KwMalloc
+	KwFree
+	KwSpawn
+	KwJoin
+	KwLock
+	KwUnlock
+	KwThreadT
+	KwLockT
+)
+
+var kindNames = map[Kind]string{
+	ILLEGAL: "ILLEGAL", EOF: "EOF", IDENT: "IDENT", INT: "INT", STRING: "STRING",
+	ASSIGN: "=", PLUS: "+", MINUS: "-", STAR: "*", SLASH: "/", PERCENT: "%",
+	AMP: "&", NOT: "!", EQ: "==", NEQ: "!=", LT: "<", GT: ">", LE: "<=",
+	GE: ">=", LAND: "&&", LOR: "||", INC: "++", DEC: "--", ARROW: "->",
+	DOT: ".", COMMA: ",", SEMI: ";", LPAREN: "(", RPAREN: ")", LBRACE: "{",
+	RBRACE: "}", LBRACKET: "[", RBRACKET: "]",
+	KwInt: "int", KwVoid: "void", KwChar: "char", KwStruct: "struct",
+	KwIf: "if", KwElse: "else", KwWhile: "while", KwFor: "for",
+	KwReturn: "return", KwBreak: "break", KwContinue: "continue",
+	KwNull: "NULL", KwMalloc: "malloc", KwFree: "free", KwSpawn: "spawn", KwJoin: "join",
+	KwLock: "lock", KwUnlock: "unlock", KwThreadT: "thread_t", KwLockT: "lock_t",
+}
+
+func (k Kind) String() string {
+	if s, ok := kindNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// Keywords maps identifier spellings to keyword kinds.
+var Keywords = map[string]Kind{
+	"int": KwInt, "void": KwVoid, "char": KwChar, "struct": KwStruct,
+	"if": KwIf, "else": KwElse, "while": KwWhile, "for": KwFor,
+	"return": KwReturn, "break": KwBreak, "continue": KwContinue,
+	"NULL": KwNull, "null": KwNull, "malloc": KwMalloc, "free": KwFree, "spawn": KwSpawn,
+	"join": KwJoin, "lock": KwLock, "unlock": KwUnlock,
+	"thread_t": KwThreadT, "lock_t": KwLockT,
+}
+
+// Pos is a source position.
+type Pos struct {
+	Line int
+	Col  int
+}
+
+func (p Pos) String() string { return fmt.Sprintf("%d:%d", p.Line, p.Col) }
+
+// Token is a lexical token with its literal text and position.
+type Token struct {
+	Kind Kind
+	Lit  string
+	Pos  Pos
+}
+
+func (t Token) String() string {
+	switch t.Kind {
+	case IDENT, INT, STRING:
+		return fmt.Sprintf("%s(%q)", t.Kind, t.Lit)
+	default:
+		return t.Kind.String()
+	}
+}

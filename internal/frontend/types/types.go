@@ -1,0 +1,184 @@
+// Package types defines MiniC's small type system: integers, pointers,
+// structs (with named fields resolved to indices), fixed-size arrays
+// (analyzed monolithically, as in the paper), functions, thread handles and
+// locks.
+package types
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Type is implemented by all MiniC types.
+type Type interface {
+	String() string
+	// Equal reports structural equality (structs compare by name).
+	Equal(Type) bool
+}
+
+// Basic is a non-composite type.
+type Basic struct {
+	Name string // "int", "void", "char", "thread_t", "lock_t"
+}
+
+func (b *Basic) String() string { return b.Name }
+func (b *Basic) Equal(t Type) bool {
+	o, ok := t.(*Basic)
+	return ok && o.Name == b.Name
+}
+
+// Canonical basic types.
+var (
+	Int    = &Basic{Name: "int"}
+	Void   = &Basic{Name: "void"}
+	Char   = &Basic{Name: "char"}
+	Thread = &Basic{Name: "thread_t"}
+	Lock   = &Basic{Name: "lock_t"}
+)
+
+// Pointer is a pointer to Elem. A *void pointer has Elem == Void and is
+// assignment-compatible with any pointer (C-style).
+type Pointer struct {
+	Elem Type
+}
+
+func (p *Pointer) String() string { return p.Elem.String() + "*" }
+func (p *Pointer) Equal(t Type) bool {
+	o, ok := t.(*Pointer)
+	return ok && p.Elem.Equal(o.Elem)
+}
+
+// PointerTo returns a pointer type to elem.
+func PointerTo(elem Type) *Pointer { return &Pointer{Elem: elem} }
+
+// Field is a struct member.
+type Field struct {
+	Name string
+	Type Type
+}
+
+// Struct is a named struct type. Structs are nominal: two structs are equal
+// iff their names match.
+type Struct struct {
+	Name   string
+	Fields []Field
+}
+
+func (s *Struct) String() string { return "struct " + s.Name }
+func (s *Struct) Equal(t Type) bool {
+	o, ok := t.(*Struct)
+	return ok && o.Name == s.Name
+}
+
+// FieldIndex returns the index of the named field, or -1.
+func (s *Struct) FieldIndex(name string) int {
+	for i, f := range s.Fields {
+		if f.Name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// Array is a fixed-size array. Arrays are modeled monolithically by the
+// analyses: indexing yields the array object itself.
+type Array struct {
+	Elem Type
+	Len  int
+}
+
+func (a *Array) String() string { return fmt.Sprintf("%s[%d]", a.Elem, a.Len) }
+func (a *Array) Equal(t Type) bool {
+	o, ok := t.(*Array)
+	return ok && o.Len == a.Len && a.Elem.Equal(o.Elem)
+}
+
+// Func is a function type.
+type Func struct {
+	Params []Type
+	Ret    Type
+}
+
+func (f *Func) String() string {
+	parts := make([]string, len(f.Params))
+	for i, p := range f.Params {
+		parts[i] = p.String()
+	}
+	return fmt.Sprintf("%s(%s)", f.Ret, strings.Join(parts, ", "))
+}
+
+func (f *Func) Equal(t Type) bool {
+	o, ok := t.(*Func)
+	if !ok || len(o.Params) != len(f.Params) || !f.Ret.Equal(o.Ret) {
+		return false
+	}
+	for i := range f.Params {
+		if !f.Params[i].Equal(o.Params[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// IsPointerLike reports whether values of t can carry points-to information:
+// pointers, thread handles (which carry abstract fork sites) and functions.
+func IsPointerLike(t Type) bool {
+	switch t := t.(type) {
+	case *Pointer, *Func:
+		return true
+	case *Basic:
+		return t.Name == "thread_t"
+	}
+	return false
+}
+
+// Deref returns the pointee of a pointer type, or nil.
+func Deref(t Type) Type {
+	if p, ok := t.(*Pointer); ok {
+		return p.Elem
+	}
+	return nil
+}
+
+// Underlying struct type of t, looking through one pointer level; nil when
+// t is not struct-shaped.
+func StructOf(t Type) *Struct {
+	switch t := t.(type) {
+	case *Struct:
+		return t
+	case *Pointer:
+		if s, ok := t.Elem.(*Struct); ok {
+			return s
+		}
+	}
+	return nil
+}
+
+// NumFields returns the field count for struct (or array-of-struct) types
+// and 0 otherwise. Arrays report their element's field count so an array of
+// structs still gets field sub-objects collapsed onto the monolithic array.
+func NumFields(t Type) int {
+	switch t := t.(type) {
+	case *Struct:
+		return len(t.Fields)
+	case *Array:
+		return NumFields(t.Elem)
+	}
+	return 0
+}
+
+// ContainsArray reports whether t is or contains an array (such objects are
+// never strong-update targets).
+func ContainsArray(t Type) bool {
+	switch t := t.(type) {
+	case *Array:
+		return true
+	case *Struct:
+		for _, f := range t.Fields {
+			if ContainsArray(f.Type) {
+				return true
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,120 @@
+package types_test
+
+import (
+	"testing"
+
+	"repro/internal/frontend/types"
+)
+
+func TestBasicEquality(t *testing.T) {
+	if !types.Int.Equal(types.Int) || types.Int.Equal(types.Void) {
+		t.Error("basic equality")
+	}
+	if types.Int.String() != "int" || types.Lock.String() != "lock_t" {
+		t.Error("basic names")
+	}
+}
+
+func TestPointerEquality(t *testing.T) {
+	p1 := types.PointerTo(types.Int)
+	p2 := types.PointerTo(types.Int)
+	p3 := types.PointerTo(types.Void)
+	if !p1.Equal(p2) || p1.Equal(p3) || p1.Equal(types.Int) {
+		t.Error("pointer equality")
+	}
+	if p1.String() != "int*" {
+		t.Errorf("pointer string: %s", p1)
+	}
+}
+
+func TestStructNominal(t *testing.T) {
+	a := &types.Struct{Name: "A", Fields: []types.Field{{Name: "x", Type: types.Int}}}
+	a2 := &types.Struct{Name: "A"}
+	b := &types.Struct{Name: "B"}
+	if !a.Equal(a2) || a.Equal(b) {
+		t.Error("structs are nominal")
+	}
+}
+
+func TestArrayEquality(t *testing.T) {
+	a := &types.Array{Elem: types.Int, Len: 4}
+	b := &types.Array{Elem: types.Int, Len: 4}
+	c := &types.Array{Elem: types.Int, Len: 8}
+	if !a.Equal(b) || a.Equal(c) {
+		t.Error("array equality")
+	}
+	if a.String() != "int[4]" {
+		t.Errorf("array string: %s", a)
+	}
+}
+
+func TestFuncEquality(t *testing.T) {
+	f1 := &types.Func{Params: []types.Type{types.Int}, Ret: types.Void}
+	f2 := &types.Func{Params: []types.Type{types.Int}, Ret: types.Void}
+	f3 := &types.Func{Params: []types.Type{types.Int, types.Int}, Ret: types.Void}
+	if !f1.Equal(f2) || f1.Equal(f3) {
+		t.Error("func equality")
+	}
+}
+
+func TestIsPointerLike(t *testing.T) {
+	cases := []struct {
+		t    types.Type
+		want bool
+	}{
+		{types.Int, false},
+		{types.Thread, true},
+		{types.Lock, false},
+		{types.PointerTo(types.Int), true},
+		{&types.Func{Ret: types.Void}, true},
+		{&types.Array{Elem: types.Int, Len: 2}, false},
+	}
+	for _, c := range cases {
+		if got := types.IsPointerLike(c.t); got != c.want {
+			t.Errorf("IsPointerLike(%s) = %v, want %v", c.t, got, c.want)
+		}
+	}
+}
+
+func TestDerefAndStructOf(t *testing.T) {
+	s := &types.Struct{Name: "S"}
+	ps := types.PointerTo(s)
+	if types.Deref(ps) != types.Type(s) {
+		t.Error("Deref")
+	}
+	if types.Deref(types.Int) != nil {
+		t.Error("Deref of non-pointer")
+	}
+	if types.StructOf(ps) != s || types.StructOf(s) != s || types.StructOf(types.Int) != nil {
+		t.Error("StructOf")
+	}
+}
+
+func TestNumFields(t *testing.T) {
+	s := &types.Struct{Name: "S", Fields: []types.Field{
+		{Name: "a", Type: types.Int}, {Name: "b", Type: types.Int}}}
+	if types.NumFields(s) != 2 {
+		t.Error("struct fields")
+	}
+	arr := &types.Array{Elem: s, Len: 4}
+	if types.NumFields(arr) != 2 {
+		t.Error("array of structs reports element fields")
+	}
+	if types.NumFields(types.Int) != 0 {
+		t.Error("scalar fields")
+	}
+}
+
+func TestContainsArray(t *testing.T) {
+	inner := &types.Struct{Name: "I", Fields: []types.Field{
+		{Name: "buf", Type: &types.Array{Elem: types.Int, Len: 8}}}}
+	if !types.ContainsArray(inner) {
+		t.Error("struct with array field")
+	}
+	if types.ContainsArray(types.Int) {
+		t.Error("int has no array")
+	}
+	if !types.ContainsArray(&types.Array{Elem: types.Int, Len: 1}) {
+		t.Error("array is array")
+	}
+}

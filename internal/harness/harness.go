@@ -1,0 +1,262 @@
+// Package harness regenerates the paper's evaluation artifacts — Table 1
+// (benchmark statistics), Table 2 (analysis time and memory of FSAM vs
+// NONSPARSE) and Figure 12 (slowdown of FSAM with each thread-interference
+// phase disabled) — over the synthetic workload suite. It is shared by the
+// fsambench command and the testing.B benchmarks in bench_test.go.
+package harness
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"time"
+
+	fsam "repro"
+	"repro/internal/ir"
+	"repro/internal/pipeline"
+	"repro/internal/workload"
+)
+
+// DefaultScale reproduces the paper's qualitative results in seconds.
+const DefaultScale = 4
+
+// DefaultTimeout stands in for the paper's two-hour NONSPARSE budget.
+const DefaultTimeout = 30 * time.Second
+
+// Table1Row is one line of Table 1.
+type Table1Row struct {
+	Name        string
+	Description string
+	PaperLOC    int
+	GenLOC      int
+	Stmts       int
+	Functions   int
+	Pointers    int
+}
+
+// RunTable1 computes benchmark statistics.
+func RunTable1(scale int) []Table1Row {
+	var rows []Table1Row
+	for _, spec := range workload.Suite {
+		src := workload.GenerateSpec(spec, scale)
+		row := Table1Row{
+			Name:        spec.Name,
+			Description: spec.Description,
+			PaperLOC:    spec.PaperLOC,
+			GenLOC:      workload.LOC(src),
+		}
+		if prog, err := pipeline.Compile(spec.Name, src); err == nil {
+			row.Stmts = prog.NumStmts()
+			row.Functions = len(prog.Funcs)
+			row.Pointers = len(prog.Vars)
+		}
+		rows = append(rows, row)
+	}
+	return rows
+}
+
+// PrintTable1 renders Table 1.
+func PrintTable1(w io.Writer, rows []Table1Row) {
+	fmt.Fprintf(w, "Table 1: Program statistics (scaled reproduction)\n")
+	fmt.Fprintf(w, "%-14s %-38s %9s %7s %7s %6s\n",
+		"Benchmark", "Description", "PaperLOC", "GenLOC", "Stmts", "Funcs")
+	total := 0
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-14s %-38s %9d %7d %7d %6d\n",
+			r.Name, r.Description, r.PaperLOC, r.GenLOC, r.Stmts, r.Functions)
+		total += r.GenLOC
+	}
+	fmt.Fprintf(w, "%-14s %-38s %9d %7d\n", "Total", "", 380659, total)
+}
+
+// Table2Row is one line of Table 2.
+type Table2Row struct {
+	Name      string
+	FSAMTime  time.Duration
+	FSAMBytes uint64
+	NSTime    time.Duration
+	NSBytes   uint64
+	NSOOT     bool
+}
+
+// RunFSAM analyzes one generated benchmark with FSAM and a config.
+func RunFSAM(spec workload.Spec, scale int, cfg fsam.Config) (*fsam.Analysis, time.Duration) {
+	src := workload.GenerateSpec(spec, scale)
+	prog, err := pipeline.Compile(spec.Name, src)
+	if err != nil {
+		panic(fmt.Sprintf("workload %s does not compile: %v", spec.Name, err))
+	}
+	t0 := time.Now()
+	a := fsam.AnalyzeProgram(prog, cfg)
+	return a, time.Since(t0)
+}
+
+// RunNonSparse analyzes one generated benchmark with the baseline.
+func RunNonSparse(spec workload.Spec, scale int, timeout time.Duration) (*fsam.Baseline, time.Duration) {
+	src := workload.GenerateSpec(spec, scale)
+	prog, err := pipeline.Compile(spec.Name, src)
+	if err != nil {
+		panic(fmt.Sprintf("workload %s does not compile: %v", spec.Name, err))
+	}
+	t0 := time.Now()
+	b := fsam.AnalyzeProgramNonSparse(prog, timeout)
+	return b, time.Since(t0)
+}
+
+// RunTable2 measures every benchmark under both analyses.
+func RunTable2(scale int, timeout time.Duration) []Table2Row {
+	var rows []Table2Row
+	for _, spec := range workload.Suite {
+		a, ft := RunFSAM(spec, scale, fsam.Config{})
+		b, nt := RunNonSparse(spec, scale, timeout)
+		rows = append(rows, Table2Row{
+			Name:      spec.Name,
+			FSAMTime:  ft,
+			FSAMBytes: a.Stats.Bytes,
+			NSTime:    nt,
+			NSBytes:   b.Stats.Bytes,
+			NSOOT:     b.OOT,
+		})
+	}
+	return rows
+}
+
+// PrintTable2 renders Table 2 with speedup/memory summary lines matching
+// the paper's reporting style.
+func PrintTable2(w io.Writer, rows []Table2Row) {
+	fmt.Fprintf(w, "Table 2: Analysis time and memory usage\n")
+	fmt.Fprintf(w, "%-14s %12s %12s %12s %12s\n",
+		"Program", "FSAM(s)", "NonSp(s)", "FSAM(MB)", "NonSp(MB)")
+	var spSum, memSum float64
+	var nBoth int
+	for _, r := range rows {
+		ns := fmt.Sprintf("%12.3f", r.NSTime.Seconds())
+		nsm := fmt.Sprintf("%12.2f", float64(r.NSBytes)/1e6)
+		if r.NSOOT {
+			ns = fmt.Sprintf("%12s", "OOT")
+			nsm = fmt.Sprintf("%12s", "OOT")
+		} else {
+			spSum += r.NSTime.Seconds() / r.FSAMTime.Seconds()
+			memSum += float64(r.NSBytes) / float64(r.FSAMBytes)
+			nBoth++
+		}
+		fmt.Fprintf(w, "%-14s %12.3f %s %12.2f %s\n",
+			r.Name, r.FSAMTime.Seconds(), ns, float64(r.FSAMBytes)/1e6, nsm)
+	}
+	if nBoth > 0 {
+		fmt.Fprintf(w, "Average over programs analyzable by both: %.1fx faster, %.1fx less memory\n",
+			spSum/float64(nBoth), memSum/float64(nBoth))
+	}
+	fmt.Fprintf(w, "(paper: 12x faster, 28x less memory; raytrace and x264 OOT for NonSparse)\n")
+}
+
+// Fig12Config names one ablation.
+type Fig12Config struct {
+	Label string
+	Cfg   fsam.Config
+}
+
+// Fig12Configs are the paper's three configurations.
+var Fig12Configs = []Fig12Config{
+	{"No-Interleaving", fsam.Config{NoInterleaving: true}},
+	{"No-Value-Flow", fsam.Config{NoValueFlow: true}},
+	{"No-Lock", fsam.Config{NoLock: true}},
+}
+
+// Fig12Row holds the slowdown factors of one benchmark.
+type Fig12Row struct {
+	Name     string
+	Baseline time.Duration
+	// Slowdown[i] matches Fig12Configs[i].
+	Slowdown [3]float64
+	Times    [3]time.Duration
+}
+
+// resolutionTime is the quantity Figure 12 ratios: the cost of sparse
+// points-to resolution, i.e. def-use graph construction plus the sparse
+// solve — the stages that consume the interference-analysis results (the
+// paper measures "the impact of each phase on the performance of sparse
+// flow-sensitive points-to resolution").
+func resolutionTime(a *fsam.Analysis) time.Duration {
+	return a.Stats.Times.DefUse + a.Stats.Times.Sparse
+}
+
+// fig12Reps repeats each measurement and keeps the minimum, damping noise
+// at millisecond scale.
+const fig12Reps = 3
+
+func minResolution(spec workload.Spec, scale int, cfg fsam.Config) time.Duration {
+	best := time.Duration(0)
+	for i := 0; i < fig12Reps; i++ {
+		a, _ := RunFSAM(spec, scale, cfg)
+		t := resolutionTime(a)
+		if best == 0 || t < best {
+			best = t
+		}
+	}
+	return best
+}
+
+// RunFigure12 measures the ablation slowdowns.
+func RunFigure12(scale int) []Fig12Row {
+	var rows []Fig12Row
+	for _, spec := range workload.Suite {
+		base := minResolution(spec, scale, fsam.Config{})
+		row := Fig12Row{Name: spec.Name, Baseline: base}
+		for i, c := range Fig12Configs {
+			t := minResolution(spec, scale, c.Cfg)
+			row.Times[i] = t
+			row.Slowdown[i] = t.Seconds() / base.Seconds()
+		}
+		rows = append(rows, row)
+	}
+	return rows
+}
+
+// PrintFigure12 renders the ablation slowdowns as an ASCII chart.
+func PrintFigure12(w io.Writer, rows []Fig12Row) {
+	fmt.Fprintf(w, "Figure 12: Slowdown over FSAM with one interference phase disabled\n")
+	fmt.Fprintf(w, "%-14s %16s %16s %16s\n", "Program",
+		Fig12Configs[0].Label, Fig12Configs[1].Label, Fig12Configs[2].Label)
+	var sums [3]float64
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-14s %15.2fx %15.2fx %15.2fx\n",
+			r.Name, r.Slowdown[0], r.Slowdown[1], r.Slowdown[2])
+		for i := range sums {
+			sums[i] += r.Slowdown[i]
+		}
+	}
+	n := float64(len(rows))
+	fmt.Fprintf(w, "%-14s %15.2fx %15.2fx %15.2fx\n", "GeoMean-ish avg",
+		sums[0]/n, sums[1]/n, sums[2]/n)
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-14s |%s\n", r.Name, bar(r.Slowdown[0])+bar(r.Slowdown[1])+bar(r.Slowdown[2]))
+	}
+	fmt.Fprintf(w, "(each group: %s / %s / %s; one # per 0.25x)\n",
+		Fig12Configs[0].Label, Fig12Configs[1].Label, Fig12Configs[2].Label)
+}
+
+func bar(x float64) string {
+	n := int(x * 4)
+	if n > 60 {
+		n = 60
+	}
+	if n < 1 {
+		n = 1
+	}
+	return strings.Repeat("#", n) + " "
+}
+
+// CountPointerStmts tallies loads and stores, a rough pointer-density
+// metric used in Table 1 reporting.
+func CountPointerStmts(prog *ir.Program) (loads, stores int) {
+	for _, s := range prog.Stmts {
+		switch s.(type) {
+		case *ir.Load:
+			loads++
+		case *ir.Store:
+			stores++
+		}
+	}
+	return
+}

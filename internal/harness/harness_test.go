@@ -1,0 +1,90 @@
+package harness_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	fsam "repro"
+	"repro/internal/harness"
+	"repro/internal/workload"
+)
+
+func TestTable1(t *testing.T) {
+	rows := harness.RunTable1(1)
+	if len(rows) != 10 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.GenLOC == 0 || r.Stmts == 0 || r.Functions == 0 {
+			t.Errorf("%s: empty row %+v", r.Name, r)
+		}
+	}
+	// Paper ordering of the first and last entries.
+	if rows[0].Name != "word_count" || rows[9].Name != "x264" {
+		t.Error("suite order must match the paper's Table 1")
+	}
+	var buf bytes.Buffer
+	harness.PrintTable1(&buf, rows)
+	if !strings.Contains(buf.String(), "word_count") || !strings.Contains(buf.String(), "Total") {
+		t.Error("rendered table incomplete")
+	}
+}
+
+func TestTable2SmallScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	rows := harness.RunTable2(1, 30*time.Second)
+	if len(rows) != 10 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.FSAMTime <= 0 || r.FSAMBytes == 0 {
+			t.Errorf("%s: FSAM row empty", r.Name)
+		}
+		if !r.NSOOT {
+			if r.NSTime < r.FSAMTime {
+				t.Errorf("%s: baseline faster than FSAM (%v < %v)", r.Name, r.NSTime, r.FSAMTime)
+			}
+			if r.NSBytes < r.FSAMBytes {
+				t.Errorf("%s: baseline smaller than FSAM", r.Name)
+			}
+		}
+	}
+	var buf bytes.Buffer
+	harness.PrintTable2(&buf, rows)
+	if !strings.Contains(buf.String(), "Average") {
+		t.Error("summary line missing")
+	}
+}
+
+func TestFigure12Render(t *testing.T) {
+	// Rendering only (running the full ablations is covered by the bench
+	// and the fsambench command); construct synthetic rows.
+	rows := []harness.Fig12Row{
+		{Name: "demo", Slowdown: [3]float64{1.2, 8.5, 1.1}},
+	}
+	var buf bytes.Buffer
+	harness.PrintFigure12(&buf, rows)
+	out := buf.String()
+	if !strings.Contains(out, "demo") || !strings.Contains(out, "No-Value-Flow") {
+		t.Errorf("render: %s", out)
+	}
+}
+
+func TestRunFSAMAndNonSparse(t *testing.T) {
+	spec, ok := workload.ByName("word_count")
+	if !ok {
+		t.Fatal("no spec")
+	}
+	a, d := harness.RunFSAM(spec, 1, fsam.Config{})
+	if a == nil || d <= 0 {
+		t.Fatal("RunFSAM")
+	}
+	b, d2 := harness.RunNonSparse(spec, 1, 30*time.Second)
+	if b == nil || d2 <= 0 {
+		t.Fatal("RunNonSparse")
+	}
+}

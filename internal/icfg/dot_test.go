@@ -1,0 +1,29 @@
+package icfg_test
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestWriteDot(t *testing.T) {
+	g := build(t, `
+void w(void *a) { }
+int main() {
+	thread_t t;
+	t = spawn(w, NULL);
+	join(t);
+	return 0;
+}
+`)
+	var sb strings.Builder
+	if err := g.WriteDot(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "cluster_main") || !strings.Contains(out, "cluster_w") {
+		t.Error("function clusters missing")
+	}
+	if !strings.Contains(out, "color=red") {
+		t.Error("fork edges should render red")
+	}
+}

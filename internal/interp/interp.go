@@ -1,0 +1,447 @@
+// Package interp is a concrete interpreter for the partial-SSA IR, used to
+// validate the pointer analyses: it executes a multithreaded program under
+// a seeded thread schedule (and seeded branch outcomes, since the IR does
+// not model integer values) and records, for every executed Load, the
+// pointer value observed. Soundness of an analysis means every observation
+// is contained in the analysis' points-to set for that load's destination.
+//
+// Abstraction-faithful semantics: each abstract object is one memory cell
+// (all allocations of a malloc site share a cell; arrays are one cell;
+// struct fields are separate cells). Any behaviour of this machine is a
+// behaviour the analyses must cover. Locks provide real mutual exclusion
+// and joins really wait, so the machine generates no executions the
+// Pthreads model forbids.
+package interp
+
+import (
+	"fmt"
+
+	"repro/internal/ir"
+)
+
+// Value is a runtime pointer value: the object it addresses (nil for null)
+// plus, for thread handles, the concrete thread it names.
+type Value struct {
+	Obj *ir.Object
+	Tid int // concrete thread id for handle values; -1 otherwise
+}
+
+// Null is the null pointer.
+var Null = Value{Tid: -1}
+
+// Observation records one executed load and the value it read.
+type Observation struct {
+	Load  *ir.Load
+	Value Value
+}
+
+// Result summarizes one run.
+type Result struct {
+	// Completed is true when main returned within the step budget with no
+	// undefined behaviour.
+	Completed bool
+	// Deadlocked is true when no thread could make progress.
+	Deadlocked bool
+	// UB is true when the run hit undefined behaviour (a null dereference)
+	// and was abandoned.
+	UB bool
+	// Steps is the number of statements executed.
+	Steps int
+	// Observations lists every load executed, with the value read.
+	Observations []Observation
+	// ParallelPairs lists memory-access statement pairs observed to be
+	// truly concurrent: the two accesses executed in adjacent steps by
+	// different threads, so both were enabled simultaneously and a sound
+	// MHP analysis must report them may-happen-in-parallel.
+	ParallelPairs [][2]ir.Stmt
+	// FinalMem maps each object to its content at the end of the run
+	// (at main's return for completed runs).
+	FinalMem map[*ir.Object]Value
+}
+
+// rng is a deterministic generator.
+type rng struct{ s uint64 }
+
+func (r *rng) next() uint64 {
+	r.s += 0x9E3779B97F4A7C15
+	z := r.s
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+func (r *rng) intn(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	return int(r.next() % uint64(n))
+}
+
+// frame is one activation record.
+type frame struct {
+	fn      *ir.Function
+	blk     *ir.Block
+	stmtIdx int
+	prevBlk *ir.Block // for phi resolution
+	vars    map[ir.VarID]Value
+	retDst  *ir.Var // caller variable awaiting this frame's return
+}
+
+// thread is one concurrent execution.
+type thread struct {
+	id     int
+	frames []*frame
+	done   bool
+	// blockedJoin is the thread id being joined (-1 when not blocked).
+	blockedJoin int
+	// blockedLock is the lock object being acquired (nil when not).
+	blockedLock *ir.Object
+	// retValue carries a Ret value across the frame pop.
+	retValue Value
+	hasRet   bool
+}
+
+// machine is the whole-program state.
+type machine struct {
+	prog    *ir.Program
+	rng     *rng
+	mem     map[*ir.Object]Value
+	locks   map[*ir.Object]int // lock object → holder thread id
+	threads []*thread
+	result  *Result
+	fuel    int
+	ub      bool // undefined behaviour encountered (null deref etc.)
+
+	// lastMem tracks the previous step's memory access for parallel-pair
+	// recording.
+	lastMemStmt   ir.Stmt
+	lastMemThread int
+	pairSeen      map[[2]ir.StmtID]bool
+	// prevWasMem / curWasMem implement the adjacency check: a pair is
+	// recorded only when the immediately preceding step was a memory
+	// access (by another thread).
+	prevWasMem bool
+	curWasMem  bool
+}
+
+// Run executes prog under the schedule derived from seed, with at most
+// fuel statement executions (<=0 means a generous default).
+func Run(prog *ir.Program, seed int64, fuel int) *Result {
+	if fuel <= 0 {
+		fuel = 200000
+	}
+	m := &machine{
+		prog:          prog,
+		rng:           &rng{s: uint64(seed)*2 + 1},
+		mem:           map[*ir.Object]Value{},
+		locks:         map[*ir.Object]int{},
+		result:        &Result{FinalMem: map[*ir.Object]Value{}},
+		fuel:          fuel,
+		lastMemThread: -1,
+		pairSeen:      map[[2]ir.StmtID]bool{},
+	}
+	if prog.Main == nil {
+		return m.result
+	}
+	m.spawn(prog.Main, Null, nil)
+	m.run()
+	m.result.FinalMem = m.mem
+	m.result.UB = m.ub
+	return m.result
+}
+
+// spawn creates a thread running fn with one argument.
+func (m *machine) spawn(fn *ir.Function, arg Value, _ *thread) *thread {
+	t := &thread{id: len(m.threads), blockedJoin: -1}
+	f := &frame{fn: fn, blk: fn.Entry, vars: map[ir.VarID]Value{}}
+	if len(fn.Params) > 0 {
+		f.vars[fn.Params[0].ID] = arg
+	}
+	t.frames = append(t.frames, f)
+	m.threads = append(m.threads, t)
+	return t
+}
+
+// runnable reports whether t can take a step right now.
+func (m *machine) runnable(t *thread) bool {
+	if t.done {
+		return false
+	}
+	if t.blockedJoin >= 0 {
+		return m.threads[t.blockedJoin].done
+	}
+	if t.blockedLock != nil {
+		holder, held := m.locks[t.blockedLock]
+		return !held || holder == t.id
+	}
+	return true
+}
+
+func (m *machine) run() {
+	mainThread := m.threads[0]
+	for m.fuel > 0 && !m.ub {
+		if mainThread.done {
+			m.result.Completed = true
+			return
+		}
+		// Collect runnable threads.
+		var ready []*thread
+		for _, t := range m.threads {
+			if m.runnable(t) {
+				ready = append(ready, t)
+			}
+		}
+		if len(ready) == 0 {
+			m.result.Deadlocked = true
+			return
+		}
+		t := ready[m.rng.intn(len(ready))]
+		m.prevWasMem = m.curWasMem
+		m.curWasMem = false
+		m.step(t)
+		m.fuel--
+		m.result.Steps++
+	}
+}
+
+// val reads a variable in the current frame (undefined variables are null).
+func (f *frame) val(v *ir.Var) Value {
+	if v == nil {
+		return Null
+	}
+	if x, ok := f.vars[v.ID]; ok {
+		return x
+	}
+	return Null
+}
+
+// step executes one statement of thread t.
+func (m *machine) step(t *thread) {
+	// Clear a resolved block.
+	if t.blockedJoin >= 0 {
+		t.blockedJoin = -1
+	}
+	if t.blockedLock != nil {
+		// The lock is free (runnable said so): acquire it.
+		m.locks[t.blockedLock] = t.id
+		t.blockedLock = nil
+		m.advance(t)
+		return
+	}
+
+	f := t.frames[len(t.frames)-1]
+	if f.stmtIdx >= len(f.blk.Stmts) {
+		m.jump(t, f)
+		return
+	}
+	s := f.blk.Stmts[f.stmtIdx]
+
+	switch s := s.(type) {
+	case *ir.AddrOf:
+		f.vars[s.Dst.ID] = Value{Obj: s.Obj, Tid: -1}
+
+	case *ir.Copy:
+		f.vars[s.Dst.ID] = f.val(s.Src)
+
+	case *ir.Phi:
+		// Select the incoming matching the predecessor block.
+		idx := -1
+		for i, p := range f.blk.Preds {
+			if p == f.prevBlk {
+				idx = i
+				break
+			}
+		}
+		if idx >= 0 && idx < len(s.Incoming) && s.Incoming[idx] != nil {
+			f.vars[s.Dst.ID] = f.val(s.Incoming[idx])
+		} else {
+			f.vars[s.Dst.ID] = Null
+		}
+
+	case *ir.Gep:
+		base := f.val(s.Base)
+		if base.Obj == nil {
+			f.vars[s.Dst.ID] = Null
+		} else {
+			f.vars[s.Dst.ID] = Value{Obj: m.prog.FieldObj(base.Obj, s.Field), Tid: -1}
+		}
+
+	case *ir.Load:
+		addr := f.val(s.Addr)
+		if addr.Obj == nil {
+			m.ub = true // null dereference: abandon the run
+			return
+		}
+		v := m.mem[addr.Obj]
+		f.vars[s.Dst.ID] = v
+		m.result.Observations = append(m.result.Observations, Observation{Load: s, Value: v})
+		m.noteMemStep(t, s)
+
+	case *ir.Store:
+		addr := f.val(s.Addr)
+		if addr.Obj == nil {
+			m.ub = true
+			return
+		}
+		m.mem[addr.Obj] = f.val(s.Src)
+		m.noteMemStep(t, s)
+
+	case *ir.Call:
+		callee := s.Callee
+		if callee == nil {
+			fv := f.val(s.CalleeVar)
+			if fv.Obj != nil && fv.Obj.Kind == ir.ObjFunc {
+				callee = fv.Obj.Func
+			}
+		}
+		if callee == nil || callee.Entry == nil {
+			// External/unresolved call: no-op with null result.
+			if s.Dst != nil {
+				f.vars[s.Dst.ID] = Null
+			}
+			break
+		}
+		nf := &frame{fn: callee, blk: callee.Entry, vars: map[ir.VarID]Value{}, retDst: s.Dst}
+		for i, p := range callee.Params {
+			if i < len(s.Args) {
+				nf.vars[p.ID] = f.val(s.Args[i])
+			}
+		}
+		f.stmtIdx++ // resume after the call on return
+		t.frames = append(t.frames, nf)
+		return
+
+	case *ir.Ret:
+		t.retValue = f.val(s.Val)
+		t.hasRet = s.Val != nil
+		m.popFrame(t)
+		return
+
+	case *ir.Fork:
+		routine := s.Routine
+		if routine == nil {
+			fv := f.val(s.RoutineVar)
+			if fv.Obj != nil && fv.Obj.Kind == ir.ObjFunc {
+				routine = fv.Obj.Func
+			}
+		}
+		if routine != nil && routine.Entry != nil {
+			nt := m.spawn(routine, f.val(s.Arg), t)
+			if s.Dst != nil {
+				f.vars[s.Dst.ID] = Value{Obj: s.Handle, Tid: nt.id}
+			}
+		} else if s.Dst != nil {
+			f.vars[s.Dst.ID] = Null
+		}
+
+	case *ir.Join:
+		h := f.val(s.Handle)
+		if h.Tid >= 0 && h.Tid < len(m.threads) {
+			if !m.threads[h.Tid].done {
+				t.blockedJoin = h.Tid
+				return // retry this statement when unblocked... advance below
+			}
+		}
+		// Joining an invalid handle is UB in Pthreads; treat as no-op.
+
+	case *ir.Lock:
+		lv := f.val(s.Ptr)
+		if lv.Obj == nil {
+			m.ub = true
+			return
+		}
+		if holder, held := m.locks[lv.Obj]; held && holder != t.id {
+			t.blockedLock = lv.Obj
+			return // acquired when unblocked
+		}
+		m.locks[lv.Obj] = t.id
+
+	case *ir.Unlock:
+		lv := f.val(s.Ptr)
+		if lv.Obj != nil {
+			if holder, held := m.locks[lv.Obj]; held && holder == t.id {
+				delete(m.locks, lv.Obj)
+			}
+		}
+	}
+
+	m.advance(t)
+}
+
+// noteMemStep records a memory access and, when the previous step was a
+// memory access by a different thread, the resulting concurrent pair (both
+// statements were enabled at the earlier step, so they are unordered).
+func (m *machine) noteMemStep(t *thread, s ir.Stmt) {
+	if m.lastMemStmt != nil && m.lastMemThread != t.id && m.prevWasMem {
+		key := [2]ir.StmtID{m.lastMemStmt.ID(), s.ID()}
+		if !m.pairSeen[key] {
+			m.pairSeen[key] = true
+			m.result.ParallelPairs = append(m.result.ParallelPairs, [2]ir.Stmt{m.lastMemStmt, s})
+		}
+	}
+	m.lastMemStmt = s
+	m.lastMemThread = t.id
+	m.curWasMem = true
+}
+
+// advance moves past the current statement; a Join that blocked stays put.
+func (m *machine) advance(t *thread) {
+	f := t.frames[len(t.frames)-1]
+	f.stmtIdx++
+	if f.stmtIdx >= len(f.blk.Stmts) {
+		m.jump(t, f)
+	}
+}
+
+// jump transfers control at a block end: random successor (branch outcomes
+// are unmodeled), or function return when the block has none.
+func (m *machine) jump(t *thread, f *frame) {
+	if len(f.blk.Succs) == 0 {
+		// Fall-off without Ret (builder normally prevents this).
+		t.retValue = Null
+		t.hasRet = false
+		m.popFrame(t)
+		return
+	}
+	next := f.blk.Succs[m.rng.intn(len(f.blk.Succs))]
+	f.prevBlk = f.blk
+	f.blk = next
+	f.stmtIdx = 0
+}
+
+// popFrame returns from the top frame, delivering the return value.
+func (m *machine) popFrame(t *thread) {
+	top := t.frames[len(t.frames)-1]
+	t.frames = t.frames[:len(t.frames)-1]
+	if len(t.frames) == 0 {
+		t.done = true
+		// Release any locks still held by the thread (a terminated holder
+		// would otherwise deadlock the schedule; real Pthreads would too,
+		// but for validation we prefer completed runs).
+		for obj, holder := range m.locks {
+			if holder == t.id {
+				delete(m.locks, obj)
+			}
+		}
+		return
+	}
+	caller := t.frames[len(t.frames)-1]
+	if top.retDst != nil {
+		if t.hasRet {
+			caller.vars[top.retDst.ID] = t.retValue
+		} else {
+			caller.vars[top.retDst.ID] = Null
+		}
+	}
+}
+
+// String renders a value for diagnostics.
+func (v Value) String() string {
+	if v.Obj == nil {
+		return "null"
+	}
+	if v.Tid >= 0 {
+		return fmt.Sprintf("%s#t%d", v.Obj.Name, v.Tid)
+	}
+	return v.Obj.Name
+}

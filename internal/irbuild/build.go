@@ -1,0 +1,838 @@
+// Package irbuild lowers a MiniC AST into the partial-SSA IR.
+//
+// Lowering proceeds in two stages, mirroring clang + mem2reg (the paper's
+// toolchain): first every variable — global, local and parameter — is
+// treated as an abstract memory object and all accesses are lowered to
+// AddrOf/Load/Store through fresh temporaries; then the mem2reg pass (in
+// mem2reg.go) promotes non-address-taken scalar locals to top-level SSA
+// variables with Phi statements, leaving exactly the paper's partial SSA
+// form: top-level variables in T (SSA) and address-taken variables in A
+// (accessed only via Load/Store).
+package irbuild
+
+import (
+	"fmt"
+
+	"repro/internal/frontend/ast"
+	"repro/internal/frontend/token"
+	"repro/internal/frontend/types"
+	"repro/internal/ir"
+)
+
+// symbol binds a source name to its memory object and type.
+type symbol struct {
+	obj *ir.Object
+	typ types.Type
+}
+
+// objInfo tracks per-object facts needed by mem2reg.
+type objInfo struct {
+	typ     types.Type
+	escaped bool // user-level &x, aggregate, or otherwise unpromotable
+}
+
+type builder struct {
+	prog *ir.Program
+	file *ast.File
+
+	objInfo map[*ir.Object]*objInfo
+
+	// Per-function state.
+	fn          *ir.Function
+	blk         *ir.Block
+	scopes      []map[string]symbol
+	loopStack   []int
+	loopCounter int
+	breaks      []*ir.Block
+	conts       []*ir.Block
+	tmpCount    int
+	line        int
+}
+
+// newBlock creates a block stamped with the current lexical loop stack.
+func (b *builder) newBlock(comment string) *ir.Block {
+	blk := b.fn.NewBlock(comment)
+	blk.Loops = append([]int(nil), b.loopStack...)
+	return blk
+}
+
+// curLoopID returns the innermost enclosing loop ID (0 when outside loops).
+func (b *builder) curLoopID() int {
+	if len(b.loopStack) == 0 {
+		return 0
+	}
+	return b.loopStack[len(b.loopStack)-1]
+}
+
+// Build lowers file into a finalized partial-SSA program. The returned error
+// reports unresolved names or malformed constructs.
+func Build(file *ast.File) (*ir.Program, error) {
+	b := &builder{
+		prog:    ir.NewProgram(),
+		file:    file,
+		objInfo: map[*ir.Object]*objInfo{},
+	}
+	if err := b.build(); err != nil {
+		return nil, err
+	}
+	return b.prog, nil
+}
+
+// MustBuild parses-and-builds for callers with known-good input.
+func MustBuild(file *ast.File) *ir.Program {
+	p, err := Build(file)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+func (b *builder) build() error {
+	// Declare globals.
+	globalScope := map[string]symbol{}
+	for _, g := range b.file.Globals {
+		obj := b.prog.NewObject(ir.ObjGlobal, g.Name, nil)
+		b.noteObjType(obj, g.Type)
+		globalScope[g.Name] = symbol{obj: obj, typ: g.Type}
+	}
+	b.scopes = []map[string]symbol{globalScope}
+
+	// Declare all functions first so calls and function pointers resolve
+	// regardless of declaration order.
+	for _, fd := range b.file.Funcs {
+		if fd.Body == nil {
+			continue
+		}
+		if b.prog.FuncByName[fd.Name] != nil {
+			return fmt.Errorf("%s: duplicate function %q", fd.P, fd.Name)
+		}
+		b.prog.NewFunc(fd.Name)
+	}
+	if b.prog.Main == nil {
+		return fmt.Errorf("program has no main function")
+	}
+
+	// Inject global initializers at the top of main, in declaration order.
+	var inits []ast.Stmt
+	for _, g := range b.file.Globals {
+		if g.Init != nil {
+			inits = append(inits, &ast.AssignStmt{
+				P:   g.P,
+				LHS: &ast.Ident{P: g.P, Name: g.Name},
+				RHS: g.Init,
+			})
+		}
+	}
+
+	for _, fd := range b.file.Funcs {
+		if fd.Body == nil {
+			continue
+		}
+		pre := inits
+		if fd.Name != "main" {
+			pre = nil
+		}
+		if err := b.buildFunc(fd, pre); err != nil {
+			return err
+		}
+	}
+
+	// Promote scalars and finalize.
+	for _, f := range b.prog.Funcs {
+		ir.RemoveUnreachable(f)
+	}
+	b.mem2reg()
+	b.prog.Finalize()
+	return nil
+}
+
+func (b *builder) noteObjType(obj *ir.Object, t types.Type) {
+	obj.NumFields = types.NumFields(t)
+	if _, isArr := t.(*types.Array); isArr {
+		obj.IsArray = true
+	}
+	b.objInfo[obj] = &objInfo{typ: t}
+}
+
+func (b *builder) pushScope() { b.scopes = append(b.scopes, map[string]symbol{}) }
+func (b *builder) popScope()  { b.scopes = b.scopes[:len(b.scopes)-1] }
+
+func (b *builder) lookup(name string) (symbol, bool) {
+	for i := len(b.scopes) - 1; i >= 0; i-- {
+		if s, ok := b.scopes[i][name]; ok {
+			return s, true
+		}
+	}
+	return symbol{}, false
+}
+
+func (b *builder) declareLocal(name string, t types.Type) symbol {
+	obj := b.prog.NewObject(ir.ObjStack, b.fn.Name+"."+name, b.fn)
+	b.noteObjType(obj, t)
+	s := symbol{obj: obj, typ: t}
+	b.scopes[len(b.scopes)-1][name] = s
+	return s
+}
+
+func (b *builder) temp(prefix string) *ir.Var {
+	b.tmpCount++
+	return b.prog.NewVar(fmt.Sprintf("%s.%s%d", b.fn.Name, prefix, b.tmpCount), b.fn)
+}
+
+func (b *builder) emit(s ir.Stmt) {
+	ir.SetLine(s, b.line)
+	b.blk.Append(s)
+}
+
+func (b *builder) setPos(p token.Pos) { b.line = p.Line }
+
+// buildFunc lowers one function body. pre is a list of statements (global
+// initializers) to lower before the body; only main receives them.
+func (b *builder) buildFunc(fd *ast.FuncDecl, pre []ast.Stmt) error {
+	b.fn = b.prog.FuncByName[fd.Name]
+	b.blk = b.fn.NewBlock("entry")
+	b.tmpCount = 0
+	b.pushScope()
+	defer b.popScope()
+
+	// Parameters: an SSA variable plus a backing local object; the entry
+	// block stores the parameter into its object and mem2reg promotes it
+	// back unless the parameter's address escapes.
+	for _, p := range fd.Params {
+		pv := b.prog.NewVar(fd.Name+"."+p.Name, b.fn)
+		b.fn.Params = append(b.fn.Params, pv)
+		if p.Name == "" {
+			continue
+		}
+		sym := b.declareLocal(p.Name, p.Type)
+		addr := b.temp("a")
+		b.emit(&ir.AddrOf{Dst: addr, Obj: sym.obj})
+		b.emit(&ir.Store{Addr: addr, Src: pv})
+	}
+	if !fd.Ret.Equal(types.Void) {
+		b.fn.RetVar = b.prog.NewVar(fd.Name+".$ret", b.fn)
+	}
+
+	var err error
+	safeLower := func(s ast.Stmt) {
+		if err == nil {
+			err = b.lowerStmt(s)
+		}
+	}
+	for _, s := range pre {
+		safeLower(s)
+	}
+	for _, s := range fd.Body.Stmts {
+		safeLower(s)
+	}
+	if err != nil {
+		return fmt.Errorf("in %s: %w", fd.Name, err)
+	}
+
+	// Implicit return at fall-off.
+	if b.blk != nil && !b.blockTerminated() {
+		b.emit(&ir.Ret{})
+	}
+	return nil
+}
+
+func (b *builder) blockTerminated() bool {
+	n := len(b.blk.Stmts)
+	if n == 0 {
+		return false
+	}
+	_, isRet := b.blk.Stmts[n-1].(*ir.Ret)
+	return isRet
+}
+
+// startBlock switches emission to a fresh or given block.
+func (b *builder) startBlock(blk *ir.Block) { b.blk = blk }
+
+// ---- Statements ----
+
+func (b *builder) lowerStmt(s ast.Stmt) error {
+	b.setPos(s.Pos())
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		b.pushScope()
+		defer b.popScope()
+		for _, st := range s.Stmts {
+			if err := b.lowerStmt(st); err != nil {
+				return err
+			}
+		}
+		return nil
+
+	case *ast.DeclStmt:
+		sym := b.declareLocal(s.Decl.Name, s.Decl.Type)
+		if s.Decl.Init != nil {
+			v, err := b.lowerExpr(s.Decl.Init, s.Decl.Type)
+			if err != nil {
+				return err
+			}
+			addr := b.temp("a")
+			b.emit(&ir.AddrOf{Dst: addr, Obj: sym.obj})
+			b.emit(&ir.Store{Addr: addr, Src: v})
+		}
+		return nil
+
+	case *ast.AssignStmt:
+		hint := b.typeOf(s.LHS)
+		v, err := b.lowerExpr(s.RHS, hint)
+		if err != nil {
+			return err
+		}
+		addr, err := b.lowerAddr(s.LHS, false)
+		if err != nil {
+			return err
+		}
+		b.setPos(s.Pos())
+		b.emit(&ir.Store{Addr: addr, Src: v})
+		return nil
+
+	case *ast.ExprStmt:
+		_, err := b.lowerExpr(s.X, nil)
+		return err
+
+	case *ast.IfStmt:
+		if _, err := b.lowerExpr(s.Cond, nil); err != nil {
+			return err
+		}
+		condBlk := b.blk
+		thenBlk := b.newBlock("if.then")
+		var elseBlk *ir.Block
+		doneBlk := b.newBlock("if.done")
+		condBlk.AddEdge(thenBlk)
+		if s.Else != nil {
+			elseBlk = b.newBlock("if.else")
+			condBlk.AddEdge(elseBlk)
+		} else {
+			condBlk.AddEdge(doneBlk)
+		}
+		b.startBlock(thenBlk)
+		if err := b.lowerStmt(s.Then); err != nil {
+			return err
+		}
+		if !b.blockTerminated() {
+			b.blk.AddEdge(doneBlk)
+		}
+		if s.Else != nil {
+			b.startBlock(elseBlk)
+			if err := b.lowerStmt(s.Else); err != nil {
+				return err
+			}
+			if !b.blockTerminated() {
+				b.blk.AddEdge(doneBlk)
+			}
+		}
+		b.startBlock(doneBlk)
+		return nil
+
+	case *ast.WhileStmt:
+		doneBlk := b.newBlock("while.done")
+		b.loopCounter++
+		b.loopStack = append(b.loopStack, b.loopCounter)
+		headBlk := b.newBlock("while.head")
+		bodyBlk := b.newBlock("while.body")
+		b.blk.AddEdge(headBlk)
+		b.startBlock(headBlk)
+		if _, err := b.lowerExpr(s.Cond, nil); err != nil {
+			b.loopStack = b.loopStack[:len(b.loopStack)-1]
+			return err
+		}
+		b.blk.AddEdge(bodyBlk)
+		b.blk.AddEdge(doneBlk)
+		b.startBlock(bodyBlk)
+		b.breaks = append(b.breaks, doneBlk)
+		b.conts = append(b.conts, headBlk)
+		err := b.lowerStmt(s.Body)
+		b.breaks = b.breaks[:len(b.breaks)-1]
+		b.conts = b.conts[:len(b.conts)-1]
+		if err != nil {
+			b.loopStack = b.loopStack[:len(b.loopStack)-1]
+			return err
+		}
+		if !b.blockTerminated() {
+			b.blk.AddEdge(headBlk)
+		}
+		b.loopStack = b.loopStack[:len(b.loopStack)-1]
+		b.startBlock(doneBlk)
+		return nil
+
+	case *ast.ForStmt:
+		b.pushScope()
+		defer b.popScope()
+		if s.Init != nil {
+			if err := b.lowerStmt(s.Init); err != nil {
+				return err
+			}
+		}
+		doneBlk := b.newBlock("for.done")
+		b.loopCounter++
+		b.loopStack = append(b.loopStack, b.loopCounter)
+		popLoop := func() { b.loopStack = b.loopStack[:len(b.loopStack)-1] }
+		headBlk := b.newBlock("for.head")
+		bodyBlk := b.newBlock("for.body")
+		postBlk := b.newBlock("for.post")
+		b.blk.AddEdge(headBlk)
+		b.startBlock(headBlk)
+		if s.Cond != nil {
+			if _, err := b.lowerExpr(s.Cond, nil); err != nil {
+				popLoop()
+				return err
+			}
+		}
+		b.blk.AddEdge(bodyBlk)
+		b.blk.AddEdge(doneBlk)
+		b.startBlock(bodyBlk)
+		b.breaks = append(b.breaks, doneBlk)
+		b.conts = append(b.conts, postBlk)
+		err := b.lowerStmt(s.Body)
+		b.breaks = b.breaks[:len(b.breaks)-1]
+		b.conts = b.conts[:len(b.conts)-1]
+		if err != nil {
+			popLoop()
+			return err
+		}
+		if !b.blockTerminated() {
+			b.blk.AddEdge(postBlk)
+		}
+		b.startBlock(postBlk)
+		if s.Post != nil {
+			if err := b.lowerStmt(s.Post); err != nil {
+				popLoop()
+				return err
+			}
+		}
+		b.blk.AddEdge(headBlk)
+		popLoop()
+		b.startBlock(doneBlk)
+		return nil
+
+	case *ast.ReturnStmt:
+		var v *ir.Var
+		if s.X != nil {
+			var err error
+			v, err = b.lowerExpr(s.X, nil)
+			if err != nil {
+				return err
+			}
+		}
+		b.setPos(s.Pos())
+		b.emit(&ir.Ret{Val: v})
+		b.startBlock(b.newBlock("dead"))
+		return nil
+
+	case *ast.BreakStmt:
+		if len(b.breaks) == 0 {
+			return fmt.Errorf("%s: break outside loop", s.P)
+		}
+		b.blk.AddEdge(b.breaks[len(b.breaks)-1])
+		b.startBlock(b.newBlock("dead"))
+		return nil
+
+	case *ast.ContinueStmt:
+		if len(b.conts) == 0 {
+			return fmt.Errorf("%s: continue outside loop", s.P)
+		}
+		b.blk.AddEdge(b.conts[len(b.conts)-1])
+		b.startBlock(b.newBlock("dead"))
+		return nil
+
+	case *ast.JoinStmt:
+		h, err := b.lowerExpr(s.Handle, types.Thread)
+		if err != nil {
+			return err
+		}
+		b.setPos(s.Pos())
+		j := &ir.Join{Handle: h}
+		j.InLoop = len(b.loopStack) > 0
+		j.LoopID = b.curLoopID()
+		b.emit(j)
+		return nil
+
+	case *ast.FreeStmt:
+		v, err := b.lowerExpr(s.X, nil)
+		if err != nil {
+			return err
+		}
+		b.setPos(s.Pos())
+		b.emit(&ir.Free{Ptr: v})
+		return nil
+
+	case *ast.LockStmt:
+		ptr, err := b.lowerExpr(s.Ptr, types.PointerTo(types.Lock))
+		if err != nil {
+			return err
+		}
+		b.setPos(s.Pos())
+		b.emit(&ir.Lock{Ptr: ptr})
+		return nil
+
+	case *ast.UnlockStmt:
+		ptr, err := b.lowerExpr(s.Ptr, types.PointerTo(types.Lock))
+		if err != nil {
+			return err
+		}
+		b.setPos(s.Pos())
+		b.emit(&ir.Unlock{Ptr: ptr})
+		return nil
+	}
+	return fmt.Errorf("%s: unsupported statement %T", s.Pos(), s)
+}
+
+// ---- Expressions ----
+
+// lowerExpr lowers e to a value held in a fresh or existing top-level
+// variable. hint, when non-nil, types untyped allocations (malloc).
+func (b *builder) lowerExpr(e ast.Expr, hint types.Type) (*ir.Var, error) {
+	b.setPos(e.Pos())
+	switch e := e.(type) {
+	case *ast.IntLit, *ast.StringLit, *ast.NullLit:
+		// Opaque non-pointer values: a fresh variable with no definition
+		// (its points-to set is empty, which models NULL and integers).
+		return b.temp("k"), nil
+
+	case *ast.Ident:
+		if sym, ok := b.lookup(e.Name); ok {
+			// Array-typed variables decay to the array's address.
+			if _, isArr := sym.typ.(*types.Array); isArr {
+				addr := b.temp("a")
+				b.emit(&ir.AddrOf{Dst: addr, Obj: sym.obj})
+				return addr, nil
+			}
+			addr := b.temp("a")
+			b.emit(&ir.AddrOf{Dst: addr, Obj: sym.obj})
+			val := b.temp("t")
+			b.emit(&ir.Load{Dst: val, Addr: addr})
+			return val, nil
+		}
+		if f := b.prog.FuncByName[e.Name]; f != nil {
+			fp := b.temp("fp")
+			b.emit(&ir.AddrOf{Dst: fp, Obj: f.Obj})
+			return fp, nil
+		}
+		return nil, fmt.Errorf("%s: undefined name %q", e.P, e.Name)
+
+	case *ast.Unary:
+		switch e.Op {
+		case token.STAR:
+			addr, err := b.lowerExpr(e.X, nil)
+			if err != nil {
+				return nil, err
+			}
+			val := b.temp("t")
+			b.setPos(e.Pos())
+			b.emit(&ir.Load{Dst: val, Addr: addr})
+			return val, nil
+		case token.AMP:
+			return b.lowerAddr(e.X, true)
+		default: // arithmetic/logical: operand effects only
+			if _, err := b.lowerExpr(e.X, nil); err != nil {
+				return nil, err
+			}
+			return b.temp("k"), nil
+		}
+
+	case *ast.Binary:
+		if _, err := b.lowerExpr(e.X, nil); err != nil {
+			return nil, err
+		}
+		if _, err := b.lowerExpr(e.Y, nil); err != nil {
+			return nil, err
+		}
+		return b.temp("k"), nil
+
+	case *ast.Index, *ast.FieldSel:
+		addr, err := b.lowerAddr(e, false)
+		if err != nil {
+			return nil, err
+		}
+		// An array-typed element (e.g. field of array type) decays to its
+		// address rather than being loaded.
+		if t := b.typeOf(e); t != nil {
+			if _, isArr := t.(*types.Array); isArr {
+				return addr, nil
+			}
+		}
+		val := b.temp("t")
+		b.setPos(e.Pos())
+		b.emit(&ir.Load{Dst: val, Addr: addr})
+		return val, nil
+
+	case *ast.MallocExpr:
+		obj := b.prog.NewObject(ir.ObjHeap, fmt.Sprintf("heap@%s:%d", b.fn.Name, e.P.Line), b.fn)
+		if pt := types.Deref(orVoidPtr(hint)); pt != nil {
+			obj.NumFields = types.NumFields(pt)
+			if _, isArr := pt.(*types.Array); isArr {
+				obj.IsArray = true
+			}
+			b.objInfo[obj] = &objInfo{typ: pt, escaped: true}
+		} else {
+			b.objInfo[obj] = &objInfo{escaped: true}
+		}
+		dst := b.temp("m")
+		b.emit(&ir.AddrOf{Dst: dst, Obj: obj})
+		return dst, nil
+
+	case *ast.SpawnExpr:
+		return b.lowerSpawn(e)
+
+	case *ast.CallExpr:
+		return b.lowerCall(e)
+	}
+	return nil, fmt.Errorf("%s: unsupported expression %T", e.Pos(), e)
+}
+
+func orVoidPtr(t types.Type) types.Type {
+	if t == nil {
+		return types.PointerTo(types.Void)
+	}
+	return t
+}
+
+func (b *builder) lowerSpawn(e *ast.SpawnExpr) (*ir.Var, error) {
+	fork := &ir.Fork{}
+	if id, ok := e.Routine.(*ast.Ident); ok {
+		if _, isVar := b.lookup(id.Name); !isVar {
+			if f := b.prog.FuncByName[id.Name]; f != nil {
+				fork.Routine = f
+				f.IsThreadEntry = true
+			} else {
+				return nil, fmt.Errorf("%s: undefined spawn routine %q", id.P, id.Name)
+			}
+		}
+	}
+	if fork.Routine == nil {
+		rv, err := b.lowerExpr(e.Routine, nil)
+		if err != nil {
+			return nil, err
+		}
+		fork.RoutineVar = rv
+	}
+	if e.Arg != nil {
+		av, err := b.lowerExpr(e.Arg, nil)
+		if err != nil {
+			return nil, err
+		}
+		fork.Arg = av
+	}
+	b.setPos(e.Pos())
+	fork.Dst = b.temp("tid")
+	fork.Handle = b.prog.NewObject(ir.ObjThread, fmt.Sprintf("thread@%s:%d", b.fn.Name, e.P.Line), b.fn)
+	fork.InLoop = len(b.loopStack) > 0
+	fork.LoopID = b.curLoopID()
+	b.emit(fork)
+	return fork.Dst, nil
+}
+
+func (b *builder) lowerCall(e *ast.CallExpr) (*ir.Var, error) {
+	call := &ir.Call{}
+	resultUsed := true // conservatively materialize a result variable
+
+	if id, ok := e.Fun.(*ast.Ident); ok {
+		if _, isVar := b.lookup(id.Name); !isVar {
+			f := b.prog.FuncByName[id.Name]
+			if f == nil {
+				// Calls to undeclared externals are modeled as no-ops with an
+				// opaque result (C-style implicit declaration).
+				for _, a := range e.Args {
+					if _, err := b.lowerExpr(a, nil); err != nil {
+						return nil, err
+					}
+				}
+				return b.temp("k"), nil
+			}
+			call.Callee = f
+		}
+	}
+	if call.Callee == nil {
+		fv, err := b.lowerExpr(e.Fun, nil)
+		if err != nil {
+			return nil, err
+		}
+		call.CalleeVar = fv
+	}
+	for _, a := range e.Args {
+		av, err := b.lowerExpr(a, nil)
+		if err != nil {
+			return nil, err
+		}
+		call.Args = append(call.Args, av)
+	}
+	if resultUsed {
+		call.Dst = b.temp("r")
+	}
+	b.setPos(e.Pos())
+	b.emit(call)
+	return call.Dst, nil
+}
+
+// lowerAddr lowers e as an lvalue, returning a variable holding its address.
+// escaping marks whether the address flows somewhere other than an
+// immediately enclosing direct Load/Store (user-level &x), which disables
+// promotion of the root object.
+func (b *builder) lowerAddr(e ast.Expr, escaping bool) (*ir.Var, error) {
+	b.setPos(e.Pos())
+	switch e := e.(type) {
+	case *ast.Ident:
+		if sym, ok := b.lookup(e.Name); ok {
+			if escaping {
+				b.markEscaped(sym.obj)
+			}
+			addr := b.temp("a")
+			b.emit(&ir.AddrOf{Dst: addr, Obj: sym.obj})
+			return addr, nil
+		}
+		if f := b.prog.FuncByName[e.Name]; f != nil {
+			// &funcname == funcname: the function object's address.
+			fp := b.temp("fp")
+			b.emit(&ir.AddrOf{Dst: fp, Obj: f.Obj})
+			return fp, nil
+		}
+		return nil, fmt.Errorf("%s: undefined name %q", e.P, e.Name)
+
+	case *ast.Unary:
+		if e.Op == token.STAR {
+			// &*p == p; the lvalue *p has address value(p).
+			return b.lowerExpr(e.X, nil)
+		}
+		return nil, fmt.Errorf("%s: expression is not an lvalue", e.P)
+
+	case *ast.FieldSel:
+		var base *ir.Var
+		var baseType types.Type
+		var err error
+		if e.Arrow {
+			base, err = b.lowerExpr(e.X, nil)
+			baseType = types.Deref(orVoidPtr(b.typeOf(e.X)))
+		} else {
+			// x.f requires x to be an lvalue; its object is address-exposed
+			// through the field access.
+			base, err = b.lowerAddr(e.X, true)
+			baseType = b.typeOf(e.X)
+		}
+		if err != nil {
+			return nil, err
+		}
+		st, _ := baseType.(*types.Struct)
+		idx := -1
+		if st != nil {
+			idx = st.FieldIndex(e.Name)
+		}
+		if idx < 0 {
+			return nil, fmt.Errorf("%s: unknown field %q", e.P, e.Name)
+		}
+		dst := b.temp("f")
+		b.setPos(e.Pos())
+		b.emit(&ir.Gep{Dst: dst, Base: base, Field: idx})
+		return dst, nil
+
+	case *ast.Index:
+		// Arrays are monolithic: the element address aliases the array
+		// object. For pointers, p[i] aliases *p.
+		if _, err := b.lowerExpr(e.I, nil); err != nil {
+			return nil, err
+		}
+		xt := b.typeOf(e.X)
+		if _, isArr := xt.(*types.Array); isArr {
+			base, err := b.lowerAddr(e.X, true)
+			if err != nil {
+				return nil, err
+			}
+			dst := b.temp("e")
+			b.setPos(e.Pos())
+			b.emit(&ir.Gep{Dst: dst, Base: base, Field: -1})
+			return dst, nil
+		}
+		base, err := b.lowerExpr(e.X, nil)
+		if err != nil {
+			return nil, err
+		}
+		dst := b.temp("e")
+		b.setPos(e.Pos())
+		b.emit(&ir.Gep{Dst: dst, Base: base, Field: -1})
+		return dst, nil
+	}
+	return nil, fmt.Errorf("%s: expression is not an lvalue (%T)", e.Pos(), e)
+}
+
+// markEscaped records that obj's address escapes, disabling promotion.
+func (b *builder) markEscaped(obj *ir.Object) {
+	if info := b.objInfo[obj]; info != nil {
+		info.escaped = true
+	}
+}
+
+// ---- Type inference (best effort; used for field indices and hints) ----
+
+func (b *builder) typeOf(e ast.Expr) types.Type {
+	switch e := e.(type) {
+	case *ast.Ident:
+		if sym, ok := b.lookup(e.Name); ok {
+			return sym.typ
+		}
+		if f := b.prog.FuncByName[e.Name]; f != nil {
+			for _, fd := range b.file.Funcs {
+				if fd.Name == e.Name {
+					return fd.Signature()
+				}
+			}
+			_ = f
+		}
+		return nil
+	case *ast.IntLit, *ast.Binary:
+		return types.Int
+	case *ast.StringLit:
+		return types.PointerTo(types.Char)
+	case *ast.NullLit:
+		return types.PointerTo(types.Void)
+	case *ast.Unary:
+		switch e.Op {
+		case token.STAR:
+			return types.Deref(orVoidPtr(b.typeOf(e.X)))
+		case token.AMP:
+			if t := b.typeOf(e.X); t != nil {
+				return types.PointerTo(t)
+			}
+			return types.PointerTo(types.Void)
+		}
+		return types.Int
+	case *ast.FieldSel:
+		var st *types.Struct
+		if e.Arrow {
+			st, _ = types.Deref(orVoidPtr(b.typeOf(e.X))).(*types.Struct)
+		} else {
+			st, _ = b.typeOf(e.X).(*types.Struct)
+		}
+		if st != nil {
+			if i := st.FieldIndex(e.Name); i >= 0 {
+				return st.Fields[i].Type
+			}
+		}
+		return nil
+	case *ast.Index:
+		switch xt := b.typeOf(e.X).(type) {
+		case *types.Array:
+			return xt.Elem
+		case *types.Pointer:
+			return xt.Elem
+		}
+		return nil
+	case *ast.CallExpr:
+		if ft, ok := b.typeOf(e.Fun).(*types.Func); ok {
+			return ft.Ret
+		}
+		if pt, ok := b.typeOf(e.Fun).(*types.Pointer); ok {
+			if ft, ok := pt.Elem.(*types.Func); ok {
+				return ft.Ret
+			}
+		}
+		return nil
+	case *ast.MallocExpr:
+		return types.PointerTo(types.Void)
+	case *ast.SpawnExpr:
+		return types.Thread
+	}
+	return nil
+}

@@ -1,0 +1,261 @@
+package irbuild_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/frontend/parser"
+	"repro/internal/ir"
+	"repro/internal/irbuild"
+)
+
+// compile parses and lowers src, failing the test on any error.
+func compile(t *testing.T, src string) *ir.Program {
+	t.Helper()
+	f, errs := parser.Parse("test.mc", src)
+	for _, e := range errs {
+		t.Errorf("parse error: %v", e)
+	}
+	if len(errs) > 0 {
+		t.FailNow()
+	}
+	p, err := irbuild.Build(f)
+	if err != nil {
+		t.Fatalf("build: %v", err)
+	}
+	return p
+}
+
+func TestBuildFig1a(t *testing.T) {
+	// Paper Figure 1(a), transcribed into MiniC.
+	p := compile(t, `
+int x; int y; int z;
+int *p; int *q; int *r; int *c;
+
+void foo(void *arg) {
+	*p = q;
+}
+
+int main() {
+	p = &x; q = &y; r = &z;
+	thread_t t;
+	t = spawn(foo, NULL);
+	*p = r;
+	c = *p;
+	return 0;
+}
+`)
+	if p.Main == nil {
+		t.Fatal("no main")
+	}
+	var forks, stores, loads int
+	for _, s := range p.Stmts {
+		switch s.(type) {
+		case *ir.Fork:
+			forks++
+		case *ir.Store:
+			stores++
+		case *ir.Load:
+			loads++
+		}
+	}
+	if forks != 1 {
+		t.Errorf("forks = %d, want 1", forks)
+	}
+	if stores < 5 { // p,q,r global init stores + *p=r + *p=q + c=...
+		t.Errorf("stores = %d, want >= 5", stores)
+	}
+	if loads < 2 {
+		t.Errorf("loads = %d, want >= 2", loads)
+	}
+}
+
+func TestMem2RegPromotesScalars(t *testing.T) {
+	p := compile(t, `
+int g;
+int main() {
+	int i;
+	int *q;
+	i = 0;
+	q = &g;
+	while (i < 10) {
+		i = i + 1;
+	}
+	return i;
+}
+`)
+	// i and q are non-escaping scalars: no stack objects for them should be
+	// accessed via Load/Store, and a Phi should exist for i.
+	hasPhi := false
+	for _, s := range p.Stmts {
+		switch s := s.(type) {
+		case *ir.Phi:
+			hasPhi = true
+		case *ir.AddrOf:
+			if s.Obj.Kind == ir.ObjStack {
+				t.Errorf("unpromoted stack access: %s", s)
+			}
+		}
+	}
+	if !hasPhi {
+		t.Error("expected a phi for loop variable i")
+	}
+}
+
+func TestEscapedLocalNotPromoted(t *testing.T) {
+	p := compile(t, `
+int *leak(int *x) { return x; }
+int main() {
+	int a;
+	int *p;
+	p = &a;
+	*p = 3;
+	return 0;
+}
+`)
+	found := false
+	for _, s := range p.Stmts {
+		if a, ok := s.(*ir.AddrOf); ok && a.Obj.Kind == ir.ObjStack && strings.Contains(a.Obj.Name, "main.a") {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("escaped local a should remain a memory object")
+	}
+}
+
+func TestStructFieldGep(t *testing.T) {
+	p := compile(t, `
+struct S { int x; int *ptr; };
+struct S gs;
+int gv;
+int main() {
+	struct S *ps;
+	ps = &gs;
+	ps->ptr = &gv;
+	gs.x = 1;
+	return 0;
+}
+`)
+	geps := 0
+	for _, s := range p.Stmts {
+		if g, ok := s.(*ir.Gep); ok && g.Field >= 0 {
+			geps++
+		}
+	}
+	if geps < 2 {
+		t.Errorf("field geps = %d, want >= 2", geps)
+	}
+}
+
+func TestArrayMonolithic(t *testing.T) {
+	p := compile(t, `
+int main() {
+	thread_t tids[4];
+	int i;
+	for (i = 0; i < 4; i++) {
+		tids[i] = spawn(worker, NULL);
+	}
+	for (i = 0; i < 4; i++) {
+		join(tids[i]);
+	}
+	return 0;
+}
+void worker(void *a) { }
+`)
+	var fork *ir.Fork
+	var join *ir.Join
+	for _, s := range p.Stmts {
+		switch s := s.(type) {
+		case *ir.Fork:
+			fork = s
+		case *ir.Join:
+			join = s
+		}
+	}
+	if fork == nil || join == nil {
+		t.Fatal("missing fork or join")
+	}
+	if !fork.InLoop || !join.InLoop {
+		t.Error("fork/join should be marked InLoop")
+	}
+	if fork.Routine == nil || fork.Routine.Name != "worker" {
+		t.Errorf("fork routine = %v", fork.Routine)
+	}
+}
+
+func TestComplexStatementDecomposition(t *testing.T) {
+	// *p = *q must decompose into a load feeding a store (paper Fig. 3).
+	p := compile(t, `
+int a; int b;
+int *pa; int *pb;
+int **p; int **q;
+int main() {
+	pa = &a; pb = &b;
+	p = &pa; q = &pb;
+	*p = *q;
+	return 0;
+}
+`)
+	hasLoadStore := false
+	for _, s := range p.Stmts {
+		if st, ok := s.(*ir.Store); ok {
+			_ = st
+			hasLoadStore = true
+		}
+	}
+	if !hasLoadStore {
+		t.Error("expected stores from decomposition")
+	}
+}
+
+func TestLockNotPromoted(t *testing.T) {
+	p := compile(t, `
+lock_t gl;
+int main() {
+	lock(&gl);
+	unlock(&gl);
+	return 0;
+}
+`)
+	var locks, unlocks int
+	for _, s := range p.Stmts {
+		switch s.(type) {
+		case *ir.Lock:
+			locks++
+		case *ir.Unlock:
+			unlocks++
+		}
+	}
+	if locks != 1 || unlocks != 1 {
+		t.Errorf("locks=%d unlocks=%d, want 1 each", locks, unlocks)
+	}
+}
+
+func TestProgramStringer(t *testing.T) {
+	p := compile(t, `
+int g;
+int main() { g = 1; return 0; }
+`)
+	s := p.String()
+	if !strings.Contains(s, "func main(") {
+		t.Errorf("program string missing main: %s", s)
+	}
+}
+
+func TestUndefinedNameError(t *testing.T) {
+	f, errs := parser.Parse("bad.mc", `int main() { zzz = 1; return 0; }`)
+	if len(errs) > 0 {
+		t.Fatalf("unexpected parse errors: %v", errs)
+	}
+	if _, err := irbuild.Build(f); err == nil {
+		t.Error("expected build error for undefined name")
+	}
+}
+
+func TestNoMainError(t *testing.T) {
+	f, _ := parser.Parse("nomain.mc", `int foo() { return 0; }`)
+	if _, err := irbuild.Build(f); err == nil {
+		t.Error("expected error for missing main")
+	}
+}

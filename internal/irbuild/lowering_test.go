@@ -1,0 +1,275 @@
+package irbuild_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/ir"
+)
+
+// TestGoldenIR pins the exact lowering of a small program, as a regression
+// anchor for the builder and mem2reg.
+func TestGoldenIR(t *testing.T) {
+	p := compile(t, `
+int x;
+int *g;
+int main() {
+	int *q;
+	q = &x;
+	g = q;
+	return 0;
+}
+`)
+	got := p.String()
+	// q is promoted (no stack object); g is a global accessed via
+	// AddrOf+Store; the store's source is the promoted q value.
+	for _, want := range []string{
+		"func main(", "= &x", "= &g", "ret",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("golden IR missing %q:\n%s", want, got)
+		}
+	}
+	if strings.Contains(got, "main.q") && strings.Contains(got, "&main.q") {
+		t.Errorf("q must be promoted:\n%s", got)
+	}
+}
+
+func TestBreakAndContinueEdges(t *testing.T) {
+	p := compile(t, `
+int g;
+int main() {
+	int i;
+	for (i = 0; i < 10; i++) {
+		if (i > 5) { break; }
+		if (i > 2) { continue; }
+		g = i;
+	}
+	g = 0;
+	return 0;
+}
+`)
+	// Must build a connected CFG with a single Ret reachable.
+	rets := 0
+	for _, s := range p.Stmts {
+		if _, ok := s.(*ir.Ret); ok {
+			rets++
+		}
+	}
+	if rets != 1 {
+		t.Errorf("rets = %d, want 1", rets)
+	}
+}
+
+func TestWhileWithBreakOnly(t *testing.T) {
+	p := compile(t, `
+int g;
+int main() {
+	while (1) {
+		g = 1;
+		break;
+	}
+	return 0;
+}
+`)
+	if p.Main == nil {
+		t.Fatal("no main")
+	}
+}
+
+func TestNestedLoopsLoopIDs(t *testing.T) {
+	p := compile(t, `
+void w(void *a) { }
+int main() {
+	int i; int j;
+	for (i = 0; i < 2; i++) {
+		for (j = 0; j < 2; j++) {
+			thread_t t;
+			t = spawn(w, NULL);
+		}
+	}
+	return 0;
+}
+`)
+	var fork *ir.Fork
+	for _, s := range p.Stmts {
+		if f, ok := s.(*ir.Fork); ok {
+			fork = f
+		}
+	}
+	if fork == nil || !fork.InLoop || fork.LoopID == 0 {
+		t.Fatalf("fork loop info: %+v", fork)
+	}
+	// The fork's block must carry both enclosing loop IDs.
+	if len(fork.Parent().Loops) != 2 {
+		t.Errorf("fork block loops = %v, want depth 2", fork.Parent().Loops)
+	}
+}
+
+func TestReturnValueWiring(t *testing.T) {
+	p := compile(t, `
+int x;
+int *make() { return &x; }
+int main() {
+	int *r;
+	r = make();
+	return 0;
+}
+`)
+	mk := p.FuncByName["make"]
+	if mk.RetVar == nil {
+		t.Fatal("make must have a RetVar")
+	}
+	found := false
+	for _, s := range p.Stmts {
+		if r, ok := s.(*ir.Ret); ok && ir.StmtFunc(r) == mk && r.Val != nil {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("make's return must carry a value")
+	}
+}
+
+func TestVoidFunctionNoRetVar(t *testing.T) {
+	p := compile(t, `
+void nop() { }
+int main() { nop(); return 0; }
+`)
+	if p.FuncByName["nop"].RetVar != nil {
+		t.Error("void function must have no RetVar")
+	}
+}
+
+func TestParamAddressEscape(t *testing.T) {
+	// Taking a parameter's address keeps it a memory object.
+	p := compile(t, `
+int *g;
+void f(int v) {
+	g = &v;
+}
+int main() {
+	f(3);
+	return 0;
+}
+`)
+	found := false
+	for _, o := range p.Objects {
+		if o.Kind == ir.ObjStack && strings.Contains(o.Name, "f.v") {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("address-taken parameter must stay a stack object")
+	}
+	// And stores of the incoming value into it must remain.
+	stores := 0
+	for _, s := range p.Stmts {
+		if st, ok := s.(*ir.Store); ok && ir.StmtFunc(st).Name == "f" {
+			stores++
+		}
+	}
+	if stores == 0 {
+		t.Error("parameter spill store must remain")
+	}
+}
+
+func TestShadowing(t *testing.T) {
+	p := compile(t, `
+int x;
+int *g1; int *g2;
+int main() {
+	g1 = &x;
+	{
+		int x;
+		int *lp;
+		lp = &x;
+		g2 = lp;
+	}
+	return 0;
+}
+`)
+	// g1 points to the global x, g2 to the local x: distinct objects.
+	var globalX, localX bool
+	for _, o := range p.Objects {
+		if o.Name == "x" && o.Kind == ir.ObjGlobal {
+			globalX = true
+		}
+		if strings.Contains(o.Name, "main.x") && o.Kind == ir.ObjStack {
+			localX = true
+		}
+	}
+	if !globalX || !localX {
+		t.Errorf("shadowed variables must have distinct objects (global=%v local=%v)", globalX, localX)
+	}
+}
+
+func TestFreeLowering(t *testing.T) {
+	p := compile(t, `
+int main() {
+	int *p;
+	p = malloc();
+	free(p);
+	return 0;
+}
+`)
+	frees := 0
+	for _, s := range p.Stmts {
+		if _, ok := s.(*ir.Free); ok {
+			frees++
+		}
+	}
+	if frees != 1 {
+		t.Errorf("frees = %d, want 1", frees)
+	}
+}
+
+func TestMallocTypeHint(t *testing.T) {
+	p := compile(t, `
+struct S { int *a; int *b; int *c; };
+struct S *ps;
+int main() {
+	ps = malloc();
+	return 0;
+}
+`)
+	found := false
+	for _, o := range p.Objects {
+		if o.Kind == ir.ObjHeap && o.NumFields == 3 {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("heap object must inherit the struct field count from the assignment hint")
+	}
+}
+
+func TestStringLiteralOpaque(t *testing.T) {
+	p := compile(t, `
+char *name;
+int main() {
+	name = "hello";
+	return 0;
+}
+`)
+	if p.Main == nil {
+		t.Fatal("no main")
+	}
+}
+
+func TestDoubleDeclarationDifferentScopes(t *testing.T) {
+	compile(t, `
+int main() {
+	int i;
+	for (i = 0; i < 2; i++) {
+		int t;
+		t = i;
+	}
+	for (i = 0; i < 2; i++) {
+		int t;
+		t = i + 1;
+	}
+	return 0;
+}
+`)
+}

@@ -1,0 +1,234 @@
+package irbuild
+
+import (
+	"repro/internal/dom"
+	"repro/internal/frontend/types"
+	"repro/internal/ir"
+)
+
+// mem2reg promotes every non-escaping scalar stack object to a top-level SSA
+// variable, inserting Phi statements at iterated dominance frontiers and
+// deleting the AddrOf/Load/Store triples that accessed the object. This
+// produces the paper's partial SSA form.
+func (b *builder) mem2reg() {
+	for _, f := range b.prog.Funcs {
+		b.promoteFunc(f)
+	}
+}
+
+// promotable reports whether obj can be promoted to SSA form.
+func (b *builder) promotable(obj *ir.Object) bool {
+	if obj.Kind != ir.ObjStack || obj.IsArray || obj.NumFields > 0 {
+		return false
+	}
+	info := b.objInfo[obj]
+	if info == nil || info.escaped {
+		return false
+	}
+	// lock_t locals must remain memory objects so lock(&l) can name them;
+	// escape analysis already catches &l, but be explicit.
+	if basic, ok := info.typ.(*types.Basic); ok && basic.Name == "lock_t" {
+		return false
+	}
+	return true
+}
+
+func (b *builder) promoteFunc(f *ir.Function) {
+	// Collect promotable objects and their defining stores per block.
+	var promote []*ir.Object
+	promoteSet := map[*ir.Object]bool{}
+	for _, blk := range f.Blocks {
+		for _, s := range blk.Stmts {
+			if a, ok := s.(*ir.AddrOf); ok && a.Obj.Kind == ir.ObjStack && a.Obj.Func == f {
+				if !promoteSet[a.Obj] && b.promotable(a.Obj) {
+					promoteSet[a.Obj] = true
+					promote = append(promote, a.Obj)
+				}
+			}
+		}
+	}
+	if len(promote) == 0 {
+		return
+	}
+
+	domInfo := dom.Compute(f)
+
+	// Map address temporaries to the object they point at. Because the
+	// builder creates one fresh AddrOf temp per access and non-escaping
+	// temps are used exactly once, this mapping is exact for promotable
+	// objects.
+	addrObj := map[*ir.Var]*ir.Object{}
+	defBlocks := map[*ir.Object]map[*ir.Block]bool{}
+	for _, blk := range f.Blocks {
+		for _, s := range blk.Stmts {
+			switch s := s.(type) {
+			case *ir.AddrOf:
+				if promoteSet[s.Obj] {
+					addrObj[s.Dst] = s.Obj
+				}
+			case *ir.Store:
+				if obj := addrObj[s.Addr]; obj != nil {
+					if defBlocks[obj] == nil {
+						defBlocks[obj] = map[*ir.Block]bool{}
+					}
+					defBlocks[obj][blk] = true
+				}
+			}
+		}
+	}
+
+	// Phi placement at iterated dominance frontiers.
+	type phiKey struct {
+		blk *ir.Block
+		obj *ir.Object
+	}
+	phis := map[phiKey]*ir.Phi{}
+	for _, obj := range promote {
+		work := make([]*ir.Block, 0, len(defBlocks[obj]))
+		for blk := range defBlocks[obj] {
+			work = append(work, blk)
+		}
+		inWork := map[*ir.Block]bool{}
+		for _, blk := range work {
+			inWork[blk] = true
+		}
+		for len(work) > 0 {
+			blk := work[len(work)-1]
+			work = work[:len(work)-1]
+			for _, fb := range domInfo.Frontier(blk) {
+				key := phiKey{fb, obj}
+				if phis[key] != nil {
+					continue
+				}
+				phi := &ir.Phi{
+					Dst:      b.prog.NewVar(obj.Name+".phi", f),
+					Incoming: make([]*ir.Var, len(fb.Preds)),
+				}
+				phis[key] = phi
+				if !inWork[fb] {
+					inWork[fb] = true
+					work = append(work, fb)
+				}
+			}
+		}
+	}
+	// Insert phis at block starts (order: promote order for determinism).
+	for _, blk := range f.Blocks {
+		inserted := 0
+		for _, obj := range promote {
+			if phi := phis[phiKey{blk, obj}]; phi != nil {
+				blk.Insert(inserted, phi)
+				inserted++
+			}
+		}
+	}
+
+	// Renaming over the dominator tree.
+	replaced := map[*ir.Var]*ir.Var{} // load-result -> current value
+	resolve := func(v *ir.Var) *ir.Var {
+		for {
+			nv, ok := replaced[v]
+			if !ok {
+				return v
+			}
+			v = nv
+		}
+	}
+
+	// undefVar produces a fresh definition-free variable for reads of
+	// never-written (on some path) promoted locals.
+	undef := map[*ir.Object]*ir.Var{}
+	undefVar := func(obj *ir.Object) *ir.Var {
+		if v := undef[obj]; v != nil {
+			return v
+		}
+		v := b.prog.NewVar(obj.Name+".undef", f)
+		undef[obj] = v
+		return v
+	}
+
+	dead := map[ir.Stmt]bool{}
+
+	var rename func(blk *ir.Block, cur map[*ir.Object]*ir.Var)
+	rename = func(blk *ir.Block, cur map[*ir.Object]*ir.Var) {
+		// Phi defs first (they are at the block head).
+		for _, s := range blk.Stmts {
+			phi, ok := s.(*ir.Phi)
+			if !ok {
+				break
+			}
+			for _, obj := range promote {
+				if phis[phiKey{blk, obj}] == phi {
+					cur[obj] = phi.Dst
+					break
+				}
+			}
+		}
+		for _, s := range blk.Stmts {
+			if _, ok := s.(*ir.Phi); ok {
+				continue
+			}
+			switch s := s.(type) {
+			case *ir.AddrOf:
+				if promoteSet[s.Obj] {
+					dead[s] = true
+				}
+			case *ir.Store:
+				if obj := addrObj[s.Addr]; obj != nil {
+					cur[obj] = resolve(s.Src)
+					dead[s] = true
+				}
+			case *ir.Load:
+				if obj := addrObj[s.Addr]; obj != nil {
+					v := cur[obj]
+					if v == nil {
+						v = undefVar(obj)
+					}
+					replaced[s.Dst] = v
+					dead[s] = true
+				}
+			}
+		}
+		// Fill phi operands of CFG successors.
+		for _, succ := range blk.Succs {
+			predIdx := -1
+			for i, p := range succ.Preds {
+				if p == blk {
+					predIdx = i
+					break
+				}
+			}
+			for _, obj := range promote {
+				if phi := phis[phiKey{succ, obj}]; phi != nil && predIdx >= 0 {
+					v := cur[obj]
+					if v == nil {
+						v = undefVar(obj)
+					}
+					phi.Incoming[predIdx] = v
+				}
+			}
+		}
+		// Recurse into dominator-tree children with a copied environment.
+		for _, child := range domInfo.Children(blk) {
+			childCur := make(map[*ir.Object]*ir.Var, len(cur))
+			for k, v := range cur {
+				childCur[k] = v
+			}
+			rename(child, childCur)
+		}
+	}
+	rename(f.Entry, map[*ir.Object]*ir.Var{})
+
+	// Rewrite remaining uses and delete dead statements.
+	for _, blk := range f.Blocks {
+		kept := blk.Stmts[:0]
+		for _, s := range blk.Stmts {
+			if dead[s] {
+				continue
+			}
+			ir.RewriteUses(s, resolve)
+			kept = append(kept, s)
+		}
+		blk.Stmts = kept
+	}
+}

@@ -1,0 +1,333 @@
+package mhp_test
+
+import (
+	"testing"
+
+	"repro/internal/ir"
+	"repro/internal/mhp"
+	"repro/internal/pipeline"
+	"repro/internal/threads"
+)
+
+// setup compiles src and runs the interleaving analysis.
+func setup(t *testing.T, src string) (*pipeline.Base, *mhp.Result) {
+	t.Helper()
+	b, err := pipeline.FromSource("test.mc", src)
+	if err != nil {
+		t.Fatalf("pipeline: %v", err)
+	}
+	return b, b.Interleavings()
+}
+
+// storeToGlobal finds the (unique) store whose address is a direct AddrOf of
+// the named global.
+func storeToGlobal(t *testing.T, p *ir.Program, name string) *ir.Store {
+	t.Helper()
+	addrs := map[*ir.Var]bool{}
+	for _, s := range p.Stmts {
+		if a, ok := s.(*ir.AddrOf); ok && a.Obj.Kind == ir.ObjGlobal && a.Obj.Name == name {
+			addrs[a.Dst] = true
+		}
+	}
+	var found *ir.Store
+	for _, s := range p.Stmts {
+		if st, ok := s.(*ir.Store); ok && addrs[st.Addr] {
+			if found != nil {
+				t.Fatalf("multiple stores to %s", name)
+			}
+			found = st
+		}
+	}
+	if found == nil {
+		t.Fatalf("no store to global %s", name)
+	}
+	return found
+}
+
+func threadByRoutine(t *testing.T, m *threads.Model, name string) *threads.Thread {
+	t.Helper()
+	for _, th := range m.Threads {
+		for _, r := range th.Routines {
+			if r.Name == name {
+				return th
+			}
+		}
+	}
+	t.Fatalf("no thread runs %s", name)
+	return nil
+}
+
+// fig8 mirrors the paper's Figure 8: statements are modeled as stores to
+// distinctly named globals so they can be located.
+const fig8 = `
+int s1g; int s2g; int s3g; int s4g; int s5g;
+
+void bar(void *a) {
+	s5g = 1;          // s5
+}
+void foo1(void *a) {
+	thread_t t3;
+	t3 = spawn(bar, NULL);   // fk3
+	join(t3);                // jn3
+}
+void foo2(void *a) {
+	bar(NULL);               // cs4
+	s4g = 1;                 // s4
+}
+int main() {
+	s1g = 1;                 // s1
+	thread_t t1;
+	t1 = spawn(foo1, NULL);  // fk1
+	s2g = 1;                 // s2
+	join(t1);                // jn1
+	thread_t t2;
+	t2 = spawn(foo2, NULL);  // fk2
+	s3g = 1;                 // s3
+	join(t2);                // jn2
+	return 0;
+}
+`
+
+func TestFig8MHPPairs(t *testing.T) {
+	b, r := setup(t, fig8)
+	s1 := storeToGlobal(t, b.Prog, "s1g")
+	s2 := storeToGlobal(t, b.Prog, "s2g")
+	s3 := storeToGlobal(t, b.Prog, "s3g")
+	s4 := storeToGlobal(t, b.Prog, "s4g")
+	s5 := storeToGlobal(t, b.Prog, "s5g")
+
+	// Paper Figure 8(d): the MHP pairs are exactly
+	//   (t0,s2) ∥ (t3,s5), (t0,s3) ∥ (t2,s5), (t0,s3) ∥ (t2,s4).
+	if !r.MHPStmts(s2, s5) {
+		t.Error("s2 ∥ s5 expected (t0 with t3's bar)")
+	}
+	if !r.MHPStmts(s3, s5) {
+		t.Error("s3 ∥ s5 expected (t0 with t2's bar call)")
+	}
+	if !r.MHPStmts(s3, s4) {
+		t.Error("s3 ∥ s4 expected")
+	}
+	// Not parallel: s1 precedes both forks; s2 is before jn1 but t2 is not
+	// yet forked; s2 must not run in parallel with s4 (t2's body).
+	if r.MHPStmts(s1, s5) {
+		t.Error("s1 must not be ∥ s5 (before any fork)")
+	}
+	if r.MHPStmts(s1, s4) {
+		t.Error("s1 must not be ∥ s4")
+	}
+	if r.MHPStmts(s2, s4) {
+		t.Error("s2 must not be ∥ s4 (t2 forked only after jn1)")
+	}
+	if r.MHPStmts(s3, s2) {
+		t.Error("same-thread statements of a single-instance thread are never MHP")
+	}
+}
+
+func TestFig8ContextSensitivity(t *testing.T) {
+	// s5 (in bar) has two instances: thread t3 running bar as its routine,
+	// and thread t2 calling bar from foo2 at cs4. The paper stresses that
+	// (t0,s2) ∥ (t3,s5) but (t0,s2) ∦ (t2,[2,4],s5).
+	b, r := setup(t, fig8)
+	s2 := storeToGlobal(t, b.Prog, "s2g")
+	s5 := storeToGlobal(t, b.Prog, "s5g")
+	t2 := threadByRoutine(t, b.Model, "foo2")
+	t3 := threadByRoutine(t, b.Model, "bar")
+
+	pairs := r.MHPInstances(s2, s5)
+	for _, pr := range pairs {
+		if pr[1].Thread == t2 {
+			t.Errorf("s2 must not be parallel with s5 executed by t2 (context-sensitive)")
+		}
+	}
+	foundT3 := false
+	for _, pr := range pairs {
+		if pr[1].Thread == t3 {
+			foundT3 = true
+		}
+	}
+	if !foundT3 {
+		t.Error("s2 must be parallel with s5 executed by t3")
+	}
+}
+
+func TestFig1aInterleaving(t *testing.T) {
+	// Figure 1(a): *p = q in thread t interleaves with main's statements
+	// after the fork.
+	b, r := setup(t, `
+int x; int y; int z;
+int *p; int *q; int *r; int *c;
+void foo(void *arg) {
+	*p = q;
+}
+int main() {
+	p = &x; q = &y; r = &z;
+	thread_t t;
+	t = spawn(foo, NULL);
+	*p = r;
+	c = *p;
+	return 0;
+}
+`)
+	s2 := storeToGlobal(t, b.Prog, "c") // c = *p store
+	// The store *p = q inside foo.
+	var fooStore *ir.Store
+	for _, s := range b.Prog.Stmts {
+		if st, ok := s.(*ir.Store); ok && ir.StmtFunc(st).Name == "foo" {
+			fooStore = st
+		}
+	}
+	if fooStore == nil {
+		t.Fatal("no store in foo")
+	}
+	if !r.MHPStmts(s2, fooStore) {
+		t.Error("c = *p must be MHP with *p = q in the unjoined thread")
+	}
+}
+
+func TestJoinKillsInterleaving(t *testing.T) {
+	// After join(t), the worker's statements must no longer be parallel.
+	b, r := setup(t, `
+int before; int after;
+int wbody;
+void worker(void *a) {
+	wbody = 1;
+}
+int main() {
+	thread_t t;
+	t = spawn(worker, NULL);
+	before = 1;
+	join(t);
+	after = 1;
+	return 0;
+}
+`)
+	sBefore := storeToGlobal(t, b.Prog, "before")
+	sAfter := storeToGlobal(t, b.Prog, "after")
+	sBody := storeToGlobal(t, b.Prog, "wbody")
+	if !r.MHPStmts(sBefore, sBody) {
+		t.Error("statement between fork and join must be MHP with worker body")
+	}
+	if r.MHPStmts(sAfter, sBody) {
+		t.Error("statement after join must not be MHP with worker body")
+	}
+}
+
+func TestFig11SymmetricLoops(t *testing.T) {
+	// Figure 11 (word_count): threads forked and joined in two symmetric
+	// loops; statements after the join loop must not be MHP with the slave
+	// bodies, while statements between the loops are.
+	b, r := setup(t, `
+int inbetween; int post;
+int wbody;
+void wordcount_map(void *a) {
+	wbody = 1;
+}
+int main() {
+	thread_t tids[4];
+	int i;
+	for (i = 0; i < 4; i++) {
+		tids[i] = spawn(wordcount_map, NULL);
+	}
+	inbetween = 1;
+	for (i = 0; i < 4; i++) {
+		join(tids[i]);
+	}
+	post = 1;
+	return 0;
+}
+`)
+	sBetween := storeToGlobal(t, b.Prog, "inbetween")
+	sPost := storeToGlobal(t, b.Prog, "post")
+	sBody := storeToGlobal(t, b.Prog, "wbody")
+	if !r.MHPStmts(sBetween, sBody) {
+		t.Error("statement between fork and join loops must be MHP with slave body")
+	}
+	if r.MHPStmts(sPost, sBody) {
+		t.Error("statement after the join loop must not be MHP with slave body (Figure 11)")
+	}
+}
+
+func TestMultiForkedSelfParallel(t *testing.T) {
+	// Two instances of a multi-forked thread run in parallel with each
+	// other, so a statement in its body is MHP with itself.
+	b, r := setup(t, `
+int wbody;
+void worker(void *a) { wbody = 1; }
+int main() {
+	int i;
+	for (i = 0; i < 4; i++) {
+		thread_t t;
+		t = spawn(worker, NULL);
+	}
+	return 0;
+}
+`)
+	sBody := storeToGlobal(t, b.Prog, "wbody")
+	if !r.MHPStmts(sBody, sBody) {
+		t.Error("multi-forked thread body must be MHP with itself")
+	}
+}
+
+func TestSingleThreadNotSelfParallel(t *testing.T) {
+	b, r := setup(t, `
+int wbody;
+void worker(void *a) { wbody = 1; }
+int main() {
+	thread_t t;
+	t = spawn(worker, NULL);
+	join(t);
+	return 0;
+}
+`)
+	sBody := storeToGlobal(t, b.Prog, "wbody")
+	if r.MHPStmts(sBody, sBody) {
+		t.Error("a single-instance thread's statement is not MHP with itself")
+	}
+}
+
+func TestMHPSymmetric(t *testing.T) {
+	b, r := setup(t, fig8)
+	stmts := []string{"s1g", "s2g", "s3g", "s4g", "s5g"}
+	for _, a := range stmts {
+		for _, bn := range stmts {
+			sa := storeToGlobal(t, b.Prog, a)
+			sb := storeToGlobal(t, b.Prog, bn)
+			if r.MHPStmts(sa, sb) != r.MHPStmts(sb, sa) {
+				t.Errorf("MHP not symmetric for %s,%s", a, bn)
+			}
+		}
+	}
+}
+
+func TestSiblingHBPreventsMHP(t *testing.T) {
+	// Worker A is fully joined before worker B is forked: never parallel.
+	b, r := setup(t, `
+int abody; int bbody;
+void wa(void *x) { abody = 1; }
+void wb(void *x) { bbody = 1; }
+int main() {
+	thread_t ta;
+	ta = spawn(wa, NULL);
+	join(ta);
+	thread_t tb;
+	tb = spawn(wb, NULL);
+	join(tb);
+	return 0;
+}
+`)
+	sa := storeToGlobal(t, b.Prog, "abody")
+	sb := storeToGlobal(t, b.Prog, "bbody")
+	if r.MHPStmts(sa, sb) {
+		t.Error("HB-ordered siblings must not be MHP")
+	}
+}
+
+func TestBytesNonZero(t *testing.T) {
+	_, r := setup(t, fig8)
+	if r.Bytes() == 0 {
+		t.Error("expected nonzero fact memory")
+	}
+	if r.Iterations == 0 {
+		t.Error("expected nonzero iterations")
+	}
+}

@@ -1,0 +1,432 @@
+// Package nonsparse implements the paper's baseline, NONSPARSE: a
+// traditional data-flow-based flow-sensitive pointer analysis in the style
+// of Rugina-Rinard, extended to unstructured Pthreads programs by
+// discovering parallel regions with a PCG-style procedure-level MHP
+// analysis (paper Section 4.3).
+//
+// Unlike FSAM it maintains a points-to graph for address-taken objects at
+// every ICFG program point and propagates facts blindly from each node to
+// its successors — and, for thread interference, from every store into
+// every node of every may-parallel procedure — without knowing whether the
+// facts are needed there. This is the time and memory behaviour Table 2
+// quantifies.
+package nonsparse
+
+import (
+	"time"
+
+	"repro/internal/icfg"
+	"repro/internal/ir"
+	"repro/internal/pcg"
+	"repro/internal/pipeline"
+	"repro/internal/pts"
+)
+
+// pgKey indexes a per-point points-to graph: variable IDs first, then
+// object IDs offset by the variable count.
+type pgKey uint32
+
+// Result holds the baseline's outcome.
+type Result struct {
+	Prog *ir.Program
+
+	varPts []*pts.Set
+	// outOf[node] is the per-program-point points-to graph after the node,
+	// keyed by pgKey. As in the paper's baseline (which also works on
+	// partial SSA), it carries bindings for the address-taken objects at
+	// every program point — what "maintains points-to information at every
+	// program point" costs, and what sparsity removes.
+	outOf []map[pgKey]*pts.Set
+	// inOf[node] is the persistent merged IN graph (predecessor OUTs plus
+	// procedure interference input), updated incrementally.
+	inOf []map[pgKey]*pts.Set
+
+	base *pipeline.Base
+
+	// OOT is set when the analysis hit its deadline before converging; the
+	// partial results must not be trusted.
+	OOT bool
+	// Iterations counts node transfers.
+	Iterations int
+}
+
+// PointsToVar returns the points-to set of a top-level variable.
+func (r *Result) PointsToVar(v *ir.Var) *pts.Set {
+	if v == nil || int(v.ID) >= len(r.varPts) || r.varPts[v.ID] == nil {
+		return &pts.Set{}
+	}
+	return r.varPts[v.ID]
+}
+
+// ObjAtExit returns obj's points-to set at f's exit node.
+func (r *Result) ObjAtExit(f *ir.Function, obj *ir.Object) *pts.Set {
+	exit := r.base.G.ExitOf[f]
+	if exit == nil {
+		return &pts.Set{}
+	}
+	if m := r.outOf[exit.ID]; m != nil {
+		if s := m[r.objKey(obj.ID)]; s != nil {
+			return s
+		}
+	}
+	return &pts.Set{}
+}
+
+// Bytes reports the footprint of the per-point points-to graphs — the
+// quantity that blows up relative to FSAM.
+func (r *Result) Bytes() uint64 {
+	var total uint64
+	for _, s := range r.varPts {
+		if s != nil {
+			total += s.Bytes()
+		}
+	}
+	for _, m := range r.outOf {
+		if m == nil {
+			continue
+		}
+		total += 48 // map header
+		for _, s := range m {
+			total += 16 + s.Bytes()
+		}
+	}
+	for _, m := range r.inOf {
+		if m == nil {
+			continue
+		}
+		total += 48
+		for _, s := range m {
+			total += 16 + s.Bytes()
+		}
+	}
+	return total
+}
+
+type solver struct {
+	r    *Result
+	base *pipeline.Base
+	pcg  *pcg.Result
+
+	singletons *pts.Set
+	// parallelWith[f] reports whether f may run concurrently with any
+	// procedure (including itself); strong updates are disabled there.
+	parallelWith map[*ir.Function]bool
+	// parallelFuncs[f] lists the procedures that may run concurrently with
+	// f (interference propagation targets).
+	parallelFuncs map[*ir.Function][]*ir.Function
+
+	// interIn[f] accumulates interference facts from stores in procedures
+	// parallel with f.
+	interIn map[*ir.Function]map[pgKey]*pts.Set
+
+	varUses map[ir.VarID][]*icfg.Node
+	retUses map[ir.VarID][]*icfg.Node
+
+	nodesOfFunc map[*ir.Function][]*icfg.Node
+
+	inWork []bool
+	work   []*icfg.Node
+
+	deadline time.Time
+}
+
+// Analyze runs the baseline over a prepared pipeline base. timeout <= 0
+// means no deadline; otherwise the analysis aborts with OOT when exceeded
+// (standing in for the paper's two-hour budget).
+func Analyze(base *pipeline.Base, timeout time.Duration) *Result {
+	r := &Result{
+		Prog:   base.Prog,
+		varPts: make([]*pts.Set, len(base.Prog.Vars)),
+		outOf:  make([]map[pgKey]*pts.Set, len(base.G.Nodes)),
+		inOf:   make([]map[pgKey]*pts.Set, len(base.G.Nodes)),
+		base:   base,
+	}
+	s := &solver{
+		r:             r,
+		base:          base,
+		pcg:           pcg.Analyze(base.Model),
+		singletons:    base.Model.SingletonObjects(),
+		parallelWith:  map[*ir.Function]bool{},
+		parallelFuncs: map[*ir.Function][]*ir.Function{},
+		interIn:       map[*ir.Function]map[pgKey]*pts.Set{},
+		varUses:       map[ir.VarID][]*icfg.Node{},
+		retUses:       map[ir.VarID][]*icfg.Node{},
+		nodesOfFunc:   map[*ir.Function][]*icfg.Node{},
+		inWork:        make([]bool, len(base.G.Nodes)),
+	}
+	if timeout > 0 {
+		s.deadline = time.Now().Add(timeout)
+	}
+	s.prepare()
+	s.run()
+	return r
+}
+
+func (s *solver) prepare() {
+	g := s.base.G
+	for _, n := range g.Nodes {
+		s.nodesOfFunc[n.Func] = append(s.nodesOfFunc[n.Func], n)
+		if n.Kind != icfg.NStmt {
+			continue
+		}
+		for _, u := range ir.Uses(n.Stmt) {
+			s.varUses[u.ID] = append(s.varUses[u.ID], n)
+		}
+		if c, ok := n.Stmt.(*ir.Call); ok && c.Dst != nil {
+			for _, callee := range s.base.Pre.CallTargets[c] {
+				if callee.RetVar != nil {
+					s.retUses[callee.RetVar.ID] = append(s.retUses[callee.RetVar.ID], n)
+				}
+			}
+		}
+	}
+	for _, f := range s.base.Prog.Funcs {
+		for _, gfn := range s.base.Prog.Funcs {
+			if s.pcg.MHPFuncs(f, gfn) {
+				s.parallelWith[f] = true
+				s.parallelFuncs[f] = append(s.parallelFuncs[f], gfn)
+			}
+		}
+	}
+	// Seed: every node processed once.
+	for _, n := range g.Nodes {
+		s.push(n)
+	}
+}
+
+func (s *solver) push(n *icfg.Node) {
+	if !s.inWork[n.ID] {
+		s.inWork[n.ID] = true
+		s.work = append(s.work, n)
+	}
+}
+
+func (s *solver) varChanged(v *ir.Var) {
+	for _, n := range s.varUses[v.ID] {
+		s.push(n)
+	}
+	for _, n := range s.retUses[v.ID] {
+		s.push(n)
+	}
+}
+
+func (s *solver) addVar(v *ir.Var, set *pts.Set) {
+	if v == nil || set == nil || set.IsEmpty() {
+		return
+	}
+	p := s.r.varPts[v.ID]
+	if p == nil {
+		p = &pts.Set{}
+		s.r.varPts[v.ID] = p
+	}
+	if p.UnionWith(set) {
+		s.varChanged(v)
+	}
+}
+
+func (s *solver) addVarObj(v *ir.Var, obj uint32) {
+	if v == nil {
+		return
+	}
+	p := s.r.varPts[v.ID]
+	if p == nil {
+		p = &pts.Set{}
+		s.r.varPts[v.ID] = p
+	}
+	if p.Add(obj) {
+		s.varChanged(v)
+	}
+}
+
+// objKey and varKey map IDs into the per-point graph key space.
+func (r *Result) objKey(obj ir.ObjID) pgKey {
+	return pgKey(uint32(len(r.varPts)) + uint32(obj))
+}
+
+func (r *Result) varKey(v *ir.Var) pgKey { return pgKey(v.ID) }
+
+// mergeOut unions (key → set) into node n's OUT graph, pushing successors
+// on change.
+func (s *solver) mergeOut(n *icfg.Node, key pgKey, set *pts.Set) bool {
+	if set == nil || set.IsEmpty() {
+		return false
+	}
+	m := s.r.outOf[n.ID]
+	if m == nil {
+		m = map[pgKey]*pts.Set{}
+		s.r.outOf[n.ID] = m
+	}
+	p := m[key]
+	if p == nil {
+		p = &pts.Set{}
+		m[key] = p
+	}
+	return p.UnionWith(set)
+}
+
+// inView refreshes and returns node n's persistent IN graph: the merge of
+// predecessor OUTs plus the interference input of its procedure. The
+// returned map must not be mutated by callers.
+func (s *solver) inView(n *icfg.Node) map[pgKey]*pts.Set {
+	in := s.r.inOf[n.ID]
+	if in == nil {
+		in = map[pgKey]*pts.Set{}
+		s.r.inOf[n.ID] = in
+	}
+	acc := func(m map[pgKey]*pts.Set) {
+		for key, set := range m {
+			p := in[key]
+			if p == nil {
+				p = &pts.Set{}
+				in[key] = p
+			}
+			p.UnionWith(set)
+		}
+	}
+	for _, e := range n.In {
+		if m := s.r.outOf[e.From.ID]; m != nil {
+			acc(m)
+		}
+	}
+	if m := s.interIn[n.Func]; m != nil {
+		acc(m)
+	}
+	return in
+}
+
+func (s *solver) run() {
+	counter := 0
+	for len(s.work) > 0 {
+		n := s.work[len(s.work)-1]
+		s.work = s.work[:len(s.work)-1]
+		s.inWork[n.ID] = false
+		s.r.Iterations++
+		counter++
+		if counter%256 == 0 && !s.deadline.IsZero() && time.Now().After(s.deadline) {
+			s.r.OOT = true
+			return
+		}
+		s.transfer(n)
+	}
+}
+
+// transfer recomputes node n's OUT from its IN and statement, pushing
+// successors whose IN changed.
+func (s *solver) transfer(n *icfg.Node) {
+	in := s.inView(n)
+	changed := false
+
+	// Identity part: everything flows through unless killed below.
+	kill := map[pgKey]bool{}
+
+	if n.Kind == icfg.NStmt {
+		switch st := n.Stmt.(type) {
+		case *ir.AddrOf:
+			s.addVarObj(st.Dst, uint32(st.Obj.ID))
+		case *ir.Copy:
+			s.addVar(st.Dst, s.r.PointsToVar(st.Src))
+		case *ir.Phi:
+			for _, inV := range st.Incoming {
+				if inV != nil {
+					s.addVar(st.Dst, s.r.PointsToVar(inV))
+				}
+			}
+		case *ir.Gep:
+			s.r.PointsToVar(st.Base).ForEach(func(id uint32) {
+				fo := s.r.Prog.FieldObj(s.r.Prog.Objects[id], st.Field)
+				s.addVarObj(st.Dst, uint32(fo.ID))
+			})
+		case *ir.Load:
+			s.r.PointsToVar(st.Addr).ForEach(func(id uint32) {
+				if set := in[s.r.objKey(ir.ObjID(id))]; set != nil {
+					s.addVar(st.Dst, set)
+				}
+			})
+		case *ir.Store:
+			addr := s.r.PointsToVar(st.Addr)
+			src := s.r.PointsToVar(st.Src)
+			single, isSingle := addr.Single()
+			strongOK := isSingle && s.singletons.Has(single) &&
+				!s.parallelWith[n.Func]
+			addr.ForEach(func(id uint32) {
+				obj := ir.ObjID(id)
+				if s.mergeOut(n, s.r.objKey(obj), src) {
+					changed = true
+				}
+				if strongOK && uint32(obj) == single {
+					kill[s.r.objKey(obj)] = true
+				}
+				// Interference: the store's fact flows into every node of
+				// every parallel procedure.
+				s.propagateInterference(n.Func, s.r.objKey(obj), src)
+			})
+		case *ir.Call:
+			for _, callee := range s.base.Pre.CallTargets[st] {
+				nn := len(st.Args)
+				if len(callee.Params) < nn {
+					nn = len(callee.Params)
+				}
+				for i := 0; i < nn; i++ {
+					s.addVar(callee.Params[i], s.r.PointsToVar(st.Args[i]))
+				}
+				if st.Dst != nil && callee.RetVar != nil {
+					s.addVar(st.Dst, s.r.PointsToVar(callee.RetVar))
+				}
+			}
+		case *ir.Ret:
+			if st.Val != nil && n.Func.RetVar != nil {
+				s.addVar(n.Func.RetVar, s.r.PointsToVar(st.Val))
+			}
+		case *ir.Fork:
+			if st.Dst != nil {
+				s.addVarObj(st.Dst, uint32(st.Handle.ID))
+			}
+			for _, routine := range s.base.Pre.ForkTargets[st] {
+				if st.Arg != nil && len(routine.Params) > 0 {
+					s.addVar(routine.Params[0], s.r.PointsToVar(st.Arg))
+				}
+			}
+		}
+	}
+
+	// Pass IN through to OUT (minus strong-update kills).
+	for key, set := range in {
+		if kill[key] {
+			continue
+		}
+		if s.mergeOut(n, key, set) {
+			changed = true
+		}
+	}
+	if changed {
+		for _, e := range n.Out {
+			s.push(e.To)
+		}
+	}
+}
+
+// propagateInterference merges a store's generated fact into the
+// interference input of every procedure that may run in parallel with f.
+func (s *solver) propagateInterference(f *ir.Function, key pgKey, src *pts.Set) {
+	if src.IsEmpty() {
+		return
+	}
+	for _, g := range s.parallelFuncs[f] {
+		m := s.interIn[g]
+		if m == nil {
+			m = map[pgKey]*pts.Set{}
+			s.interIn[g] = m
+		}
+		p := m[key]
+		if p == nil {
+			p = &pts.Set{}
+			m[key] = p
+		}
+		if p.UnionWith(src) {
+			// Blind propagation: every node of g re-processes.
+			for _, n := range s.nodesOfFunc[g] {
+				s.push(n)
+			}
+		}
+	}
+}

@@ -1,0 +1,104 @@
+// Package pcg implements a procedure-level may-happen-in-parallel analysis
+// in the spirit of PCG (Joisha et al., POPL'11), which the paper uses both
+// as the parallel-region discovery for the NonSparse baseline and as the
+// No-Interleaving ablation of FSAM (Section 4.3).
+//
+// Unlike the statement-level interleaving analysis, PCG only distinguishes
+// whether two *procedures* may execute concurrently: two statements are MHP
+// whenever their enclosing procedures are. Thread-level happens-before
+// between siblings is honored (that much is procedure-level information),
+// but join kills inside a procedure are not, so PCG reports strictly more
+// MHP pairs than the interleaving analysis.
+package pcg
+
+import (
+	"repro/internal/ir"
+	"repro/internal/mhp"
+	"repro/internal/threads"
+)
+
+// Result is the procedure-level MHP relation.
+type Result struct {
+	Model *threads.Model
+
+	// parallel holds unordered procedure pairs that may run concurrently.
+	parallel map[[2]*ir.Function]bool
+
+	// execs lists the threads executing each function.
+	execs map[*ir.Function][]*threads.Thread
+}
+
+// Analyze computes the procedure-level MHP relation.
+func Analyze(model *threads.Model) *Result {
+	r := &Result{
+		Model:    model,
+		parallel: map[[2]*ir.Function]bool{},
+		execs:    map[*ir.Function][]*threads.Thread{},
+	}
+	seen := map[*ir.Function]map[*threads.Thread]bool{}
+	for _, t := range model.Threads {
+		for fc := range model.Funcs(t) {
+			if seen[fc.Func] == nil {
+				seen[fc.Func] = map[*threads.Thread]bool{}
+			}
+			if !seen[fc.Func][t] {
+				seen[fc.Func][t] = true
+				r.execs[fc.Func] = append(r.execs[fc.Func], t)
+			}
+		}
+	}
+	// Two procedures may run concurrently when some pair of their executing
+	// threads may overlap.
+	funcs := make([]*ir.Function, 0, len(r.execs))
+	for f := range r.execs {
+		funcs = append(funcs, f)
+	}
+	for i, f := range funcs {
+		for j := i; j < len(funcs); j++ {
+			g := funcs[j]
+			if r.threadsOverlap(f, g) {
+				r.parallel[pairKey(f, g)] = true
+			}
+		}
+	}
+	return r
+}
+
+func pairKey(a, b *ir.Function) [2]*ir.Function {
+	if a.Name > b.Name {
+		a, b = b, a
+	}
+	return [2]*ir.Function{a, b}
+}
+
+func (r *Result) threadsOverlap(f, g *ir.Function) bool {
+	for _, t1 := range r.execs[f] {
+		for _, t2 := range r.execs[g] {
+			if r.Model.MayHappenInParallelThreads(t1, t2) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// MHPFuncs reports whether the two procedures may execute concurrently.
+func (r *Result) MHPFuncs(f, g *ir.Function) bool {
+	return r.parallel[pairKey(f, g)]
+}
+
+// MHPStmts implements mhp.StmtMHP at procedure granularity.
+func (r *Result) MHPStmts(s1, s2 ir.Stmt) bool {
+	f, g := ir.StmtFunc(s1), ir.StmtFunc(s2)
+	if f == nil || g == nil {
+		return false
+	}
+	return r.MHPFuncs(f, g)
+}
+
+// Bytes reports the footprint of the pair relation.
+func (r *Result) Bytes() uint64 {
+	return uint64(len(r.parallel)) * 24
+}
+
+var _ mhp.StmtMHP = (*Result)(nil)

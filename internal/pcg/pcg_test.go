@@ -1,0 +1,142 @@
+package pcg_test
+
+import (
+	"testing"
+
+	"repro/internal/ir"
+	"repro/internal/pcg"
+	"repro/internal/pipeline"
+)
+
+func analyze(t *testing.T, src string) (*pipeline.Base, *pcg.Result) {
+	t.Helper()
+	b, err := pipeline.FromSource("t.mc", src)
+	if err != nil {
+		t.Fatalf("pipeline: %v", err)
+	}
+	return b, pcg.Analyze(b.Model)
+}
+
+func fn(t *testing.T, b *pipeline.Base, name string) *ir.Function {
+	t.Helper()
+	f := b.Prog.FuncByName[name]
+	if f == nil {
+		t.Fatalf("no function %s", name)
+	}
+	return f
+}
+
+func TestParallelProcedures(t *testing.T) {
+	b, r := analyze(t, `
+int x;
+void worker(void *a) { x = 1; }
+int main() {
+	thread_t t;
+	t = spawn(worker, NULL);
+	x = 2;
+	join(t);
+	return 0;
+}
+`)
+	main, worker := fn(t, b, "main"), fn(t, b, "worker")
+	if !r.MHPFuncs(main, worker) {
+		t.Error("main and worker must be parallel")
+	}
+	// A multi-instance check: worker vs itself is not parallel (single
+	// thread instance).
+	if r.MHPFuncs(worker, worker) {
+		t.Error("single-instance worker is not self-parallel")
+	}
+}
+
+func TestHBOrderedWorkersNotParallel(t *testing.T) {
+	b, r := analyze(t, `
+void wa(void *x) { }
+void wb(void *x) { }
+int main() {
+	thread_t ta;
+	ta = spawn(wa, NULL);
+	join(ta);
+	thread_t tb;
+	tb = spawn(wb, NULL);
+	join(tb);
+	return 0;
+}
+`)
+	wa, wb := fn(t, b, "wa"), fn(t, b, "wb")
+	if r.MHPFuncs(wa, wb) {
+		t.Error("happens-before-ordered workers are not parallel at procedure level")
+	}
+}
+
+func TestLoopForkedSelfParallel(t *testing.T) {
+	b, r := analyze(t, `
+void w(void *a) { }
+int main() {
+	int i;
+	for (i = 0; i < 4; i++) {
+		thread_t t;
+		t = spawn(w, NULL);
+	}
+	return 0;
+}
+`)
+	w := fn(t, b, "w")
+	if !r.MHPFuncs(w, w) {
+		t.Error("multi-forked worker must be self-parallel")
+	}
+}
+
+func TestCoarserThanStatementLevel(t *testing.T) {
+	// PCG cannot distinguish code after the join within main, so main's
+	// post-join statements remain "parallel" with the worker — the paper's
+	// No-Interleaving imprecision.
+	b, r := analyze(t, `
+int x;
+void worker(void *a) { x = 1; }
+int main() {
+	thread_t t;
+	t = spawn(worker, NULL);
+	join(t);
+	x = 2;           // after the join, but same procedure
+	return 0;
+}
+`)
+	var workerStore, mainStore ir.Stmt
+	for _, s := range b.Prog.Stmts {
+		if st, ok := s.(*ir.Store); ok {
+			if ir.StmtFunc(st).Name == "worker" {
+				workerStore = st
+			} else if ir.StmtFunc(st).Name == "main" {
+				mainStore = st
+			}
+		}
+	}
+	if workerStore == nil || mainStore == nil {
+		t.Fatal("stores not found")
+	}
+	if !r.MHPStmts(mainStore, workerStore) {
+		t.Error("PCG is procedure-level: post-join statements stay parallel")
+	}
+	// The precise interleaving analysis disagrees (this is the Figure 12
+	// No-Interleaving gap).
+	il := b.Interleavings()
+	if il.MHPStmts(mainStore, workerStore) {
+		t.Error("precise analysis must order the post-join store")
+	}
+}
+
+func TestBytes(t *testing.T) {
+	_, r := analyze(t, `
+void w(void *a) { }
+int main() {
+	thread_t t;
+	t = spawn(w, NULL);
+	join(t);
+	return 0;
+}
+`)
+	if r.Bytes() == 0 {
+		t.Error("bytes")
+	}
+}

@@ -1,0 +1,62 @@
+// Package pipeline wires the analysis stages together: parse → IR →
+// pre-analysis → call graph → ICFG → thread model. It exists so the public
+// facade, the benchmark harness and the internal tests share one setup path.
+package pipeline
+
+import (
+	"fmt"
+
+	"repro/internal/andersen"
+	"repro/internal/callgraph"
+	"repro/internal/frontend/parser"
+	"repro/internal/icfg"
+	"repro/internal/ir"
+	"repro/internal/irbuild"
+	"repro/internal/mhp"
+	"repro/internal/threads"
+)
+
+// Base bundles the substrate every interference analysis builds on.
+type Base struct {
+	Prog  *ir.Program
+	Pre   *andersen.Result
+	CG    *callgraph.Graph
+	G     *icfg.Graph
+	Ctxs  *callgraph.Ctxs
+	Model *threads.Model
+}
+
+// Compile parses and lowers MiniC source into IR.
+func Compile(name, src string) (*ir.Program, error) {
+	f, errs := parser.Parse(name, src)
+	if len(errs) > 0 {
+		return nil, fmt.Errorf("%s: %w (and %d more)", name, errs[0], len(errs)-1)
+	}
+	return irbuild.Build(f)
+}
+
+// BuildBase runs the pre-analysis and constructs the call graph, ICFG and
+// static thread model for prog. maxCtxDepth bounds call strings (<=0 for
+// the default).
+func BuildBase(prog *ir.Program, maxCtxDepth int) *Base {
+	pre := andersen.Analyze(prog)
+	cg := callgraph.Build(pre)
+	g := icfg.Build(cg)
+	ctxs := callgraph.NewCtxs(maxCtxDepth)
+	model := threads.BuildModel(pre, cg, g, ctxs)
+	return &Base{Prog: prog, Pre: pre, CG: cg, G: g, Ctxs: ctxs, Model: model}
+}
+
+// FromSource compiles src and builds the base pipeline.
+func FromSource(name, src string) (*Base, error) {
+	prog, err := Compile(name, src)
+	if err != nil {
+		return nil, err
+	}
+	return BuildBase(prog, 0), nil
+}
+
+// Interleavings runs the statement-level interleaving analysis.
+func (b *Base) Interleavings() *mhp.Result {
+	return mhp.Analyze(b.Model)
+}

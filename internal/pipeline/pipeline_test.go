@@ -1,0 +1,58 @@
+package pipeline_test
+
+import (
+	"testing"
+
+	"repro/internal/pipeline"
+)
+
+func TestCompileError(t *testing.T) {
+	if _, err := pipeline.Compile("bad.mc", "int main( {"); err == nil {
+		t.Error("expected parse error")
+	}
+	if _, err := pipeline.Compile("nomain.mc", "int foo() { return 0; }"); err == nil {
+		t.Error("expected missing-main error")
+	}
+}
+
+func TestFromSource(t *testing.T) {
+	b, err := pipeline.FromSource("ok.mc", `
+int x;
+int *p;
+void w(void *a) { p = &x; }
+int main() {
+	thread_t t;
+	t = spawn(w, NULL);
+	join(t);
+	return 0;
+}
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Prog == nil || b.Pre == nil || b.CG == nil || b.G == nil || b.Ctxs == nil || b.Model == nil {
+		t.Fatal("base incomplete")
+	}
+	if len(b.Model.Threads) != 2 {
+		t.Errorf("threads = %d", len(b.Model.Threads))
+	}
+	il := b.Interleavings()
+	if il == nil || il.Model != b.Model {
+		t.Error("interleavings")
+	}
+}
+
+func TestCtxDepthPlumbing(t *testing.T) {
+	prog, err := pipeline.Compile("t.mc", `int main() { return 0; }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := pipeline.BuildBase(prog, 3)
+	if b.Ctxs.MaxDepth != 3 {
+		t.Errorf("MaxDepth = %d", b.Ctxs.MaxDepth)
+	}
+	b2 := pipeline.BuildBase(prog, 0)
+	if b2.Ctxs.MaxDepth <= 0 {
+		t.Error("default depth must be positive")
+	}
+}

@@ -1,0 +1,178 @@
+// Package race implements a static data-race detector as a client of FSAM,
+// the paper's primary motivating application (Section 1: "data race
+// detection ... built on pointer analysis"). A candidate race is a pair of
+// memory accesses, at least one a store, that (1) may happen in parallel
+// per the interleaving analysis, (2) may touch a common abstract object per
+// the flow-sensitive points-to results, and (3) are not both protected by a
+// common lock per the lock analysis.
+package race
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/ir"
+	"repro/internal/locks"
+	"repro/internal/mhp"
+	"repro/internal/pts"
+	"repro/internal/threads"
+)
+
+// Report is one candidate data race.
+type Report struct {
+	Obj *ir.Object
+	// First is always a store; Second is a load or store.
+	First  ir.Stmt
+	Second ir.Stmt
+	// Threads names the thread pair of one witnessing instance.
+	Threads [2]*threads.Thread
+}
+
+// String renders the report for human consumption.
+func (r *Report) String() string {
+	return fmt.Sprintf("race on %s: [%s] (line %d, %s) with [%s] (line %d, %s)",
+		r.Obj, r.First, ir.LineOf(r.First), r.Threads[0],
+		r.Second, ir.LineOf(r.Second), r.Threads[1])
+}
+
+// Detector bundles the analyses a detection run consumes.
+type Detector struct {
+	Model *threads.Model
+	MHP   *mhp.Result
+	Locks *locks.Result // may be nil: no lock-based suppression
+	// Points is the flow-sensitive result used for alias refinement; when
+	// nil the pre-analysis points-to sets are used instead.
+	Points *core.Result
+}
+
+// addrPts returns the refined points-to set of an access address.
+func (d *Detector) addrPts(addr *ir.Var) *pts.Set {
+	if d.Points != nil {
+		if s := d.Points.PointsToVar(addr); !s.IsEmpty() {
+			return s
+		}
+		// The sparse result can be empty for dead code; fall back.
+	}
+	return d.Model.Pre.PointsToVar(addr)
+}
+
+// protected reports whether both instances sit in spans of a common lock.
+func (d *Detector) protected(i1, i2 locks.Inst) bool {
+	if d.Locks == nil {
+		return false
+	}
+	s1 := d.Locks.SpansOf(i1)
+	if len(s1) == 0 {
+		return false
+	}
+	s2 := d.Locks.SpansOf(i2)
+	for _, a := range s1 {
+		for _, b := range s2 {
+			if a.LockObj == b.LockObj {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// raceRelevant reports whether obj is shared state worth reporting: globals,
+// heap objects, fields of either, and address-taken locals that escape to
+// other threads. Thread handles and functions are excluded.
+func raceRelevant(obj *ir.Object) bool {
+	switch obj.Root().Kind {
+	case ir.ObjGlobal, ir.ObjHeap, ir.ObjStack:
+		return true
+	}
+	return false
+}
+
+// Detect enumerates candidate races, deterministically ordered.
+func (d *Detector) Detect() []*Report {
+	prog := d.Model.Prog
+	var stores []*ir.Store
+	var accesses []ir.Stmt
+	for _, s := range prog.Stmts {
+		switch s := s.(type) {
+		case *ir.Store:
+			stores = append(stores, s)
+			accesses = append(accesses, s)
+		case *ir.Load:
+			accesses = append(accesses, s)
+		}
+	}
+
+	seen := map[[3]uint64]bool{}
+	var out []*Report
+	for _, st := range stores {
+		stPts := d.addrPts(st.Addr)
+		if stPts.IsEmpty() {
+			continue
+		}
+		for _, acc := range accesses {
+			if acc == ir.Stmt(st) {
+				continue
+			}
+			// Deduplicate unordered store/store pairs.
+			if st2, ok := acc.(*ir.Store); ok && st2.ID() < st.ID() {
+				continue
+			}
+			var accAddr *ir.Var
+			switch a := acc.(type) {
+			case *ir.Load:
+				accAddr = a.Addr
+			case *ir.Store:
+				accAddr = a.Addr
+			}
+			common := stPts.Intersect(d.addrPts(accAddr))
+			if common.IsEmpty() {
+				continue
+			}
+			pairs := d.MHP.MHPInstances(st, acc)
+			if len(pairs) == 0 {
+				continue
+			}
+			// A pair is racy if SOME MHP instance pair is unprotected.
+			var witness *[2]mhp.ThreadCtx
+			for i := range pairs {
+				i1 := locks.Inst{Thread: pairs[i][0].Thread, Ctx: pairs[i][0].Ctx, Stmt: st}
+				i2 := locks.Inst{Thread: pairs[i][1].Thread, Ctx: pairs[i][1].Ctx, Stmt: acc}
+				if !d.protected(i1, i2) {
+					witness = &pairs[i]
+					break
+				}
+			}
+			if witness == nil {
+				continue
+			}
+			common.ForEach(func(id uint32) {
+				obj := prog.Objects[id]
+				if !raceRelevant(obj) {
+					return
+				}
+				key := [3]uint64{uint64(st.ID()), uint64(acc.ID()), uint64(id)}
+				if seen[key] {
+					return
+				}
+				seen[key] = true
+				out = append(out, &Report{
+					Obj:     obj,
+					First:   st,
+					Second:  acc,
+					Threads: [2]*threads.Thread{witness[0].Thread, witness[1].Thread},
+				})
+			})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].First.ID() != out[j].First.ID() {
+			return out[i].First.ID() < out[j].First.ID()
+		}
+		if out[i].Second.ID() != out[j].Second.ID() {
+			return out[i].Second.ID() < out[j].Second.ID()
+		}
+		return out[i].Obj.ID < out[j].Obj.ID
+	})
+	return out
+}

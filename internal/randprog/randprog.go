@@ -1,0 +1,218 @@
+// Package randprog generates random MiniC programs for property-based
+// testing of the analyses:
+//
+//   - Sequential produces straight-line, single-threaded pointer programs
+//     together with their exact concrete final state (obtained by
+//     interpreting the operations during generation). A flow-sensitive
+//     analysis with strong updates must compute exactly that state.
+//   - Threaded produces small multithreaded programs with branches, loops,
+//     forks, joins and locks, used for refinement/monotonicity properties
+//     (FSAM ⊆ Andersen; ablations ⊇ full FSAM).
+//
+// All generation is deterministic in the seed.
+package randprog
+
+import (
+	"fmt"
+	"strings"
+)
+
+// rng is a small deterministic generator (split-mix style).
+type rng struct{ s uint64 }
+
+func (r *rng) next() uint64 {
+	r.s += 0x9E3779B97F4A7C15
+	z := r.s
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+func (r *rng) intn(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	return int(r.next() % uint64(n))
+}
+
+// Sequential generates a straight-line program over nTargets int globals
+// (x<i>), nPtrs int* globals (p<i>) and nPPtrs int** globals (q<i>), with
+// nOps operations, and returns the source plus the concrete final pointee
+// of every pointer global ("" when null).
+func Sequential(seed int64, nTargets, nPtrs, nPPtrs, nOps int) (string, map[string]string) {
+	r := &rng{s: uint64(seed)*2 + 1}
+	if nTargets < 1 {
+		nTargets = 1
+	}
+	if nPtrs < 1 {
+		nPtrs = 1
+	}
+	if nPPtrs < 1 {
+		nPPtrs = 1
+	}
+
+	// Concrete state: pVal[i] = index of x it points to (-1 null);
+	// qVal[i] = index of p it points to (-1 null).
+	pVal := make([]int, nPtrs)
+	qVal := make([]int, nPPtrs)
+	for i := range pVal {
+		pVal[i] = -1
+	}
+	for i := range qVal {
+		qVal[i] = -1
+	}
+
+	var b strings.Builder
+	for i := 0; i < nTargets; i++ {
+		fmt.Fprintf(&b, "int x%d;\n", i)
+	}
+	for i := 0; i < nPtrs; i++ {
+		fmt.Fprintf(&b, "int *p%d;\n", i)
+	}
+	for i := 0; i < nPPtrs; i++ {
+		fmt.Fprintf(&b, "int **q%d;\n", i)
+	}
+	b.WriteString("int main() {\n")
+
+	for op := 0; op < nOps; op++ {
+		switch r.intn(5) {
+		case 0: // p_i = &x_j
+			i, j := r.intn(nPtrs), r.intn(nTargets)
+			fmt.Fprintf(&b, "\tp%d = &x%d;\n", i, j)
+			pVal[i] = j
+		case 1: // q_i = &p_j
+			i, j := r.intn(nPPtrs), r.intn(nPtrs)
+			fmt.Fprintf(&b, "\tq%d = &p%d;\n", i, j)
+			qVal[i] = j
+		case 2: // *q_i = p_j (requires q_i non-null)
+			i, j := r.intn(nPPtrs), r.intn(nPtrs)
+			if qVal[i] < 0 {
+				continue
+			}
+			fmt.Fprintf(&b, "\t*q%d = p%d;\n", i, j)
+			pVal[qVal[i]] = pVal[j]
+		case 3: // *q_i = &x_j
+			i, j := r.intn(nPPtrs), r.intn(nTargets)
+			if qVal[i] < 0 {
+				continue
+			}
+			fmt.Fprintf(&b, "\t*q%d = &x%d;\n", i, j)
+			pVal[qVal[i]] = j
+		case 4: // p_i = *q_j (requires q_j non-null)
+			i, j := r.intn(nPtrs), r.intn(nPPtrs)
+			if qVal[j] < 0 {
+				continue
+			}
+			fmt.Fprintf(&b, "\tp%d = *q%d;\n", i, j)
+			pVal[i] = pVal[qVal[j]]
+		}
+	}
+	b.WriteString("\treturn 0;\n}\n")
+
+	want := map[string]string{}
+	for i, v := range pVal {
+		name := fmt.Sprintf("p%d", i)
+		if v < 0 {
+			want[name] = ""
+		} else {
+			want[name] = fmt.Sprintf("x%d", v)
+		}
+	}
+	for i, v := range qVal {
+		name := fmt.Sprintf("q%d", i)
+		if v < 0 {
+			want[name] = ""
+		} else {
+			want[name] = fmt.Sprintf("p%d", v)
+		}
+	}
+	return b.String(), want
+}
+
+// Threaded generates a small multithreaded program: global pointer webs, a
+// few worker routines with branches/loops/locks, forked (sometimes in
+// loops) and joined (sometimes partially) from main.
+func Threaded(seed int64, size int) string {
+	r := &rng{s: uint64(seed)*2 + 1}
+	if size < 1 {
+		size = 1
+	}
+	nT := 3 + size
+	nP := 3 + size
+	nW := 1 + r.intn(3)
+
+	var b strings.Builder
+	for i := 0; i < nT; i++ {
+		fmt.Fprintf(&b, "int x%d;\n", i)
+	}
+	for i := 0; i < nP; i++ {
+		fmt.Fprintf(&b, "int *p%d;\n", i)
+	}
+	b.WriteString("lock_t m0; lock_t m1;\n")
+	b.WriteString("int cond;\n")
+
+	stmt := func(indent string) string {
+		switch r.intn(6) {
+		case 0:
+			return fmt.Sprintf("%sp%d = &x%d;\n", indent, r.intn(nP), r.intn(nT))
+		case 1:
+			return fmt.Sprintf("%s*p%d = &x%d;\n", indent, r.intn(nP), r.intn(nT))
+		case 2:
+			return fmt.Sprintf("%sp%d = p%d;\n", indent, r.intn(nP), r.intn(nP))
+		case 3:
+			a := r.intn(nP)
+			return fmt.Sprintf("%s{ int *v; v = *p%d; p%d = v; }\n", indent, a, r.intn(nP))
+		case 4:
+			m := r.intn(2)
+			return fmt.Sprintf("%slock(&m%d);\n%s*p%d = &x%d;\n%sunlock(&m%d);\n",
+				indent, m, indent, r.intn(nP), r.intn(nT), indent, m)
+		default:
+			return fmt.Sprintf("%sif (cond > %d) { p%d = &x%d; } else { *p%d = &x%d; }\n",
+				indent, r.intn(5), r.intn(nP), r.intn(nT), r.intn(nP), r.intn(nT))
+		}
+	}
+
+	for w := 0; w < nW; w++ {
+		fmt.Fprintf(&b, "void worker%d(void *arg) {\n", w)
+		n := 2 + r.intn(4)
+		for i := 0; i < n; i++ {
+			b.WriteString(stmt("\t"))
+		}
+		if r.intn(2) == 0 {
+			b.WriteString("\tint i;\n\tfor (i = 0; i < 3; i++) {\n")
+			b.WriteString(stmt("\t\t"))
+			b.WriteString("\t}\n")
+		}
+		b.WriteString("}\n")
+	}
+
+	b.WriteString("int main() {\n")
+	for i := 0; i < 2+r.intn(3); i++ {
+		b.WriteString(stmt("\t"))
+	}
+	loopFork := r.intn(2) == 0
+	if loopFork {
+		fmt.Fprintf(&b, "\tthread_t tids[4];\n\tint i;\n")
+		fmt.Fprintf(&b, "\tfor (i = 0; i < 4; i++) {\n\t\ttids[i] = spawn(worker%d, NULL);\n\t}\n", r.intn(nW))
+		b.WriteString(stmt("\t"))
+		fmt.Fprintf(&b, "\tfor (i = 0; i < 4; i++) {\n\t\tjoin(tids[i]);\n\t}\n")
+	} else {
+		for w := 0; w < nW; w++ {
+			fmt.Fprintf(&b, "\tthread_t t%d;\n\tt%d = spawn(worker%d, NULL);\n", w, w, w)
+		}
+		b.WriteString(stmt("\t"))
+		for w := 0; w < nW; w++ {
+			if r.intn(4) == 0 {
+				// Partial join.
+				fmt.Fprintf(&b, "\tif (cond > 2) { join(t%d); }\n", w)
+			} else {
+				fmt.Fprintf(&b, "\tjoin(t%d);\n", w)
+			}
+		}
+	}
+	for i := 0; i < 2; i++ {
+		b.WriteString(stmt("\t"))
+	}
+	b.WriteString("\treturn 0;\n}\n")
+	return b.String()
+}

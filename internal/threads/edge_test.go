@@ -1,0 +1,187 @@
+package threads_test
+
+import (
+	"testing"
+
+	"repro/internal/ir"
+)
+
+func TestSameLoopForkJoin(t *testing.T) {
+	// fork and join in the same loop body: each instance joined before the
+	// next is forked — a valid symmetric pattern (join-all).
+	m := build(t, `
+void w(void *a) { }
+int main() {
+	int i;
+	for (i = 0; i < 4; i++) {
+		thread_t t;
+		t = spawn(w, NULL);
+		join(t);
+	}
+	return 0;
+}
+`)
+	w := threadByRoutine(t, m, "w")
+	if !w.Multi {
+		t.Fatal("loop fork must be multi")
+	}
+	found := false
+	for _, e := range m.Joins {
+		if e.Joinee == w && e.JoinAll {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("same-loop fork/join must resolve as join-all")
+	}
+}
+
+func TestJoinInDifferentFunctionUnhandledFull(t *testing.T) {
+	// The join is in a helper function: the edge resolves, but the full
+	// join cannot be proven across functions (conservative).
+	m := build(t, `
+void w(void *a) { }
+thread_t saved;
+void joiner() {
+	join(saved);
+}
+int main() {
+	saved = spawn(w, NULL);
+	joiner();
+	return 0;
+}
+`)
+	w := threadByRoutine(t, m, "w")
+	for _, e := range m.Joins {
+		if e.Joinee == w && e.Full {
+			t.Error("cross-function join must not be proven full")
+		}
+	}
+}
+
+func TestIndirectForkTwoRoutinesOneThread(t *testing.T) {
+	// An indirect fork with two possible routines is still one abstract
+	// thread (one context-sensitive fork site).
+	m := build(t, `
+void wa(void *a) { }
+void wb(void *a) { }
+void *r;
+int c;
+int main() {
+	if (c > 0) { r = wa; } else { r = wb; }
+	thread_t t;
+	t = spawn(r, NULL);
+	join(t);
+	return 0;
+}
+`)
+	if len(m.Threads) != 2 {
+		t.Fatalf("threads = %d, want 2 (main + one abstract spawnee)", len(m.Threads))
+	}
+	spawnee := m.Threads[1]
+	if len(spawnee.Routines) != 2 {
+		t.Errorf("routines = %v, want 2", spawnee.Routines)
+	}
+}
+
+func TestForkInCalleeBelongsToCallerThread(t *testing.T) {
+	// A fork performed inside a helper is attributed to the calling thread.
+	m := build(t, `
+void w(void *a) { }
+void helper() {
+	thread_t t;
+	t = spawn(w, NULL);
+	join(t);
+}
+int main() {
+	helper();
+	return 0;
+}
+`)
+	w := threadByRoutine(t, m, "w")
+	if w.Spawner != m.Main {
+		t.Errorf("spawner = %v, want main", w.Spawner)
+	}
+	// The spawn context records the call chain (depth 1: the helper call).
+	if m.Ctxs.Depth(w.SpawnCtx) != 1 {
+		t.Errorf("spawn ctx depth = %d, want 1", m.Ctxs.Depth(w.SpawnCtx))
+	}
+}
+
+func TestDescendantsTransitive(t *testing.T) {
+	m := build(t, `
+void leaf(void *a) { }
+void mid(void *a) {
+	thread_t t;
+	t = spawn(leaf, NULL);
+	join(t);
+}
+int main() {
+	thread_t t;
+	t = spawn(mid, NULL);
+	join(t);
+	return 0;
+}
+`)
+	mid := threadByRoutine(t, m, "mid")
+	leaf := threadByRoutine(t, m, "leaf")
+	d := m.Descendants(m.Main)
+	if !d.Has(uint32(mid.ID)) || !d.Has(uint32(leaf.ID)) {
+		t.Errorf("main descendants = %v", d)
+	}
+	if m.Descendants(leaf).Len() != 0 {
+		t.Error("leaf has no descendants")
+	}
+}
+
+func TestSingletonObjects(t *testing.T) {
+	m := build(t, `
+int g;
+int arr[4];
+void w(void *a) {
+	int wl;
+	int *lp;
+	lp = &wl;
+	*lp = 1;
+}
+void once() {
+	int ol;
+	int *lp;
+	lp = &ol;
+	*lp = 1;
+}
+int main() {
+	int i;
+	once();
+	for (i = 0; i < 3; i++) {
+		thread_t t;
+		t = spawn(w, NULL);
+	}
+	int *hp;
+	hp = malloc();
+	return 0;
+}
+`)
+	singles := m.SingletonObjects()
+	check := func(name string, want bool) {
+		t.Helper()
+		for _, o := range m.Prog.Objects {
+			if o.Name == name {
+				if singles.Has(uint32(o.ID)) != want {
+					t.Errorf("singleton(%s) = %v, want %v", name, !want, want)
+				}
+				return
+			}
+		}
+		t.Errorf("no object %s", name)
+	}
+	check("g", true)       // global scalar
+	check("arr", false)    // array
+	check("w.wl", false)   // local of a multi-forked thread routine
+	check("once.ol", true) // local of a single-threaded function
+	for _, o := range m.Prog.Objects {
+		if o.Kind == ir.ObjHeap && singles.Has(uint32(o.ID)) {
+			t.Error("heap objects are never singletons")
+		}
+	}
+}

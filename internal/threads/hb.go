@@ -1,0 +1,123 @@
+package threads
+
+import (
+	"repro/internal/icfg"
+	"repro/internal/ir"
+	"repro/internal/pts"
+)
+
+// mustJoinedBefore computes, for each node n of function f executed by
+// thread t, the set of thread IDs joined on *every* path from f's entry to
+// n (evaluated before n executes). Used for the sibling happens-before
+// relation (Definition 2).
+func (m *Model) mustJoinedBefore(f *ir.Function, t *Thread) map[*icfg.Node]*pts.Set {
+	nodes := m.nodesByFunc[f]
+	in := map[*icfg.Node]*pts.Set{} // nil = ⊤ (unvisited)
+
+	entry := m.G.EntryOf[f]
+	if entry != nil {
+		in[entry] = &pts.Set{}
+	}
+
+	changed := true
+	for changed {
+		changed = false
+		for _, n := range nodes {
+			if n == entry {
+				continue
+			}
+			preds := m.funcPreds(n)
+			var acc *pts.Set
+			if len(preds) == 0 {
+				acc = &pts.Set{}
+			}
+			for _, u := range preds {
+				iu := in[u]
+				if iu == nil {
+					continue // ⊤ contribution: skip (optimistic)
+				}
+				contrib := iu.Copy()
+				if g := m.siteGen(u, t); g != nil {
+					contrib.UnionWith(g)
+				}
+				contrib.UnionWith(m.EdgeKills(u, n, t))
+				if acc == nil {
+					acc = contrib
+				} else {
+					acc = acc.Intersect(contrib)
+				}
+			}
+			if acc == nil {
+				continue
+			}
+			if old := in[n]; old == nil || !old.Equal(acc) {
+				in[n] = acc
+				changed = true
+			}
+		}
+	}
+	return in
+}
+
+// hbKey memoizes happens-before queries.
+type hbKey struct{ a, b int }
+
+// HappensBefore reports a > b: sibling a terminates before sibling b starts
+// (Definition 2) because every path to b's fork site passes a join of a
+// (possibly indirect, through full joins) in the spawning thread.
+func (m *Model) HappensBefore(a, b *Thread) bool {
+	if a == b || b.Fork == nil {
+		return false
+	}
+	if m.hbMemo == nil {
+		m.hbMemo = map[hbKey]bool{}
+	}
+	key := hbKey{a.ID, b.ID}
+	if v, ok := m.hbMemo[key]; ok {
+		return v
+	}
+	res := m.happensBefore(a, b)
+	m.hbMemo[key] = res
+	return res
+}
+
+func (m *Model) happensBefore(a, b *Thread) bool {
+	forkFunc := ir.StmtFunc(b.Fork)
+	joiner := b.Spawner
+	if forkFunc == nil || joiner == nil {
+		return false
+	}
+	forkNode := m.G.StmtNode[b.Fork]
+	if forkNode == nil {
+		return false
+	}
+	ck := mjbKey{f: forkFunc, t: joiner}
+	if m.mjbMemo == nil {
+		m.mjbMemo = map[mjbKey]map[*icfg.Node]*pts.Set{}
+	}
+	in, ok := m.mjbMemo[ck]
+	if !ok {
+		in = m.mustJoinedBefore(forkFunc, joiner)
+		m.mjbMemo[ck] = in
+	}
+	set := in[forkNode]
+	return set != nil && set.Has(uint32(a.ID))
+}
+
+type mjbKey struct {
+	f *ir.Function
+	t *Thread
+}
+
+// MayHappenInParallelThreads is the thread-level guard used when seeding
+// sibling interleavings: siblings may overlap unless ordered by
+// happens-before in either direction.
+func (m *Model) MayHappenInParallelThreads(a, b *Thread) bool {
+	if a == b {
+		return a.Multi
+	}
+	if m.IsAncestor(a, b) || m.IsAncestor(b, a) {
+		return true // overlap until/unless joined; refined by MHP analysis
+	}
+	return !m.HappensBefore(a, b) && !m.HappensBefore(b, a)
+}

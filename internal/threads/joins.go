@@ -1,0 +1,244 @@
+package threads
+
+import (
+	"repro/internal/icfg"
+	"repro/internal/ir"
+	"repro/internal/pts"
+)
+
+// funcSuccs returns the intraprocedural successors of an ICFG node,
+// treating resolved calls as opaque (call node hops to its return node).
+func (m *Model) funcSuccs(n *icfg.Node) []*icfg.Node {
+	var out []*icfg.Node
+	for _, e := range n.Out {
+		if e.Kind == icfg.EIntra {
+			out = append(out, e.To)
+		}
+	}
+	if len(out) == 0 && n.Kind == icfg.NStmt {
+		if _, ok := n.Stmt.(*ir.Call); ok {
+			if rn := m.G.RetNode[n.Stmt]; rn != nil {
+				out = append(out, rn)
+			}
+		}
+	}
+	return out
+}
+
+// funcPreds is the mirror of funcSuccs.
+func (m *Model) funcPreds(n *icfg.Node) []*icfg.Node {
+	var out []*icfg.Node
+	if n.Kind == icfg.NRet {
+		hasIntraIn := false
+		for _, e := range n.In {
+			if e.Kind == icfg.EIntra {
+				hasIntraIn = true
+			}
+		}
+		if !hasIntraIn {
+			if cn := m.G.StmtNode[n.Stmt]; cn != nil {
+				out = append(out, cn)
+			}
+		}
+	}
+	for _, e := range n.In {
+		if e.Kind == icfg.EIntra {
+			out = append(out, e.From)
+		}
+	}
+	return out
+}
+
+// nodeLoops returns the lexical loop stack of the node's basic block.
+func nodeLoops(n *icfg.Node) []int {
+	if n.Stmt == nil {
+		return nil
+	}
+	if b := n.Stmt.Parent(); b != nil {
+		return b.Loops
+	}
+	return nil
+}
+
+func loopsContain(loops []int, id int) bool {
+	for _, l := range loops {
+		if l == id {
+			return true
+		}
+	}
+	return false
+}
+
+// KillClosure returns the set of thread IDs whose liveness ends when joinee
+// is joined: joinee itself plus every thread transitively fully joined by
+// it ([T-JOIN] transitivity).
+func (m *Model) KillClosure(joinee *Thread) *pts.Set {
+	out := &pts.Set{}
+	var visit func(t *Thread)
+	visit = func(t *Thread) {
+		if !out.Add(uint32(t.ID)) {
+			return
+		}
+		if fj := m.fullJoins[t]; fj != nil {
+			fj.ForEach(func(id uint32) { visit(m.Threads[id]) })
+		}
+	}
+	visit(joinee)
+	return out
+}
+
+// KillsAt returns the thread IDs whose execution is over once the join site
+// completes, from the perspective of joiner t.
+func (m *Model) KillsAt(join *ir.Join, t *Thread) *pts.Set {
+	out := &pts.Set{}
+	for _, e := range m.joinsBySite[join] {
+		if e.Joiner == t {
+			out.UnionWith(m.KillClosure(e.Joinee))
+		}
+	}
+	return out
+}
+
+// EdgeKills returns the thread IDs killed along the ICFG edge u→v for
+// joiner t: the loop-exit effect of symmetric join-all edges (the joinee's
+// instances are all joined once the join loop exits; paper Figure 11).
+func (m *Model) EdgeKills(u, v *icfg.Node, t *Thread) *pts.Set {
+	out := &pts.Set{}
+	uLoops := nodeLoops(u)
+	if len(uLoops) == 0 {
+		return out
+	}
+	vLoops := nodeLoops(v)
+	for _, e := range m.Joins {
+		if e.Joiner != t || !e.JoinAll {
+			continue
+		}
+		if ir.StmtFunc(e.Site) != u.Func {
+			continue
+		}
+		id := e.Site.LoopID
+		if loopsContain(uLoops, id) && !loopsContain(vLoops, id) {
+			out.UnionWith(m.KillClosure(e.Joinee))
+		}
+	}
+	return out
+}
+
+// siteGen returns the kill set generated at node n (a direct join site) for
+// joiner t, or nil.
+func (m *Model) siteGen(n *icfg.Node, t *Thread) *pts.Set {
+	if n.Kind != icfg.NStmt {
+		return nil
+	}
+	j, ok := n.Stmt.(*ir.Join)
+	if !ok {
+		return nil
+	}
+	k := m.KillsAt(j, t)
+	if k.IsEmpty() {
+		return nil
+	}
+	return k
+}
+
+// mustJoinedAfter computes, for each node n of function f executed by
+// thread t, the set of thread IDs joined on *every* path from n to f's
+// exit (evaluated after n executes). Used to decide full joins.
+func (m *Model) mustJoinedAfter(f *ir.Function, t *Thread) map[*icfg.Node]*pts.Set {
+	nodes := m.nodesByFunc[f]
+	out := map[*icfg.Node]*pts.Set{} // nil entry = ⊤ (unvisited)
+
+	changed := true
+	for changed {
+		changed = false
+		// Iterate in reverse creation order (roughly reverse topological).
+		for i := len(nodes) - 1; i >= 0; i-- {
+			n := nodes[i]
+			succs := m.funcSuccs(n)
+			var acc *pts.Set // nil = ⊤
+			if len(succs) == 0 {
+				acc = &pts.Set{}
+			}
+			for _, v := range succs {
+				contrib := &pts.Set{}
+				if g := m.siteGen(v, t); g != nil {
+					contrib.UnionWith(g)
+				}
+				contrib.UnionWith(m.EdgeKills(n, v, t))
+				if ov := out[v]; ov != nil {
+					contrib.UnionWith(ov)
+				} else {
+					// Successor still ⊤: treat as ⊤ contribution (skip in
+					// the meet so early iterations converge downward).
+					continue
+				}
+				if acc == nil {
+					acc = contrib
+				} else {
+					acc = acc.Intersect(contrib)
+				}
+			}
+			if acc == nil {
+				continue
+			}
+			if old := out[n]; old == nil || !old.Equal(acc) {
+				out[n] = acc
+				changed = true
+			}
+		}
+	}
+	return out
+}
+
+// computeFullJoins iterates full-join discovery to a fixpoint: an edge is
+// full when every path from the joinee's fork site to the function exit
+// joins the joinee. Kill sets at join sites include already-proven full
+// joins, so indirect full joins converge upward.
+func (m *Model) computeFullJoins() {
+	for {
+		changed := false
+		// Group candidate edges by (function, joiner).
+		type fkey struct {
+			f *ir.Function
+			t *Thread
+		}
+		groups := map[fkey][]*JoinEdge{}
+		for _, e := range m.Joins {
+			if e.Full {
+				continue
+			}
+			forkFunc := ir.StmtFunc(e.Joinee.Fork)
+			if forkFunc != ir.StmtFunc(e.Site) {
+				continue // conservatively partial across functions
+			}
+			groups[fkey{f: forkFunc, t: e.Joiner}] = append(groups[fkey{f: forkFunc, t: e.Joiner}], e)
+		}
+		for key, edges := range groups {
+			after := m.mustJoinedAfter(key.f, key.t)
+			for _, e := range edges {
+				forkNode := m.G.StmtNode[e.Joinee.Fork]
+				if forkNode == nil {
+					continue
+				}
+				set := after[forkNode]
+				if set != nil && set.Has(uint32(e.Joinee.ID)) {
+					e.Full = true
+					if m.fullJoins[e.Joiner] == nil {
+						m.fullJoins[e.Joiner] = &pts.Set{}
+					}
+					m.fullJoins[e.Joiner].Add(uint32(e.Joinee.ID))
+					changed = true
+				}
+			}
+		}
+		if !changed {
+			return
+		}
+	}
+}
+
+// FullyJoins reports whether t fully joins joinee directly.
+func (m *Model) FullyJoins(t, joinee *Thread) bool {
+	fj := m.fullJoins[t]
+	return fj != nil && fj.Has(uint32(joinee.ID))
+}

@@ -1,0 +1,60 @@
+package threads
+
+import (
+	"repro/internal/ir"
+	"repro/internal/pts"
+)
+
+// SingletonObjects returns the abstract objects that represent exactly one
+// runtime memory location and are therefore eligible for strong updates
+// (paper Figure 10, P-SU/WU, following Lhoták-Chung): globals, and stack
+// objects of functions that are neither recursive nor executed by more than
+// one runtime thread. Heap objects, arrays, and anything rooted in them are
+// excluded. The multithreaded refinement (excluding locals of functions run
+// by multiple or multi-forked threads) keeps strong updates sound when the
+// same abstract local is instantiated concurrently.
+func (m *Model) SingletonObjects() *pts.Set {
+	// Count runtime-thread instances per function.
+	instances := map[*ir.Function]int{}
+	for _, t := range m.Threads {
+		weight := 1
+		if t.Multi {
+			weight = 2
+		}
+		seen := map[*ir.Function]bool{}
+		for fc := range m.Funcs(t) {
+			if !seen[fc.Func] {
+				seen[fc.Func] = true
+				instances[fc.Func] += weight
+			}
+		}
+	}
+
+	set := &pts.Set{}
+	for _, o := range m.Prog.Objects {
+		if m.isSingleton(o, instances) {
+			set.Add(uint32(o.ID))
+		}
+	}
+	return set
+}
+
+func (m *Model) isSingleton(o *ir.Object, instances map[*ir.Function]int) bool {
+	root := o.Root()
+	if o.IsArray || root.IsArray {
+		return false
+	}
+	switch root.Kind {
+	case ir.ObjGlobal:
+		return true
+	case ir.ObjStack:
+		f := root.Func
+		if f == nil || m.CG.InRecursion(f) {
+			return false
+		}
+		return instances[f] <= 1
+	default:
+		// Heap, function, and thread-handle objects are never singletons.
+		return false
+	}
+}

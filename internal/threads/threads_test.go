@@ -1,0 +1,349 @@
+package threads_test
+
+import (
+	"testing"
+
+	"repro/internal/ir"
+	"repro/internal/pipeline"
+	"repro/internal/threads"
+)
+
+// build compiles src and returns the thread model.
+func build(t *testing.T, src string) *threads.Model {
+	t.Helper()
+	b, err := pipeline.FromSource("test.mc", src)
+	if err != nil {
+		t.Fatalf("pipeline: %v", err)
+	}
+	return b.Model
+}
+
+// threadByRoutine finds the unique thread starting at the named routine.
+func threadByRoutine(t *testing.T, m *threads.Model, name string) *threads.Thread {
+	t.Helper()
+	var found *threads.Thread
+	for _, th := range m.Threads {
+		for _, r := range th.Routines {
+			if r.Name == name {
+				if found != nil {
+					t.Fatalf("multiple threads run %s", name)
+				}
+				found = th
+			}
+		}
+	}
+	if found == nil {
+		t.Fatalf("no thread runs %s", name)
+	}
+	return found
+}
+
+// fig8 is the paper's Figure 8 program.
+const fig8 = `
+int s1g; int s2g; int s3g; int s4g; int s5g;
+
+void bar(void *a) {
+	s5g = 1;          // s5
+}
+void foo1(void *a) {
+	thread_t t3;
+	t3 = spawn(bar, NULL);   // fk3
+	join(t3);                // jn3
+}
+void foo2(void *a) {
+	bar(NULL);               // cs4
+	s4g = 1;                 // s4
+}
+int main() {
+	s1g = 1;                 // s1
+	thread_t t1;
+	t1 = spawn(foo1, NULL);  // fk1
+	s2g = 1;                 // s2
+	join(t1);                // jn1
+	thread_t t2;
+	t2 = spawn(foo2, NULL);  // fk2
+	s3g = 1;                 // s3
+	join(t2);                // jn2
+	return 0;
+}
+`
+
+func TestFig8ThreadEnumeration(t *testing.T) {
+	m := build(t, fig8)
+	// Threads: t0 (main), t1 (foo1), t2 (foo2), t3 (bar).
+	if len(m.Threads) != 4 {
+		t.Fatalf("got %d threads, want 4: %v", len(m.Threads), m.Threads)
+	}
+	t1 := threadByRoutine(t, m, "foo1")
+	t2 := threadByRoutine(t, m, "foo2")
+	t3 := threadByRoutine(t, m, "bar")
+	if t1.Multi || t2.Multi || t3.Multi {
+		t.Error("no thread should be multi-forked")
+	}
+	if t3.Spawner != t1 {
+		t.Errorf("t3 spawner = %v, want t1", t3.Spawner)
+	}
+	if t1.Spawner != m.Main || t2.Spawner != m.Main {
+		t.Error("t1 and t2 must be spawned by main")
+	}
+}
+
+func TestFig8SpawnRelations(t *testing.T) {
+	m := build(t, fig8)
+	t1 := threadByRoutine(t, m, "foo1")
+	t2 := threadByRoutine(t, m, "foo2")
+	t3 := threadByRoutine(t, m, "bar")
+	if !m.IsAncestor(m.Main, t1) || !m.IsAncestor(m.Main, t3) {
+		t.Error("main must be ancestor of t1 and (transitively) t3")
+	}
+	if !m.IsAncestor(t1, t3) {
+		t.Error("t1 must be ancestor of t3")
+	}
+	if m.IsAncestor(t2, t3) || m.IsAncestor(t3, t2) {
+		t.Error("t2 and t3 are not ancestors of each other")
+	}
+	if !m.Siblings(t1, t2) || !m.Siblings(t3, t2) {
+		t.Error("t1◇t2 and t3◇t2 must be siblings")
+	}
+	if m.Siblings(t1, t3) {
+		t.Error("t1 and t3 are ancestor-related, not siblings")
+	}
+}
+
+func TestFig8FullJoinsAndHB(t *testing.T) {
+	m := build(t, fig8)
+	t1 := threadByRoutine(t, m, "foo1")
+	t2 := threadByRoutine(t, m, "foo2")
+	t3 := threadByRoutine(t, m, "bar")
+	// jn3 fully joins t3 inside foo1 (straight-line fork;join).
+	if !m.FullyJoins(t1, t3) {
+		t.Error("t1 must fully join t3")
+	}
+	// Indirect join: jn1 kills t1 and, via the full join, t3.
+	kills := m.KillClosure(t1)
+	if !kills.Has(uint32(t1.ID)) || !kills.Has(uint32(t3.ID)) {
+		t.Errorf("kill closure of t1 = %v, want {t1,t3}", kills)
+	}
+	// Happens-before (paper Figure 8(b)): t1 > t2 and t3 > t2.
+	if !m.HappensBefore(t1, t2) {
+		t.Error("t1 > t2 expected")
+	}
+	if !m.HappensBefore(t3, t2) {
+		t.Error("t3 > t2 expected (via indirect join at jn1)")
+	}
+	if m.HappensBefore(t2, t1) || m.HappensBefore(t2, t3) {
+		t.Error("t2 must not happen before t1 or t3")
+	}
+}
+
+func TestFig1bUnjoinedGrandchild(t *testing.T) {
+	// Paper Figure 1(b): t2 outlives t1 (joined partially/indirectly not at
+	// all), so joining t1 must NOT kill t2.
+	m := build(t, `
+int x; int y; int z;
+int *p; int *q; int *r; int *c;
+void bar(void *a) {
+	*p = q;
+	c = *p;
+}
+void foo(void *a) {
+	thread_t t2;
+	t2 = spawn(bar, NULL);
+	// t2 is never joined: it outlives foo.
+}
+int main() {
+	p = &x; q = &y; r = &z;
+	thread_t t1;
+	t1 = spawn(foo, NULL);
+	join(t1);
+	*p = r;
+	c = *p;
+	return 0;
+}
+`)
+	t1 := threadByRoutine(t, m, "foo")
+	t2 := threadByRoutine(t, m, "bar")
+	if m.FullyJoins(t1, t2) {
+		t.Error("t1 never joins t2")
+	}
+	kills := m.KillClosure(t1)
+	if kills.Has(uint32(t2.ID)) {
+		t.Error("joining t1 must not kill the unjoined t2")
+	}
+}
+
+func TestMultiForkedInLoop(t *testing.T) {
+	m := build(t, `
+void worker(void *a) { }
+int main() {
+	thread_t tids[4];
+	int i;
+	for (i = 0; i < 4; i++) {
+		tids[i] = spawn(worker, NULL);
+	}
+	for (i = 0; i < 4; i++) {
+		join(tids[i]);
+	}
+	return 0;
+}
+`)
+	w := threadByRoutine(t, m, "worker")
+	if !w.Multi {
+		t.Error("loop-forked thread must be multi-forked (Definition 1)")
+	}
+	// Symmetric fork/join loops (Figure 11): the join must still be handled
+	// as a join-all edge.
+	var edge *threads.JoinEdge
+	for _, e := range m.Joins {
+		if e.Joinee == w {
+			edge = e
+		}
+	}
+	if edge == nil {
+		t.Fatal("symmetric loop join must be resolved")
+	}
+	if !edge.JoinAll {
+		t.Error("symmetric loop join must be a join-all edge")
+	}
+}
+
+func TestMultiForkedByRecursion(t *testing.T) {
+	m := build(t, `
+void worker(void *a) { }
+void rec(int n) {
+	thread_t t;
+	t = spawn(worker, NULL);
+	if (n > 0) { rec(n - 1); }
+}
+int main() {
+	rec(3);
+	return 0;
+}
+`)
+	w := threadByRoutine(t, m, "worker")
+	if !w.Multi {
+		t.Error("thread forked inside recursion must be multi-forked")
+	}
+}
+
+func TestMultiForkedSpawnerPropagates(t *testing.T) {
+	m := build(t, `
+void leaf(void *a) { }
+void mid(void *a) {
+	thread_t t;
+	t = spawn(leaf, NULL);
+	join(t);
+}
+int main() {
+	int i;
+	for (i = 0; i < 2; i++) {
+		thread_t t;
+		t = spawn(mid, NULL);
+		join(t);
+	}
+	return 0;
+}
+`)
+	leaf := threadByRoutine(t, m, "leaf")
+	if !leaf.Multi {
+		t.Error("spawnee of a multi-forked thread must be multi-forked")
+	}
+}
+
+func TestPartialJoinNotFull(t *testing.T) {
+	m := build(t, `
+int c;
+void worker(void *a) { }
+int main() {
+	thread_t t;
+	t = spawn(worker, NULL);
+	if (c > 0) {
+		join(t);
+	}
+	return 0;
+}
+`)
+	w := threadByRoutine(t, m, "worker")
+	var edge *threads.JoinEdge
+	for _, e := range m.Joins {
+		if e.Joinee == w {
+			edge = e
+		}
+	}
+	if edge == nil {
+		t.Fatal("conditional join should still be resolved")
+	}
+	if edge.Full {
+		t.Error("a join on only one branch must not be a full join")
+	}
+}
+
+func TestAmbiguousJoinIgnored(t *testing.T) {
+	m := build(t, `
+int c;
+void wa(void *a) { }
+void wb(void *a) { }
+int main() {
+	thread_t t1; thread_t t2; thread_t chosen;
+	t1 = spawn(wa, NULL);
+	t2 = spawn(wb, NULL);
+	if (c > 0) { chosen = t1; } else { chosen = t2; }
+	join(chosen);
+	return 0;
+}
+`)
+	// The join handle may be either thread: it must be soundly ignored.
+	if len(m.Joins) != 0 {
+		t.Errorf("ambiguous join must be unhandled, got %d edges", len(m.Joins))
+	}
+}
+
+func TestContextSensitiveForkSites(t *testing.T) {
+	// The same fork statement reached under two different contexts yields
+	// two abstract threads (the paper's abstract threads are
+	// context-sensitive fork sites).
+	m := build(t, `
+void worker(void *a) { }
+void spawnOne() {
+	thread_t t;
+	t = spawn(worker, NULL);
+	join(t);
+}
+int main() {
+	spawnOne();
+	spawnOne();
+	return 0;
+}
+`)
+	count := 0
+	for _, th := range m.Threads {
+		for _, r := range th.Routines {
+			if r.Name == "worker" {
+				count++
+			}
+		}
+	}
+	if count != 2 {
+		t.Errorf("got %d abstract threads for worker, want 2 (one per context)", count)
+	}
+	for _, s := range m.Prog.Stmts {
+		if f, ok := s.(*ir.Fork); ok {
+			if got := len(m.ThreadsAtFork[f]); got != 2 {
+				t.Errorf("ThreadsAtFork = %d, want 2", got)
+			}
+		}
+	}
+}
+
+func TestMainThreadProperties(t *testing.T) {
+	m := build(t, `int main() { return 0; }`)
+	if len(m.Threads) != 1 {
+		t.Fatalf("threads = %d, want 1", len(m.Threads))
+	}
+	if m.Main.Fork != nil || m.Main.Spawner != nil || m.Main.Multi {
+		t.Error("main thread must have no fork site, no spawner, not multi")
+	}
+	if m.Main.Routines[0] != m.Prog.Main {
+		t.Error("main thread routine must be main()")
+	}
+}

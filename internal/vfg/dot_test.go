@@ -1,0 +1,24 @@
+package vfg_test
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestWriteDot(t *testing.T) {
+	_, g := build(t, fig6)
+	var sb strings.Builder
+	if err := g.WriteDot(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.HasPrefix(out, "digraph defuse {") || !strings.HasSuffix(strings.TrimSpace(out), "}") {
+		t.Error("malformed DOT")
+	}
+	if !strings.Contains(out, "dashed") {
+		t.Error("thread-aware edges should render dashed")
+	}
+	if !strings.Contains(out, "entry-chi") {
+		t.Error("entry chis missing from dump")
+	}
+}

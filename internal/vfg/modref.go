@@ -1,0 +1,121 @@
+package vfg
+
+import (
+	"repro/internal/andersen"
+	"repro/internal/ir"
+	"repro/internal/pts"
+	"repro/internal/threads"
+)
+
+// ModRef holds, for every function, the sets of abstract objects it may
+// store to (Mod) and load from (Ref), transitively including callees and —
+// because the sequential view Pseq treats a fork as a call to its spawn
+// routines (paper Section 3.2, Step 1) — fork routines. Join sites absorb
+// the Mod sets of the joined threads' routines so their side effects become
+// visible at the join (Step 3).
+type ModRef struct {
+	mod map[*ir.Function]*pts.Set
+	ref map[*ir.Function]*pts.Set
+
+	// joinMods caches, per handled join site, the Mod set of the joined
+	// threads' start routines.
+	joinMods map[*ir.Join]*pts.Set
+}
+
+// Mod returns the transitive may-store set of f (never nil).
+func (mr *ModRef) Mod(f *ir.Function) *pts.Set {
+	if s := mr.mod[f]; s != nil {
+		return s
+	}
+	return &pts.Set{}
+}
+
+// Ref returns the transitive may-load set of f (never nil).
+func (mr *ModRef) Ref(f *ir.Function) *pts.Set {
+	if s := mr.ref[f]; s != nil {
+		return s
+	}
+	return &pts.Set{}
+}
+
+// JoinMods returns the objects that may be modified by the threads joined
+// at j (empty for unhandled joins).
+func (mr *ModRef) JoinMods(j *ir.Join) *pts.Set {
+	if s := mr.joinMods[j]; s != nil {
+		return s
+	}
+	return &pts.Set{}
+}
+
+// computeModRef runs the interprocedural mod-ref fixpoint.
+func computeModRef(pre *andersen.Result, model *threads.Model) *ModRef {
+	mr := &ModRef{
+		mod:      map[*ir.Function]*pts.Set{},
+		ref:      map[*ir.Function]*pts.Set{},
+		joinMods: map[*ir.Join]*pts.Set{},
+	}
+	prog := pre.Prog
+	for _, f := range prog.Funcs {
+		mr.mod[f] = &pts.Set{}
+		mr.ref[f] = &pts.Set{}
+	}
+
+	// Direct effects.
+	for _, f := range prog.Funcs {
+		for _, b := range f.Blocks {
+			for _, s := range b.Stmts {
+				switch s := s.(type) {
+				case *ir.Store:
+					mr.mod[f].UnionWith(pre.PointsToVar(s.Addr))
+				case *ir.Load:
+					mr.ref[f].UnionWith(pre.PointsToVar(s.Addr))
+				}
+			}
+		}
+	}
+
+	// Routines joined at each handled join site.
+	joinRoutines := map[*ir.Join][]*ir.Function{}
+	for _, e := range model.Joins {
+		joinRoutines[e.Site] = append(joinRoutines[e.Site], e.Joinee.Routines...)
+	}
+
+	// Transitive closure over calls, forks (Pseq) and joins.
+	for changed := true; changed; {
+		changed = false
+		for _, f := range prog.Funcs {
+			for _, b := range f.Blocks {
+				for _, s := range b.Stmts {
+					var callees []*ir.Function
+					switch s := s.(type) {
+					case *ir.Call:
+						callees = pre.CallTargets[s]
+					case *ir.Fork:
+						callees = pre.ForkTargets[s]
+					case *ir.Join:
+						callees = joinRoutines[s]
+					default:
+						continue
+					}
+					for _, callee := range callees {
+						if mr.mod[f].UnionWith(mr.mod[callee]) {
+							changed = true
+						}
+						if mr.ref[f].UnionWith(mr.ref[callee]) {
+							changed = true
+						}
+					}
+				}
+			}
+		}
+	}
+
+	for j, routines := range joinRoutines {
+		set := &pts.Set{}
+		for _, r := range routines {
+			set.UnionWith(mr.mod[r])
+		}
+		mr.joinMods[j] = set
+	}
+	return mr
+}

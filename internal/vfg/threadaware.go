@@ -1,0 +1,197 @@
+package vfg
+
+import (
+	"repro/internal/ir"
+	"repro/internal/locks"
+)
+
+// buildThreadAware adds the [THREAD-VF] def-use edges (Section 3.3.2): for
+// every MHP store-load or store-store pair with a common pointed-to object
+// o ∈ AS(*p,*q), an edge from the store's chi of o to the peer access. The
+// lock analysis filters non-interference pairs (Definition 6); the
+// No-Value-Flow ablation drops the aliasing premise and connects every MHP
+// pair over all objects the store may define.
+func (b *gbuilder) buildThreadAware() {
+	g := b.g
+
+	// Index memory accesses by the objects they may touch.
+	var stores []*ir.Store
+	var loads []*ir.Load
+	storesOf := map[ir.ObjID][]*ir.Store{}
+	accessesOf := map[ir.ObjID][]ir.Stmt{}
+	for _, s := range g.Prog.Stmts {
+		switch s := s.(type) {
+		case *ir.Store:
+			stores = append(stores, s)
+			g.Pre.PointsToVar(s.Addr).ForEach(func(id uint32) {
+				storesOf[ir.ObjID(id)] = append(storesOf[ir.ObjID(id)], s)
+				accessesOf[ir.ObjID(id)] = append(accessesOf[ir.ObjID(id)], s)
+			})
+		case *ir.Load:
+			loads = append(loads, s)
+			g.Pre.PointsToVar(s.Addr).ForEach(func(id uint32) {
+				accessesOf[ir.ObjID(id)] = append(accessesOf[ir.ObjID(id)], s)
+			})
+		}
+	}
+
+	if b.opt.NoValueFlow {
+		// Ablation: connect every MHP store-access pair over every object
+		// the store may define, ignoring whether the access aliases it.
+		for _, s := range stores {
+			var peers []ir.Stmt
+			for _, l := range loads {
+				peers = append(peers, l)
+			}
+			for _, s2 := range stores {
+				if s2 != s {
+					peers = append(peers, s2)
+				}
+			}
+			for _, peer := range peers {
+				if !b.pairMHP(s, peer) {
+					continue
+				}
+				g.Pre.PointsToVar(s.Addr).ForEach(func(id uint32) {
+					obj := g.Prog.Objects[id]
+					if b.lockFiltered(s, peer, obj) {
+						g.FilteredByLock++
+						return
+					}
+					b.connect(s, peer, obj)
+				})
+			}
+		}
+		return
+	}
+
+	// Normal mode: object-grouped aliased pairs. A statement pair sharing
+	// several objects is MHP-checked once (cached).
+	type pairKey struct{ a, b ir.StmtID }
+	mhpCache := map[pairKey]bool{}
+	cachedMHP := func(s, peer ir.Stmt) bool {
+		k := pairKey{a: s.ID(), b: peer.ID()}
+		if v, ok := mhpCache[k]; ok {
+			return v
+		}
+		v := b.pairMHP(s, peer)
+		mhpCache[k] = v
+		return v
+	}
+	for objID, ss := range storesOf {
+		obj := g.Prog.Objects[objID]
+		for _, s := range ss {
+			for _, peer := range accessesOf[objID] {
+				if peer == ir.Stmt(s) {
+					continue
+				}
+				if !cachedMHP(s, peer) {
+					g.FilteredByVF++
+					continue
+				}
+				if b.lockFiltered(s, peer, obj) {
+					g.FilteredByLock++
+					continue
+				}
+				b.connect(s, peer, obj)
+			}
+		}
+	}
+}
+
+// connect adds the thread-aware edge store --obj--> peer.
+func (b *gbuilder) connect(s *ir.Store, peer ir.Stmt, obj *ir.Object) {
+	chi := b.g.StoreChiNode(s, obj)
+	ungated := false
+	if chi < 0 {
+		// Ablation edges may involve objects without a chi (the store does
+		// not alias them per pre-analysis); materialize one so the flow
+		// still costs propagation work, and mark the edge ungated.
+		if !b.opt.NoValueFlow {
+			return
+		}
+		chi = b.newNode(MStoreChi, obj, s, ir.StmtFunc(s), s.Parent())
+		b.g.storeChi[stmtObjKey{stmt: s.ID(), obj: obj.ID}] = chi
+		ungated = true
+	}
+	switch peer := peer.(type) {
+	case *ir.Load:
+		gate := ungated || !b.g.Pre.PointsToVar(peer.Addr).Has(uint32(obj.ID))
+		b.addLoadEdge(chi, peer, true, gate)
+	case *ir.Store:
+		peerChi := b.g.StoreChiNode(peer, obj)
+		if peerChi < 0 {
+			if !b.opt.NoValueFlow {
+				return
+			}
+			peerChi = b.newNode(MStoreChi, obj, peer, ir.StmtFunc(peer), peer.Parent())
+			b.g.storeChi[stmtObjKey{stmt: peer.ID(), obj: obj.ID}] = peerChi
+		}
+		b.addMemEdge(chi, peerChi, true, ungated)
+	}
+}
+
+// pairMHP decides statement-level MHP using either the precise interleaving
+// analysis or PCG.
+func (b *gbuilder) pairMHP(s, peer ir.Stmt) bool {
+	if b.opt.Interleave != nil {
+		return b.opt.Interleave.MHPStmts(s, peer)
+	}
+	return b.opt.PCG.MHPStmts(s, peer)
+}
+
+// lockFiltered reports whether every MHP instance pair of (store s, access
+// peer) is a non-interference lock pair for obj, in which case the edge is
+// spurious and omitted (Definition 6).
+func (b *gbuilder) lockFiltered(s *ir.Store, peer ir.Stmt, obj *ir.Object) bool {
+	if b.opt.Locks == nil {
+		return false
+	}
+	if b.opt.Interleave != nil {
+		pairs := b.opt.Interleave.MHPInstances(s, peer)
+		if len(pairs) == 0 {
+			return false // pairMHP said yes, so this should not happen
+		}
+		for _, pr := range pairs {
+			st := locks.Inst{Thread: pr[0].Thread, Ctx: pr[0].Ctx, Stmt: s}
+			ac := locks.Inst{Thread: pr[1].Thread, Ctx: pr[1].Ctx, Stmt: peer}
+			if !b.opt.Locks.NonInterfering(st, ac, obj) {
+				return false // at least one instance pair may interfere
+			}
+		}
+		return true
+	}
+	// PCG mode: enumerate instances from the thread model.
+	sInsts := b.instancesOf(s)
+	pInsts := b.instancesOf(peer)
+	any := false
+	for _, i1 := range sInsts {
+		for _, i2 := range pInsts {
+			if i1.Thread == i2.Thread && !i1.Thread.Multi {
+				continue
+			}
+			any = true
+			if !b.opt.Locks.NonInterfering(i1, i2, obj) {
+				return false
+			}
+		}
+	}
+	return any
+}
+
+// instancesOf enumerates the (thread, ctx) instances executing s.
+func (b *gbuilder) instancesOf(s ir.Stmt) []locks.Inst {
+	f := ir.StmtFunc(s)
+	if f == nil {
+		return nil
+	}
+	var out []locks.Inst
+	for _, t := range b.g.Model.Threads {
+		for fc := range b.g.Model.Funcs(t) {
+			if fc.Func == f {
+				out = append(out, locks.Inst{Thread: t, Ctx: fc.Ctx, Stmt: s})
+			}
+		}
+	}
+	return out
+}

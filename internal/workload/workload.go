@@ -1,0 +1,309 @@
+// Package workload generates the benchmark suite of the paper's Table 1 as
+// deterministic synthetic MiniC programs. We do not have the Phoenix-2.0,
+// Parsec-3.0 and open-source C sources (or a C frontend), so each program
+// reproduces the concurrency skeleton and pointer-workload profile that the
+// paper attributes to its namesake:
+//
+//	word_count    master-slave with symmetric fork/join loops (Figure 11)
+//	kmeans        iterative master-slave (fork/join loops inside a loop)
+//	radiosity     task queue guarded by locks (Figure 13)
+//	automount     lock-heavy daemon over a shared table
+//	ferret        pipeline of stages with queues and thread-local work
+//	bodytrack     pointer-dense data-parallel kernels
+//	httpd_server  accept-loop thread pool, post-join master phase
+//	mt_daapd      threads + locks + heavy thread-local pointer work
+//	raytrace      large, deep call graph, unsynchronized shared writes
+//	x264          largest: pipeline + pools + several lock groups
+//
+// Sizes are scaled down uniformly from the paper's line counts so the suite
+// runs in seconds; relative program sizes (and therefore the relative cost
+// ordering) are preserved. All generation is deterministic: the same name
+// and scale always produce byte-identical source.
+package workload
+
+import (
+	"bytes"
+	"fmt"
+)
+
+// Spec describes one benchmark.
+type Spec struct {
+	Name        string
+	Description string
+	// PaperLOC is the size reported in the paper's Table 1.
+	PaperLOC int
+	gen      func(g *gctx)
+}
+
+// Suite is the paper's Table 1 benchmark list, in its order.
+var Suite = []Spec{
+	{"word_count", "Word counter based on map-reduce", 6330, genWordCount},
+	{"kmeans", "Iterative clustering of 3-D points", 6008, genKmeans},
+	{"radiosity", "Graphics", 12781, genRadiosity},
+	{"automount", "Manage autofs mount points", 13170, genAutomount},
+	{"ferret", "Content similarity search server", 15735, genFerret},
+	{"bodytrack", "Body tracking of a person", 19063, genBodytrack},
+	{"httpd_server", "Http server", 52616, genHttpd},
+	{"mt_daapd", "Multi-threaded DAAP Daemon", 57102, genMtDaapd},
+	{"raytrace", "Real-time raytracing", 84373, genRaytrace},
+	{"x264", "Media processing", 113481, genX264},
+}
+
+// ByName returns the spec for a benchmark name.
+func ByName(name string) (Spec, bool) {
+	for _, s := range Suite {
+		if s.Name == name {
+			return s, true
+		}
+	}
+	return Spec{}, false
+}
+
+// Generate produces the MiniC source for the named benchmark at the given
+// scale (scale 1 is the smallest; sizes grow roughly linearly with it).
+func Generate(name string, scale int) (string, error) {
+	spec, ok := ByName(name)
+	if !ok {
+		return "", fmt.Errorf("unknown benchmark %q", name)
+	}
+	return GenerateSpec(spec, scale), nil
+}
+
+// GenerateSpec produces source for an explicit spec.
+func GenerateSpec(spec Spec, scale int) string {
+	if scale < 1 {
+		scale = 1
+	}
+	g := &gctx{seed: 0x9E3779B97F4A7C15, scale: scale, unit: spec.PaperLOC / 6000}
+	if g.unit < 1 {
+		g.unit = 1
+	}
+	g.p("// %s — synthetic stand-in for %s (%s), paper LOC %d, scale %d\n",
+		spec.Name, spec.Name, spec.Description, spec.PaperLOC, scale)
+	spec.gen(g)
+	return g.buf.String()
+}
+
+// LOC counts source lines (matching the paper's wc-style counting).
+func LOC(src string) int {
+	n := 0
+	for _, c := range src {
+		if c == '\n' {
+			n++
+		}
+	}
+	return n
+}
+
+// ---- generation context ----
+
+type gctx struct {
+	buf   bytes.Buffer
+	seed  uint64
+	scale int
+	// unit scales internal counts with the paper's relative program size.
+	unit int
+	// nPost counts post-processing functions emitted by emitPostFuncs.
+	nPost int
+}
+
+func (g *gctx) p(format string, args ...any) {
+	fmt.Fprintf(&g.buf, format, args...)
+}
+
+// rnd returns a deterministic pseudo-random int in [0, n).
+func (g *gctx) rnd(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	g.seed = g.seed*6364136223846793005 + 1442695040888963407
+	return int((g.seed >> 33) % uint64(n))
+}
+
+// n scales a base count by the benchmark unit and the user scale.
+func (g *gctx) n(base int) int {
+	v := base * g.unit * g.scale
+	if v < 1 {
+		return 1
+	}
+	return v
+}
+
+// ---- shared fabric emitters ----
+
+// fabric describes the pointer workload of a benchmark.
+type fabric struct {
+	globals  int // int targets g<i>
+	ptrs     int // global pointer cells p<i>
+	structs  int // struct types + instances
+	kernels  int // shared pointer-kernel functions
+	localFns int // thread-local pointer work functions
+	locks    int // global locks (lockedKernels use them)
+	depth    int // call-chain depth under each kernel
+	filler   int // arithmetic statements per function
+}
+
+// emitDecls writes globals, pointers, structs and locks.
+func (g *gctx) emitDecls(f fabric) {
+	for i := 0; i < f.globals; i++ {
+		g.p("int g%d;\n", i)
+	}
+	for i := 0; i < f.ptrs; i++ {
+		g.p("int *p%d;\n", i)
+	}
+	for i := 0; i < f.structs; i++ {
+		g.p("struct S%d { int *fa; int *fb; int val; };\n", i)
+		g.p("struct S%d s%d;\n", i, i)
+		g.p("struct S%d *sp%d;\n", i, i)
+	}
+	for i := 0; i < f.locks; i++ {
+		g.p("lock_t lk%d;\n", i)
+	}
+	g.p("int results[16];\n")
+	g.p("int *shared_out;\n")
+	g.p("int *hub;\n")
+}
+
+// emitFiller writes side-effect-free integer churn (program points).
+func (g *gctx) emitFiller(f fabric, name string) {
+	g.p("\tint %s_acc;\n", name)
+	g.p("\t%s_acc = 0;\n", name)
+	for i := 0; i < f.filler; i++ {
+		g.p("\t%s_acc = %s_acc * %d + %d;\n", name, name, g.rnd(7)+1, g.rnd(100))
+	}
+}
+
+// emitKernels writes shared pointer-manipulation functions kernel<i>, each
+// chained to a depth of callees, plus lock-protected variants.
+func (g *gctx) emitKernels(f fabric) {
+	// Leaf helpers.
+	for i := 0; i < f.kernels; i++ {
+		for d := f.depth; d >= 1; d-- {
+			g.p("void kern%d_d%d(void) {\n", i, d)
+			a, b := g.rnd(f.ptrs), g.rnd(f.ptrs)
+			c := g.rnd(f.globals)
+			g.p("\tp%d = &g%d;\n", a, c)
+			g.p("\t*p%d = p%d;\n", g.rnd(f.ptrs), g.rnd(f.ptrs))
+			g.p("\tint *t;\n")
+			g.p("\tt = *(&p%d);\n", b)
+			if f.structs > 0 {
+				si := g.rnd(f.structs)
+				g.p("\tsp%d = &s%d;\n", si, si)
+				g.p("\tsp%d->fa = &g%d;\n", si, g.rnd(f.globals))
+				g.p("\tt = sp%d->fa;\n", si)
+			}
+			g.emitFiller(f, fmt.Sprintf("k%dd%d", i, d))
+			if d < f.depth {
+				g.p("\tkern%d_d%d();\n", i, d+1)
+			}
+			g.p("}\n")
+		}
+		g.p("void kernel%d(void) {\n", i)
+		g.p("\tkern%d_d1();\n", i)
+		g.p("\t*p%d = &g%d;\n", g.rnd(f.ptrs), g.rnd(f.globals))
+		g.p("}\n")
+	}
+	// Locked kernels: critical sections over shared pointers. Sections are
+	// grouped: all sections in a group share one lock and one cell, the way
+	// real code guards each table or queue with a single mutex. Each
+	// section writes the shared cell more than once and then reads it, so
+	// its early stores are not span tails and its reads are not span heads
+	// — the pattern the lock analysis (Definitions 4-6) filters, as in the
+	// paper's radiosity task queue (Figure 13).
+	for i := 0; i < f.locks; i++ {
+		grp := i % lockGroups(f)
+		cell := grp % f.ptrs
+		g.p("void locked%d(void) {\n", i)
+		g.p("\tlock(&lk%d);\n", grp)
+		g.p("\t*p%d = &g%d;\n", cell, g.rnd(f.globals))
+		g.p("\t*p%d = NULL;\n", cell)
+		g.p("\t*p%d = &g%d;\n", cell, g.rnd(f.globals))
+		g.p("\tint *v;\n")
+		g.p("\tv = *p%d;\n", cell)
+		g.p("\tv = *p%d;\n", cell)
+		g.p("\t*p%d = v;\n", cell)
+		g.p("\tunlock(&lk%d);\n", grp)
+		g.p("}\n")
+	}
+}
+
+// lockGroups is the number of distinct mutexes guarding the locked
+// sections; sections map onto groups round-robin.
+func lockGroups(f fabric) int {
+	n := f.locks / 4
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// emitPostFuncs writes master-only post-processing functions that load and
+// store the shared pointer web heavily. They are called exclusively after
+// all joins, so the interleaving analysis proves they cannot run in
+// parallel with the slaves — the coarse PCG ablation cannot, which is what
+// the paper's No-Interleaving configuration measures.
+func (g *gctx) emitPostFuncs(f fabric, count int) int {
+	for i := 0; i < count; i++ {
+		g.p("void postproc%d(void) {\n", i)
+		for j := 0; j < 18; j++ {
+			a := g.rnd(f.ptrs)
+			switch g.rnd(4) {
+			case 0:
+				g.p("\tp%d = &g%d;\n", a, g.rnd(f.globals))
+			case 1:
+				g.p("\t*p%d = &g%d;\n", a, g.rnd(f.globals))
+			default:
+				g.p("\tshared_out = *p%d;\n", a)
+			}
+		}
+		if f.structs > 0 {
+			si := g.rnd(f.structs)
+			g.p("\ts%d.fb = *(&p%d);\n", si, g.rnd(f.ptrs))
+			g.p("\tshared_out = s%d.fb;\n", si)
+		}
+		g.p("}\n")
+	}
+	g.nPost = count
+	return count
+}
+
+// emitLocalFns writes functions doing heavy pointer work on address-taken
+// locals (non-shared memory): the workload the paper's value-flow analysis
+// prunes.
+func (g *gctx) emitLocalFns(f fabric) {
+	for i := 0; i < f.localFns; i++ {
+		g.p("void localwork%d(void) {\n", i)
+		g.p("\tint la; int lb; int lc;\n")
+		g.p("\tint *lp; int *lq;\n")
+		g.p("\tint lbuf[8];\n")
+		g.p("\tlp = &la;\n")
+		g.p("\t*lp = 1;\n")
+		g.p("\tlq = &lb;\n")
+		g.p("\t*lq = *lp;\n")
+		g.p("\tlp = &lc;\n")
+		g.p("\tlbuf[0] = *lq;\n")
+		g.p("\tlbuf[1] = *lp;\n")
+		for j := 0; j < f.filler/2+1; j++ {
+			if g.rnd(2) == 0 {
+				g.p("\t*lp = lbuf[%d] + %d;\n", g.rnd(8), g.rnd(50))
+			} else {
+				g.p("\tlbuf[%d] = *lq;\n", g.rnd(8))
+			}
+		}
+		g.p("}\n")
+	}
+}
+
+// emitWorkerBody writes the shared body of a slave routine: a mix of
+// kernels, locked sections and local work.
+func (g *gctx) emitWorkerBody(f fabric, kernCalls, localCalls, lockCalls int) {
+	for i := 0; i < kernCalls; i++ {
+		g.p("\tkernel%d();\n", g.rnd(f.kernels))
+	}
+	for i := 0; i < lockCalls && f.locks > 0; i++ {
+		g.p("\tlocked%d();\n", g.rnd(f.locks))
+	}
+	for i := 0; i < localCalls && f.localFns > 0; i++ {
+		g.p("\tlocalwork%d();\n", g.rnd(f.localFns))
+	}
+}
