@@ -1,6 +1,7 @@
 package fsam
 
 import (
+	"sort"
 	"time"
 
 	"repro/internal/ir"
@@ -34,7 +35,8 @@ func AnalyzeProgramNonSparse(prog *ir.Program, timeout time.Duration) *Baseline 
 	t0 := time.Now()
 	base := pipeline.BuildBase(prog, 0)
 	b.Base = base
-	b.Stats.Times.PreAnalysis = time.Since(t0)
+	b.Stats.Times.PreAnalysis = time.Since(t0) - base.ThreadModelTime
+	b.Stats.Times.ThreadModel = base.ThreadModelTime
 
 	t0 = time.Now()
 	b.Result = nonsparse.Analyze(base, timeout)
@@ -45,6 +47,13 @@ func AnalyzeProgramNonSparse(prog *ir.Program, timeout time.Duration) *Baseline 
 	b.Stats.Iterations = b.Result.Iterations
 	b.Stats.Stmts = prog.NumStmts()
 	b.Stats.Bytes = b.Result.Bytes() + base.Pre.Bytes()
+	b.Stats.PrePops = base.Pre.Pops
+	b.Stats.SolvePops = b.Result.Iterations
+	rs := b.Result.InternStats()
+	rs.AddFrom(base.Pre.InternStats())
+	b.Stats.UniqueSets = rs.Unique
+	b.Stats.SetRefs = rs.Refs
+	b.Stats.DedupRatio = rs.DedupRatio()
 	return b
 }
 
@@ -65,6 +74,6 @@ func (b *Baseline) PointsToGlobal(name string) ([]string, error) {
 	set.ForEach(func(id uint32) {
 		out = append(out, b.Prog.Objects[id].Name)
 	})
-	sortStrings(out)
+	sort.Strings(out)
 	return out, nil
 }

@@ -57,6 +57,8 @@ func BenchmarkTable2(b *testing.B) {
 				}
 				a := fsam.AnalyzeProgram(prog, fsam.Config{})
 				b.ReportMetric(float64(a.Stats.Bytes), "pts-bytes")
+				b.ReportMetric(float64(a.Stats.UniqueSets), "unique-sets")
+				b.ReportMetric(a.Stats.DedupRatio, "dedup-ratio")
 			}
 		})
 		b.Run(spec.Name+"/NonSparse", func(b *testing.B) {
@@ -70,6 +72,8 @@ func BenchmarkTable2(b *testing.B) {
 					b.Skip("baseline exceeded bench deadline at this scale")
 				}
 				b.ReportMetric(float64(r.Stats.Bytes), "pts-bytes")
+				b.ReportMetric(float64(r.Stats.UniqueSets), "unique-sets")
+				b.ReportMetric(r.Stats.DedupRatio, "dedup-ratio")
 			}
 		})
 	}

@@ -112,10 +112,13 @@ func main() {
 			st.DefUseEdges, st.ObliviousEdges, st.ThreadEdges)
 		fmt.Printf("lock spans:        %d\n", st.LockSpans)
 		fmt.Printf("solver iterations: %d\n", st.Iterations)
+		fmt.Printf("worklist pops:     %d pre + %d solve\n", st.PrePops, st.SolvePops)
 		fmt.Printf("memory:            %.2f MB\n", float64(st.Bytes)/1e6)
-		fmt.Printf("time: pre=%s interleave=%s locks=%s defuse=%s sparse=%s\n",
-			st.Times.PreAnalysis, st.Times.Interleave, st.Times.LockSpans,
-			st.Times.DefUse, st.Times.Sparse)
+		fmt.Printf("interned sets:     %d unique / %d refs (dedup %.2fx)\n",
+			st.UniqueSets, st.SetRefs, st.DedupRatio)
+		fmt.Printf("time: pre=%s threads=%s interleave=%s locks=%s defuse=%s sparse=%s\n",
+			st.Times.PreAnalysis, st.Times.ThreadModel, st.Times.Interleave,
+			st.Times.LockSpans, st.Times.DefUse, st.Times.Sparse)
 	}
 
 	if *query != "" {

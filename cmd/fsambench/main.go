@@ -5,12 +5,14 @@
 //	fsambench -table2              FSAM vs NONSPARSE time/memory (Table 2)
 //	fsambench -figure12            ablation slowdowns (Figure 12)
 //	fsambench -all                 everything
+//	fsambench -table2 -json        Table 2 rows as JSON (machine-readable)
 //
 // Flags -scale and -timeout control workload size and the NONSPARSE budget
 // (the stand-in for the paper's two-hour limit).
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -27,15 +29,30 @@ func main() {
 		all      = flag.Bool("all", false, "print every artifact")
 		scale    = flag.Int("scale", harness.DefaultScale, "workload scale factor")
 		timeout  = flag.Duration("timeout", harness.DefaultTimeout, "NonSparse deadline (stand-in for the paper's 2h)")
+		asJSON   = flag.Bool("json", false, "emit Table 2 rows as JSON instead of text (implies -table2)")
 	)
 	flag.Parse()
 
+	if *asJSON {
+		*table2 = true
+	}
 	if !*table1 && !*table2 && !*figure12 && !*all {
 		flag.Usage()
 		os.Exit(2)
 	}
 	if *all {
 		*table1, *table2, *figure12 = true, true, true
+	}
+
+	if *asJSON {
+		rows := harness.RunTable2(*scale, *timeout)
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rows); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
 	}
 
 	if *table1 {

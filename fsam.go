@@ -69,8 +69,20 @@ func (p PhaseTimes) Total() time.Duration {
 type Stats struct {
 	Times PhaseTimes
 	// Bytes is the resident footprint of the analysis' data structures
-	// (points-to sets, def-use graph, interference facts).
+	// (points-to sets, def-use graph, interference facts). Points-to
+	// storage is interned, so each distinct set is counted once.
 	Bytes uint64
+	// UniqueSets is the number of distinct interned points-to sets the
+	// final results reference; SetRefs is the number of slots referencing
+	// them. DedupRatio is the byte ratio a private-copy representation
+	// would have cost over the interned one (> 1 means sharing won).
+	UniqueSets int
+	SetRefs    int
+	DedupRatio float64
+	// PrePops and SolvePops count priority-worklist pops in the
+	// pre-analysis and the main (sparse or baseline) solver.
+	PrePops   int
+	SolvePops int
 	// Threads is the number of abstract threads (including main).
 	Threads int
 	// DefUseEdges counts def-use edges (ObliviousEdges + ThreadEdges).
@@ -111,13 +123,13 @@ func AnalyzeProgram(prog *ir.Program, cfg Config) *Analysis {
 	a := &Analysis{Prog: prog}
 
 	t0 := time.Now()
-	// Pre-analysis + call graph + ICFG.
+	// Pre-analysis + call graph + ICFG + thread model. BuildBase times the
+	// thread-model construction itself, so it can be attributed to its own
+	// phase rather than folded into PreAnalysis.
 	base := pipeline.BuildBase(prog, cfg.CtxDepth)
 	a.Base = base
-	a.Stats.Times.PreAnalysis = time.Since(t0)
-	// BuildBase also constructs the thread model; attribute it separately
-	// is not possible without re-timing, so fold it into ThreadModel = 0
-	// and keep PreAnalysis as the combined substrate time.
+	a.Stats.Times.PreAnalysis = time.Since(t0) - base.ThreadModelTime
+	a.Stats.Times.ThreadModel = base.ThreadModelTime
 
 	t0 = time.Now()
 	var il *mhp.Result
@@ -161,6 +173,13 @@ func AnalyzeProgram(prog *ir.Program, cfg Config) *Analysis {
 	a.Stats.Iterations = a.Result.Iterations
 	a.Stats.Stmts = prog.NumStmts()
 	a.Stats.Bytes = a.Result.Bytes() + base.Pre.Bytes()
+	a.Stats.PrePops = base.Pre.Pops
+	a.Stats.SolvePops = a.Result.Iterations
+	rs := a.Result.InternStats()
+	rs.AddFrom(base.Pre.InternStats())
+	a.Stats.UniqueSets = rs.Unique
+	a.Stats.SetRefs = rs.Refs
+	a.Stats.DedupRatio = rs.DedupRatio()
 	if il != nil {
 		a.Stats.Bytes += il.Bytes()
 	}
@@ -178,9 +197,6 @@ func errNoGlobal(name string) error {
 	return fmt.Errorf("no global named %q", name)
 }
 
-// sortStrings sorts in place (shared helper).
-func sortStrings(s []string) { sort.Strings(s) }
-
 // GlobalObject resolves a global variable by name.
 func (a *Analysis) GlobalObject(name string) (*ir.Object, error) {
 	for _, o := range a.Prog.Objects {
@@ -188,7 +204,7 @@ func (a *Analysis) GlobalObject(name string) (*ir.Object, error) {
 			return o, nil
 		}
 	}
-	return nil, fmt.Errorf("no global named %q", name)
+	return nil, errNoGlobal(name)
 }
 
 // PointsToGlobal returns the sorted names of the objects that global name

@@ -4,7 +4,10 @@
 //
 // The solver uses difference (wave-style) propagation with periodic SCC
 // collapsing of the copy-edge graph, following the constraint-resolution
-// techniques of Pereira and Berlin cited by the paper. It is field-sensitive
+// techniques of Pereira and Berlin cited by the paper. Points-to sets are
+// hash-consed through the shared engine interner (identical sets stored
+// once, set algebra memoized) and nodes are processed in SCC-topological
+// order by the shared engine worklist. It is field-sensitive
 // (one sub-object per struct field, arrays monolithic; nested aggregates are
 // collapsed onto their field object, which bounds field derivation and
 // subsumes positive-weight-cycle collapsing) and builds the call graph
@@ -14,6 +17,7 @@ package andersen
 import (
 	"sort"
 
+	"repro/internal/engine"
 	"repro/internal/ir"
 	"repro/internal/pts"
 )
@@ -32,9 +36,15 @@ type gepCon struct {
 type Result struct {
 	Prog *ir.Program
 
-	// varPts[v] / objPts[o] are points-to sets of ObjIDs.
+	// varPts[v] / objPts[o] are points-to sets of ObjIDs. The sets are
+	// canonical interned sets shared across slots — read-only.
 	varPts []*pts.Set
 	objPts []*pts.Set
+	// varIDs/objIDs are the interned handles behind varPts/objPts, kept for
+	// sharing statistics and exact byte accounting.
+	varIDs []engine.SetID
+	objIDs []engine.SetID
+	intern *engine.Interner
 
 	// CallTargets resolves every call statement (direct calls included) to
 	// its possible callees, and ForkTargets every fork to its routines.
@@ -45,8 +55,10 @@ type Result struct {
 	// function.
 	Callers map[*ir.Function][]ir.Stmt
 
-	// Iterations counts worklist pops, for diagnostics and benchmarks.
+	// Iterations counts worklist pops that carried a non-empty delta; Pops
+	// counts every pop (both for diagnostics and benchmarks).
 	Iterations int
+	Pops       int
 }
 
 // PointsToVar returns the set of ObjIDs v may point to (never nil).
@@ -78,20 +90,24 @@ func (r *Result) AliasSet(a, b *ir.Var) *pts.Set {
 	return r.PointsToVar(a).Intersect(r.PointsToVar(b))
 }
 
-// Bytes reports the memory footprint of the stored points-to sets.
+// InternStats returns sharing statistics over the stored points-to slots
+// (how many distinct sets back how many references).
+func (r *Result) InternStats() *engine.RefStats {
+	rs := r.intern.NewRefStats()
+	for _, id := range r.varIDs {
+		rs.Ref(id)
+	}
+	for _, id := range r.objIDs {
+		rs.Ref(id)
+	}
+	return rs
+}
+
+// Bytes reports the memory footprint of the stored points-to sets: each
+// canonical interned set counted once plus one 4-byte handle per slot.
 func (r *Result) Bytes() uint64 {
-	var total uint64
-	for _, s := range r.varPts {
-		if s != nil {
-			total += s.Bytes()
-		}
-	}
-	for _, s := range r.objPts {
-		if s != nil {
-			total += s.Bytes()
-		}
-	}
-	return total
+	rs := r.InternStats()
+	return rs.UniqueBytes + uint64(rs.Refs)*4
 }
 
 // solver is the constraint solver state.
@@ -101,11 +117,11 @@ type solver struct {
 
 	parent []node // union-find over constraint nodes
 
-	ptsOf   []*pts.Set // full points-to set per representative
-	delta   []*pts.Set // not-yet-processed additions per representative
-	inWork  []bool
-	work    []node
-	copyOut [][]node // copy successors per representative
+	it      *engine.Interner
+	wl      *engine.Worklist
+	ptsOf   []engine.SetID // full points-to set per representative
+	delta   []engine.SetID // not-yet-processed additions per representative
+	copyOut [][]node       // copy successors per representative
 
 	loads  [][]node     // dst ⊇ *n
 	stores [][]node     // *n ⊇ src
@@ -127,6 +143,8 @@ func Analyze(prog *ir.Program) *Result {
 	s := &solver{
 		prog:         prog,
 		numVars:      len(prog.Vars),
+		it:           engine.NewInterner(),
+		wl:           engine.NewWorklist(0),
 		resolvedCall: map[*ir.Call]map[*ir.Function]bool{},
 		resolvedFork: map[*ir.Fork]map[*ir.Function]bool{},
 		hasEdge:      map[uint64]bool{},
@@ -165,14 +183,12 @@ func (s *solver) grow() {
 		s.iforks = append(s.iforks, nil)
 	}
 	for len(s.ptsOf) < n {
-		s.ptsOf = append(s.ptsOf, nil)
+		s.ptsOf = append(s.ptsOf, engine.EmptySet)
 	}
 	for len(s.delta) < n {
-		s.delta = append(s.delta, nil)
+		s.delta = append(s.delta, engine.EmptySet)
 	}
-	for len(s.inWork) < n {
-		s.inWork = append(s.inWork, false)
-	}
+	s.wl.Grow(n)
 }
 
 func (s *solver) varNode(v *ir.Var) node    { return node(v.ID) }
@@ -187,44 +203,27 @@ func (s *solver) find(n node) node {
 	return n
 }
 
-func (s *solver) ptsAt(n node) *pts.Set {
-	n = s.find(n)
-	if s.ptsOf[n] == nil {
-		s.ptsOf[n] = &pts.Set{}
-	}
-	return s.ptsOf[n]
-}
-
 // addPts inserts obj into pts(n), scheduling n when it changes.
 func (s *solver) addPts(n node, obj uint32) {
 	n = s.find(n)
-	if s.ptsAt(n).Add(obj) {
-		if s.delta[n] == nil {
-			s.delta[n] = &pts.Set{}
-		}
-		s.delta[n].Add(obj)
+	if nu := s.it.Add(s.ptsOf[n], obj); nu != s.ptsOf[n] {
+		s.ptsOf[n] = nu
+		s.delta[n] = s.it.Add(s.delta[n], obj)
 		s.push(n)
 	}
 }
 
 // addPtsSet unions set into pts(n).
-func (s *solver) addPtsSet(n node, set *pts.Set) {
+func (s *solver) addPtsSet(n node, set engine.SetID) {
 	n = s.find(n)
-	if d := s.ptsAt(n).UnionDiff(set); d != nil {
-		if s.delta[n] == nil {
-			s.delta[n] = &pts.Set{}
-		}
-		s.delta[n].UnionWith(d)
+	if u, added := s.it.UnionDiff(s.ptsOf[n], set); added != engine.EmptySet {
+		s.ptsOf[n] = u
+		s.delta[n] = s.it.Union(s.delta[n], added)
 		s.push(n)
 	}
 }
 
-func (s *solver) push(n node) {
-	if !s.inWork[n] {
-		s.inWork[n] = true
-		s.work = append(s.work, n)
-	}
-}
+func (s *solver) push(n node) { s.wl.Push(int(n)) }
 
 // addCopy inserts the copy edge src→dst, propagating the current set.
 func (s *solver) addCopy(src, dst node) {
@@ -238,8 +237,9 @@ func (s *solver) addCopy(src, dst node) {
 	}
 	s.hasEdge[key] = true
 	s.copyOut[src] = append(s.copyOut[src], dst)
+	s.wl.AddEdge(int(src), int(dst))
 	s.edgeCount++
-	if s.ptsOf[src] != nil {
+	if s.ptsOf[src] != engine.EmptySet {
 		s.addPtsSet(dst, s.ptsOf[src])
 	}
 }
@@ -309,11 +309,8 @@ func (s *solver) addStmt(f *ir.Function, st ir.Stmt) {
 // points-to set is run through the new constraints.
 func (s *solver) reprocess(n node) {
 	n = s.find(n)
-	if s.ptsOf[n] != nil && !s.ptsOf[n].IsEmpty() {
-		if s.delta[n] == nil {
-			s.delta[n] = &pts.Set{}
-		}
-		s.delta[n].UnionWith(s.ptsOf[n])
+	if s.ptsOf[n] != engine.EmptySet {
+		s.delta[n] = s.it.Union(s.delta[n], s.ptsOf[n])
 		s.push(n)
 	}
 }
@@ -357,24 +354,27 @@ func (s *solver) bindFork(fork *ir.Fork, routine *ir.Function) {
 	}
 }
 
-// solve runs the difference-propagation worklist to a fixpoint.
+// solve runs the difference-propagation worklist to a fixpoint, popping
+// nodes in the engine's SCC-topological order.
 func (s *solver) solve() {
-	for len(s.work) > 0 {
-		n := s.work[len(s.work)-1]
-		s.work = s.work[:len(s.work)-1]
-		s.inWork[n] = false
+	for {
+		ni, ok := s.wl.Pop()
+		if !ok {
+			break
+		}
+		n := node(ni)
 		if s.find(n) != n {
 			continue // collapsed away
 		}
 		d := s.delta[n]
-		s.delta[n] = nil
-		if d == nil || d.IsEmpty() {
+		s.delta[n] = engine.EmptySet
+		if d == engine.EmptySet {
 			continue
 		}
 		s.iterations++
 
 		// Complex constraints over the delta.
-		d.ForEach(func(objID uint32) {
+		s.it.Set(d).ForEach(func(objID uint32) {
 			obj := s.prog.Objects[objID]
 			on := s.objNode(obj)
 			for _, dst := range s.loads[n] {
@@ -505,16 +505,13 @@ func (s *solver) merge(comp []node) {
 			continue
 		}
 		s.parent[m] = rep
-		if s.ptsOf[m] != nil {
+		if s.ptsOf[m] != engine.EmptySet {
 			s.addPtsSet(rep, s.ptsOf[m])
-			s.ptsOf[m] = nil
+			s.ptsOf[m] = engine.EmptySet
 		}
-		if s.delta[m] != nil {
-			if s.delta[rep] == nil {
-				s.delta[rep] = &pts.Set{}
-			}
-			s.delta[rep].UnionWith(s.delta[m])
-			s.delta[m] = nil
+		if s.delta[m] != engine.EmptySet {
+			s.delta[rep] = s.it.Union(s.delta[rep], s.delta[m])
+			s.delta[m] = engine.EmptySet
 			s.push(rep)
 		}
 		s.copyOut[rep] = append(s.copyOut[rep], s.copyOut[m]...)
@@ -541,21 +538,27 @@ func (s *solver) result() *Result {
 		Prog:        s.prog,
 		varPts:      make([]*pts.Set, s.numVars),
 		objPts:      make([]*pts.Set, len(s.prog.Objects)),
+		varIDs:      make([]engine.SetID, s.numVars),
+		objIDs:      make([]engine.SetID, len(s.prog.Objects)),
+		intern:      s.it,
 		CallTargets: map[*ir.Call][]*ir.Function{},
 		ForkTargets: map[*ir.Fork][]*ir.Function{},
 		Callers:     map[*ir.Function][]ir.Stmt{},
 		Iterations:  s.iterations,
+		Pops:        int(s.wl.Pops()),
 	}
 	for i := 0; i < s.numVars; i++ {
 		rep := s.find(node(i))
-		if s.ptsOf[rep] != nil {
-			r.varPts[i] = s.ptsOf[rep]
+		if id := s.ptsOf[rep]; id != engine.EmptySet {
+			r.varIDs[i] = id
+			r.varPts[i] = s.it.Set(id)
 		}
 	}
 	for i := range s.prog.Objects {
 		rep := s.find(node(s.numVars + i))
-		if s.ptsOf[rep] != nil {
-			r.objPts[i] = s.ptsOf[rep]
+		if id := s.ptsOf[rep]; id != engine.EmptySet {
+			r.objIDs[i] = id
+			r.objPts[i] = s.it.Set(id)
 		}
 	}
 	for call, fs := range s.resolvedCall {

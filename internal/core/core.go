@@ -10,9 +10,16 @@
 // the address operands, so refinement over the pre-analysis kills spurious
 // flows; strong updates apply when a store's address resolves to exactly one
 // singleton object.
+//
+// The solver runs on the shared engine layer: points-to sets are interned
+// (hash-consed) so identical sets are stored once, and memory nodes and
+// statements share one SCC-topologically prioritized worklist seeded with
+// the def-use edges, so producers are (heuristically) solved before their
+// consumers.
 package core
 
 import (
+	"repro/internal/engine"
 	"repro/internal/ir"
 	"repro/internal/pts"
 	"repro/internal/threads"
@@ -26,11 +33,15 @@ type Result struct {
 	Model *threads.Model
 
 	// varPts[v] is the points-to set of top-level variable v (SSA: one set
-	// per variable is flow-sensitive).
+	// per variable is flow-sensitive). memPts[n] is the points-to set of
+	// MemNode n's object after the definition the node represents. Both
+	// hold canonical interned sets shared across slots — read-only.
 	varPts []*pts.Set
-	// memPts[n] is the points-to set of MemNode n's object after the
-	// definition the node represents.
 	memPts []*pts.Set
+	// varIDs/memIDs are the interned handles behind varPts/memPts.
+	varIDs []engine.SetID
+	memIDs []engine.SetID
+	intern *engine.Interner
 
 	singletons *pts.Set
 
@@ -66,27 +77,37 @@ func (r *Result) ObjAtExit(f *ir.Function, obj *ir.Object) *pts.Set {
 // Obj resolves an ObjID from a points-to set.
 func (r *Result) Obj(id uint32) *ir.Object { return r.Prog.Objects[id] }
 
+// InternStats returns sharing statistics over the stored points-to slots.
+func (r *Result) InternStats() *engine.RefStats {
+	rs := r.intern.NewRefStats()
+	for _, id := range r.varIDs {
+		rs.Ref(id)
+	}
+	for _, id := range r.memIDs {
+		rs.Ref(id)
+	}
+	return rs
+}
+
 // Bytes reports the memory footprint of the points-to sets (the quantity
-// Table 2 reports, dominated by per-def points-to storage).
+// Table 2 reports, dominated by per-def points-to storage): each canonical
+// interned set counted once plus one 4-byte handle per slot, plus the
+// def-use graph.
 func (r *Result) Bytes() uint64 {
-	var total uint64
-	for _, s := range r.varPts {
-		if s != nil {
-			total += s.Bytes()
-		}
-	}
-	for _, s := range r.memPts {
-		if s != nil {
-			total += s.Bytes()
-		}
-	}
-	return total + r.Graph.Bytes()
+	rs := r.InternStats()
+	return rs.UniqueBytes + uint64(rs.Refs)*4 + r.Graph.Bytes()
 }
 
 // solver is the in-flight state.
 type solver struct {
-	r *Result
-	g *vfg.Graph
+	r  *Result
+	g  *vfg.Graph
+	it *engine.Interner
+
+	// Combined worklist node space: MemNode IDs in [0, numMem), statement
+	// st at numMem + st.ID().
+	wl     *engine.Worklist
+	numMem int
 
 	// varUses[v] lists statements to re-process when pt(v) changes.
 	varUses map[ir.VarID][]ir.Stmt
@@ -94,39 +115,45 @@ type solver struct {
 	// the address set changes).
 	chiOfStore map[*ir.Store][]int
 
-	// callersOfRet[f.RetVar] lists call statements consuming f's return.
+	// retUses[f.RetVar] lists call statements consuming f's return.
 	retUses map[ir.VarID][]ir.Stmt
 
-	inWorkStmt map[ir.StmtID]bool
-	workStmt   []ir.Stmt
-	inWorkMem  []bool
-	workMem    []int
+	emptySet *pts.Set
 }
 
 // Solve runs the sparse analysis over a built def-use graph.
 func Solve(model *threads.Model, g *vfg.Graph) *Result {
+	it := engine.NewInterner()
 	r := &Result{
 		Prog:       model.Prog,
 		Graph:      g,
 		Model:      model,
 		varPts:     make([]*pts.Set, len(model.Prog.Vars)),
 		memPts:     make([]*pts.Set, len(g.Nodes)),
+		varIDs:     make([]engine.SetID, len(model.Prog.Vars)),
+		memIDs:     make([]engine.SetID, len(g.Nodes)),
+		intern:     it,
 		singletons: model.SingletonObjects(),
 	}
 	s := &solver{
 		r:          r,
 		g:          g,
+		it:         it,
+		numMem:     len(g.Nodes),
+		wl:         engine.NewWorklist(len(g.Nodes) + len(model.Prog.Stmts)),
 		varUses:    map[ir.VarID][]ir.Stmt{},
 		chiOfStore: map[*ir.Store][]int{},
 		retUses:    map[ir.VarID][]ir.Stmt{},
-		inWorkStmt: map[ir.StmtID]bool{},
-		inWorkMem:  make([]bool, len(g.Nodes)),
+		emptySet:   &pts.Set{},
 	}
 	s.buildIndexes()
 	s.seed()
 	s.run()
+	s.snapshot()
 	return r
 }
+
+func (s *solver) stmtNode(st ir.Stmt) int { return s.numMem + int(st.ID()) }
 
 func (s *solver) buildIndexes() {
 	prog := s.r.Prog
@@ -148,20 +175,65 @@ func (s *solver) buildIndexes() {
 			s.chiOfStore[st] = append(s.chiOfStore[st], n.ID)
 		}
 	}
+	s.seedOrderEdges()
 }
 
-func (s *solver) pushStmt(st ir.Stmt) {
-	if !s.inWorkStmt[st.ID()] {
-		s.inWorkStmt[st.ID()] = true
-		s.workStmt = append(s.workStmt, st)
+// seedOrderEdges registers the def-use structure with the worklist so its
+// SCC-topological priorities mirror actual fact flow: memory edges from the
+// vfg graph, SSA def→use edges between statements, call/return bindings,
+// and store→chi re-gating.
+func (s *solver) seedOrderEdges() {
+	prog := s.r.Prog
+	for id, outs := range s.g.Out {
+		for _, e := range outs {
+			if e.ToMem >= 0 {
+				s.wl.AddEdge(id, e.ToMem)
+			} else if e.ToLoad != nil {
+				s.wl.AddEdge(id, s.stmtNode(e.ToLoad))
+			}
+		}
+	}
+	for _, st := range prog.Stmts {
+		if v := ir.Def(st); v != nil {
+			for _, u := range s.varUses[v.ID] {
+				s.wl.AddEdge(s.stmtNode(st), s.stmtNode(u))
+			}
+		}
+		switch st := st.(type) {
+		case *ir.Ret:
+			if st.Val != nil {
+				if f := ir.StmtFunc(st); f != nil && f.RetVar != nil {
+					for _, c := range s.retUses[f.RetVar.ID] {
+						s.wl.AddEdge(s.stmtNode(st), s.stmtNode(c))
+					}
+				}
+			}
+		case *ir.Call:
+			for _, callee := range s.g.Pre.CallTargets[st] {
+				for _, p := range callee.Params {
+					for _, u := range s.varUses[p.ID] {
+						s.wl.AddEdge(s.stmtNode(st), s.stmtNode(u))
+					}
+				}
+			}
+		case *ir.Store:
+			for _, id := range s.chiOfStore[st] {
+				s.wl.AddEdge(s.stmtNode(st), id)
+			}
+		}
 	}
 }
 
-func (s *solver) pushMem(id int) {
-	if !s.inWorkMem[id] {
-		s.inWorkMem[id] = true
-		s.workMem = append(s.workMem, id)
+func (s *solver) pushStmt(st ir.Stmt) { s.wl.Push(s.stmtNode(st)) }
+
+func (s *solver) pushMem(id int) { s.wl.Push(id) }
+
+// varSet returns the current canonical points-to set of v (read-only).
+func (s *solver) varSet(v *ir.Var) *pts.Set {
+	if v == nil {
+		return s.emptySet
 	}
+	return s.it.Set(s.r.varIDs[v.ID])
 }
 
 // varChanged schedules everything depending on v.
@@ -181,16 +253,12 @@ func (s *solver) varChanged(v *ir.Var) {
 }
 
 // addVar unions set into pt(v), scheduling dependents on change.
-func (s *solver) addVar(v *ir.Var, set *pts.Set) {
-	if v == nil || set == nil || set.IsEmpty() {
+func (s *solver) addVar(v *ir.Var, set engine.SetID) {
+	if v == nil || set == engine.EmptySet {
 		return
 	}
-	p := s.r.varPts[v.ID]
-	if p == nil {
-		p = &pts.Set{}
-		s.r.varPts[v.ID] = p
-	}
-	if p.UnionWith(set) {
+	if u := s.it.Union(s.r.varIDs[v.ID], set); u != s.r.varIDs[v.ID] {
+		s.r.varIDs[v.ID] = u
 		s.varChanged(v)
 	}
 }
@@ -199,27 +267,19 @@ func (s *solver) addVarObj(v *ir.Var, obj uint32) {
 	if v == nil {
 		return
 	}
-	p := s.r.varPts[v.ID]
-	if p == nil {
-		p = &pts.Set{}
-		s.r.varPts[v.ID] = p
-	}
-	if p.Add(obj) {
+	if u := s.it.Add(s.r.varIDs[v.ID], obj); u != s.r.varIDs[v.ID] {
+		s.r.varIDs[v.ID] = u
 		s.varChanged(v)
 	}
 }
 
 // addMem unions set into a MemNode's points-to, scheduling successors.
-func (s *solver) addMem(id int, set *pts.Set) {
-	if set == nil || set.IsEmpty() {
+func (s *solver) addMem(id int, set engine.SetID) {
+	if set == engine.EmptySet {
 		return
 	}
-	p := s.r.memPts[id]
-	if p == nil {
-		p = &pts.Set{}
-		s.r.memPts[id] = p
-	}
-	if p.UnionWith(set) {
+	if u := s.it.Union(s.r.memIDs[id], set); u != s.r.memIDs[id] {
+		s.r.memIDs[id] = u
 		for _, e := range s.g.Out[id] {
 			if e.ToMem >= 0 {
 				s.pushMem(e.ToMem)
@@ -241,20 +301,31 @@ func (s *solver) seed() {
 }
 
 func (s *solver) run() {
-	for len(s.workStmt) > 0 || len(s.workMem) > 0 {
-		for len(s.workMem) > 0 {
-			id := s.workMem[len(s.workMem)-1]
-			s.workMem = s.workMem[:len(s.workMem)-1]
-			s.inWorkMem[id] = false
-			s.r.Iterations++
-			s.processMem(id)
+	for {
+		n, ok := s.wl.Pop()
+		if !ok {
+			break
 		}
-		for len(s.workStmt) > 0 {
-			st := s.workStmt[len(s.workStmt)-1]
-			s.workStmt = s.workStmt[:len(s.workStmt)-1]
-			s.inWorkStmt[st.ID()] = false
-			s.r.Iterations++
-			s.processStmt(st)
+		s.r.Iterations++
+		if n < s.numMem {
+			s.processMem(n)
+		} else {
+			s.processStmt(s.r.Prog.Stmts[n-s.numMem])
+		}
+	}
+}
+
+// snapshot materializes the interned handles into the canonical-set slices
+// the Result accessors expose.
+func (s *solver) snapshot() {
+	for i, id := range s.r.varIDs {
+		if id != engine.EmptySet {
+			s.r.varPts[i] = s.it.Set(id)
+		}
+	}
+	for i, id := range s.r.memIDs {
+		if id != engine.EmptySet {
+			s.r.memPts[i] = s.it.Set(id)
 		}
 	}
 }
@@ -268,28 +339,28 @@ func (s *solver) processStmt(st ir.Stmt) {
 		s.addVarObj(st.Dst, uint32(st.Obj.ID)) // P-ADDR
 
 	case *ir.Copy:
-		s.addVar(st.Dst, r.PointsToVar(st.Src)) // P-COPY
+		s.addVar(st.Dst, r.varIDs[st.Src.ID]) // P-COPY
 
 	case *ir.Phi:
 		for _, in := range st.Incoming { // P-PHI
 			if in != nil {
-				s.addVar(st.Dst, r.PointsToVar(in))
+				s.addVar(st.Dst, r.varIDs[in.ID])
 			}
 		}
 
 	case *ir.Gep:
-		base := r.PointsToVar(st.Base)
+		base := s.varSet(st.Base)
 		base.ForEach(func(id uint32) {
 			fo := r.Prog.FieldObj(r.Prog.Objects[id], st.Field)
 			s.addVarObj(st.Dst, uint32(fo.ID))
 		})
 
 	case *ir.Load: // P-LOAD
-		addrSet := r.PointsToVar(st.Addr)
+		addrSet := s.varSet(st.Addr)
 		for _, e := range s.g.LoadIn[st] {
 			def := s.g.Nodes[e.ToMem]
 			if e.Ungated || addrSet.Has(uint32(def.Obj.ID)) {
-				s.addVar(st.Dst, r.PointsToMem(e.ToMem))
+				s.addVar(st.Dst, r.memIDs[e.ToMem])
 			}
 		}
 
@@ -307,17 +378,17 @@ func (s *solver) processStmt(st ir.Stmt) {
 				n = len(callee.Params)
 			}
 			for i := 0; i < n; i++ {
-				s.addVar(callee.Params[i], r.PointsToVar(st.Args[i]))
+				s.addVar(callee.Params[i], r.varIDs[st.Args[i].ID])
 			}
 			if st.Dst != nil && callee.RetVar != nil {
-				s.addVar(st.Dst, r.PointsToVar(callee.RetVar))
+				s.addVar(st.Dst, r.varIDs[callee.RetVar.ID])
 			}
 		}
 
 	case *ir.Ret:
 		if st.Val != nil {
 			if f := ir.StmtFunc(st); f != nil && f.RetVar != nil {
-				s.addVar(f.RetVar, r.PointsToVar(st.Val))
+				s.addVar(f.RetVar, r.varIDs[st.Val.ID])
 			}
 		}
 
@@ -327,7 +398,7 @@ func (s *solver) processStmt(st ir.Stmt) {
 		}
 		for _, routine := range s.g.Pre.ForkTargets[st] {
 			if st.Arg != nil && len(routine.Params) > 0 {
-				s.addVar(routine.Params[0], r.PointsToVar(st.Arg))
+				s.addVar(routine.Params[0], r.varIDs[st.Arg.ID])
 			}
 		}
 	}
@@ -340,14 +411,14 @@ func (s *solver) processMem(id int) {
 	switch n.Kind {
 	case vfg.MStoreChi:
 		st := n.Stmt.(*ir.Store)
-		addrSet := r.PointsToVar(st.Addr)
+		addrSet := s.varSet(st.Addr)
 		objID := uint32(n.Obj.ID)
 		preAliased := s.g.Pre.PointsToVar(st.Addr).Has(objID)
 
 		if !preAliased {
 			// Ablation chi (No-Value-Flow): an unconditional weak write so
 			// the configuration pays the spurious propagation cost.
-			s.addMem(id, r.PointsToVar(st.Src))
+			s.addMem(id, r.varIDs[st.Src.ID])
 			s.mergeIn(id)
 			return
 		}
@@ -360,7 +431,7 @@ func (s *solver) processMem(id int) {
 			return
 		}
 		if addrSet.Has(objID) {
-			s.addMem(id, r.PointsToVar(st.Src)) // P-STORE
+			s.addMem(id, r.varIDs[st.Src.ID]) // P-STORE
 			single, ok := addrSet.Single()
 			strong := ok && single == objID && s.r.singletons.Has(objID)
 			if !strong {
@@ -381,6 +452,6 @@ func (s *solver) processMem(id int) {
 // mergeIn unions all incoming memory definitions into node id.
 func (s *solver) mergeIn(id int) {
 	for _, in := range s.g.In[id] {
-		s.addMem(id, s.r.PointsToMem(in))
+		s.addMem(id, s.r.memIDs[in])
 	}
 }

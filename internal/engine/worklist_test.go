@@ -1,0 +1,153 @@
+package engine
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestWorklistPopsTopologically(t *testing.T) {
+	// Chain 0→1→2→3 pushed in reverse: pops must come out in chain order.
+	w := NewWorklist(4)
+	for i := 0; i < 3; i++ {
+		w.AddEdge(i, i+1)
+	}
+	for i := 3; i >= 0; i-- {
+		w.Push(i)
+	}
+	for want := 0; want < 4; want++ {
+		got, ok := w.Pop()
+		if !ok || got != want {
+			t.Fatalf("pop %d: got %d ok=%v", want, got, ok)
+		}
+	}
+	if _, ok := w.Pop(); ok {
+		t.Fatal("pop from empty worklist succeeded")
+	}
+	if w.Pops() != 4 {
+		t.Fatalf("Pops=%d, want 4", w.Pops())
+	}
+}
+
+func TestWorklistSCCMembersSharePriority(t *testing.T) {
+	// 0→1→2→0 cycle feeding 3; source 4 feeding the cycle.
+	w := NewWorklist(5)
+	w.AddEdge(0, 1)
+	w.AddEdge(1, 2)
+	w.AddEdge(2, 0)
+	w.AddEdge(2, 3)
+	w.AddEdge(4, 0)
+	for i := 0; i < 5; i++ {
+		w.Push(i)
+	}
+	var order []int
+	for {
+		n, ok := w.Pop()
+		if !ok {
+			break
+		}
+		order = append(order, n)
+	}
+	pos := make([]int, 5)
+	for i, n := range order {
+		pos[n] = i
+	}
+	if pos[4] != 0 {
+		t.Fatalf("source 4 not first: order=%v", order)
+	}
+	if pos[3] != 4 {
+		t.Fatalf("sink 3 not last: order=%v", order)
+	}
+}
+
+func TestWorklistPushDedups(t *testing.T) {
+	w := NewWorklist(2)
+	w.Push(1)
+	w.Push(1)
+	if w.Len() != 1 {
+		t.Fatalf("Len=%d after duplicate push, want 1", w.Len())
+	}
+	if n, _ := w.Pop(); n != 1 {
+		t.Fatal("wrong node")
+	}
+	// Re-push after pop is allowed.
+	w.Push(1)
+	if w.Len() != 1 {
+		t.Fatal("re-push after pop lost")
+	}
+}
+
+func TestWorklistGrowAndDynamicEdges(t *testing.T) {
+	w := NewWorklist(2)
+	w.AddEdge(1, 0)
+	w.Push(0)
+	w.Push(1)
+	if n, _ := w.Pop(); n != 1 {
+		t.Fatalf("want producer 1 first, got %d", n)
+	}
+	w.Grow(4)
+	w.AddEdge(3, 2)
+	w.Push(2)
+	w.Push(3)
+	// Drain; every node must come out exactly once.
+	seen := map[int]bool{}
+	for {
+		n, ok := w.Pop()
+		if !ok {
+			break
+		}
+		if seen[n] {
+			t.Fatalf("node %d popped twice", n)
+		}
+		seen[n] = true
+	}
+	if len(seen) != 3 {
+		t.Fatalf("drained %d nodes, want 3", len(seen))
+	}
+}
+
+// TestWorklistNeverLosesNodes randomly interleaves pushes, pops, edge
+// additions and growth; every pushed node must eventually pop exactly once
+// per push-while-absent.
+func TestWorklistNeverLosesNodes(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	n := 50
+	w := NewWorklist(n)
+	pending := map[int]bool{}
+	for step := 0; step < 5000; step++ {
+		switch rng.Intn(4) {
+		case 0:
+			x := rng.Intn(n)
+			w.Push(x)
+			pending[x] = true
+		case 1:
+			if got, ok := w.Pop(); ok {
+				if !pending[got] {
+					t.Fatalf("popped %d which was not pending", got)
+				}
+				delete(pending, got)
+			} else if len(pending) != 0 {
+				t.Fatalf("empty pop with %d pending", len(pending))
+			}
+		case 2:
+			w.AddEdge(rng.Intn(n), rng.Intn(n))
+		case 3:
+			if rng.Intn(10) == 0 {
+				n++
+				w.Grow(n)
+			}
+		}
+		if w.Len() != len(pending) {
+			t.Fatalf("Len=%d, pending=%d", w.Len(), len(pending))
+		}
+	}
+	for {
+		got, ok := w.Pop()
+		if !ok {
+			break
+		}
+		delete(pending, got)
+	}
+	if len(pending) != 0 {
+		t.Fatalf("%d nodes lost", len(pending))
+	}
+}

@@ -69,14 +69,23 @@ func PrintTable1(w io.Writer, rows []Table1Row) {
 	fmt.Fprintf(w, "%-14s %-38s %9d %7d\n", "Total", "", 380659, total)
 }
 
-// Table2Row is one line of Table 2.
+// Table2Row is one line of Table 2. The JSON tags are the schema of
+// `fsambench -json`, which the BENCH trajectory consumes; the unique-set
+// and dedup-ratio fields are the guardrail that interning keeps sharing
+// sets (ratio > 1).
 type Table2Row struct {
-	Name      string
-	FSAMTime  time.Duration
-	FSAMBytes uint64
-	NSTime    time.Duration
-	NSBytes   uint64
-	NSOOT     bool
+	Name           string        `json:"name"`
+	FSAMTime       time.Duration `json:"fsam_ns"`
+	FSAMBytes      uint64        `json:"fsam_bytes"`
+	FSAMUniqueSets int           `json:"fsam_unique_sets"`
+	FSAMSetRefs    int           `json:"fsam_set_refs"`
+	FSAMDedup      float64       `json:"fsam_dedup_ratio"`
+	NSTime         time.Duration `json:"nonsparse_ns"`
+	NSBytes        uint64        `json:"nonsparse_bytes"`
+	NSUniqueSets   int           `json:"nonsparse_unique_sets"`
+	NSSetRefs      int           `json:"nonsparse_set_refs"`
+	NSDedup        float64       `json:"nonsparse_dedup_ratio"`
+	NSOOT          bool          `json:"nonsparse_oot"`
 }
 
 // RunFSAM analyzes one generated benchmark with FSAM and a config.
@@ -110,12 +119,18 @@ func RunTable2(scale int, timeout time.Duration) []Table2Row {
 		a, ft := RunFSAM(spec, scale, fsam.Config{})
 		b, nt := RunNonSparse(spec, scale, timeout)
 		rows = append(rows, Table2Row{
-			Name:      spec.Name,
-			FSAMTime:  ft,
-			FSAMBytes: a.Stats.Bytes,
-			NSTime:    nt,
-			NSBytes:   b.Stats.Bytes,
-			NSOOT:     b.OOT,
+			Name:           spec.Name,
+			FSAMTime:       ft,
+			FSAMBytes:      a.Stats.Bytes,
+			FSAMUniqueSets: a.Stats.UniqueSets,
+			FSAMSetRefs:    a.Stats.SetRefs,
+			FSAMDedup:      a.Stats.DedupRatio,
+			NSTime:         nt,
+			NSBytes:        b.Stats.Bytes,
+			NSUniqueSets:   b.Stats.UniqueSets,
+			NSSetRefs:      b.Stats.SetRefs,
+			NSDedup:        b.Stats.DedupRatio,
+			NSOOT:          b.OOT,
 		})
 	}
 	return rows
@@ -125,8 +140,8 @@ func RunTable2(scale int, timeout time.Duration) []Table2Row {
 // the paper's reporting style.
 func PrintTable2(w io.Writer, rows []Table2Row) {
 	fmt.Fprintf(w, "Table 2: Analysis time and memory usage\n")
-	fmt.Fprintf(w, "%-14s %12s %12s %12s %12s\n",
-		"Program", "FSAM(s)", "NonSp(s)", "FSAM(MB)", "NonSp(MB)")
+	fmt.Fprintf(w, "%-14s %12s %12s %12s %12s %9s %9s\n",
+		"Program", "FSAM(s)", "NonSp(s)", "FSAM(MB)", "NonSp(MB)", "F-dedup", "NS-dedup")
 	var spSum, memSum float64
 	var nBoth int
 	for _, r := range rows {
@@ -140,8 +155,9 @@ func PrintTable2(w io.Writer, rows []Table2Row) {
 			memSum += float64(r.NSBytes) / float64(r.FSAMBytes)
 			nBoth++
 		}
-		fmt.Fprintf(w, "%-14s %12.3f %s %12.2f %s\n",
-			r.Name, r.FSAMTime.Seconds(), ns, float64(r.FSAMBytes)/1e6, nsm)
+		fmt.Fprintf(w, "%-14s %12.3f %s %12.2f %s %8.2fx %8.2fx\n",
+			r.Name, r.FSAMTime.Seconds(), ns, float64(r.FSAMBytes)/1e6, nsm,
+			r.FSAMDedup, r.NSDedup)
 	}
 	if nBoth > 0 {
 		fmt.Fprintf(w, "Average over programs analyzable by both: %.1fx faster, %.1fx less memory\n",

@@ -10,11 +10,17 @@
 // every node of every may-parallel procedure — without knowing whether the
 // facts are needed there. This is the time and memory behaviour Table 2
 // quantifies.
+//
+// The baseline runs on the shared engine layer: per-point graphs store
+// interned SetID handles (the same set at thousands of program points costs
+// one canonical copy), and nodes pop from the engine's SCC-topologically
+// prioritized worklist over the ICFG.
 package nonsparse
 
 import (
 	"time"
 
+	"repro/internal/engine"
 	"repro/internal/icfg"
 	"repro/internal/ir"
 	"repro/internal/pcg"
@@ -30,18 +36,20 @@ type pgKey uint32
 type Result struct {
 	Prog *ir.Program
 
-	varPts []*pts.Set
+	varIDs []engine.SetID
 	// outOf[node] is the per-program-point points-to graph after the node,
 	// keyed by pgKey. As in the paper's baseline (which also works on
 	// partial SSA), it carries bindings for the address-taken objects at
 	// every program point — what "maintains points-to information at every
-	// program point" costs, and what sparsity removes.
-	outOf []map[pgKey]*pts.Set
+	// program point" costs, and what sparsity removes. Values are interned
+	// handles; the set storage itself is shared through the interner.
+	outOf []map[pgKey]engine.SetID
 	// inOf[node] is the persistent merged IN graph (predecessor OUTs plus
 	// procedure interference input), updated incrementally.
-	inOf []map[pgKey]*pts.Set
+	inOf []map[pgKey]engine.SetID
 
-	base *pipeline.Base
+	intern *engine.Interner
+	base   *pipeline.Base
 
 	// OOT is set when the analysis hit its deadline before converging; the
 	// partial results must not be trusted.
@@ -52,10 +60,10 @@ type Result struct {
 
 // PointsToVar returns the points-to set of a top-level variable.
 func (r *Result) PointsToVar(v *ir.Var) *pts.Set {
-	if v == nil || int(v.ID) >= len(r.varPts) || r.varPts[v.ID] == nil {
+	if v == nil || int(v.ID) >= len(r.varIDs) {
 		return &pts.Set{}
 	}
-	return r.varPts[v.ID]
+	return r.intern.Set(r.varIDs[v.ID])
 }
 
 // ObjAtExit returns obj's points-to set at f's exit node.
@@ -65,39 +73,52 @@ func (r *Result) ObjAtExit(f *ir.Function, obj *ir.Object) *pts.Set {
 		return &pts.Set{}
 	}
 	if m := r.outOf[exit.ID]; m != nil {
-		if s := m[r.objKey(obj.ID)]; s != nil {
-			return s
+		if id, ok := m[r.objKey(obj.ID)]; ok {
+			return r.intern.Set(id)
 		}
 	}
 	return &pts.Set{}
 }
 
-// Bytes reports the footprint of the per-point points-to graphs — the
-// quantity that blows up relative to FSAM.
-func (r *Result) Bytes() uint64 {
-	var total uint64
-	for _, s := range r.varPts {
-		if s != nil {
-			total += s.Bytes()
+// InternStats returns sharing statistics over every points-to slot the
+// baseline holds (per-point graphs plus top-level variables). The dedup
+// ratio here is where interning pays most: the same sets recur at thousands
+// of program points.
+func (r *Result) InternStats() *engine.RefStats {
+	rs := r.intern.NewRefStats()
+	for _, id := range r.varIDs {
+		rs.Ref(id)
+	}
+	for _, m := range r.outOf {
+		for _, id := range m {
+			rs.Ref(id)
 		}
 	}
+	for _, m := range r.inOf {
+		for _, id := range m {
+			rs.Ref(id)
+		}
+	}
+	return rs
+}
+
+// Bytes reports the footprint of the per-point points-to graphs — the
+// quantity that blows up relative to FSAM: canonical sets once, plus map
+// headers and one key+handle entry per program-point binding.
+func (r *Result) Bytes() uint64 {
+	rs := r.InternStats()
+	total := rs.UniqueBytes + uint64(len(r.varIDs))*4
 	for _, m := range r.outOf {
 		if m == nil {
 			continue
 		}
-		total += 48 // map header
-		for _, s := range m {
-			total += 16 + s.Bytes()
-		}
+		total += 48 + uint64(len(m))*8
 	}
 	for _, m := range r.inOf {
 		if m == nil {
 			continue
 		}
-		total += 48
-		for _, s := range m {
-			total += 16 + s.Bytes()
-		}
+		total += 48 + uint64(len(m))*8
 	}
 	return total
 }
@@ -106,6 +127,7 @@ type solver struct {
 	r    *Result
 	base *pipeline.Base
 	pcg  *pcg.Result
+	it   *engine.Interner
 
 	singletons *pts.Set
 	// parallelWith[f] reports whether f may run concurrently with any
@@ -117,15 +139,14 @@ type solver struct {
 
 	// interIn[f] accumulates interference facts from stores in procedures
 	// parallel with f.
-	interIn map[*ir.Function]map[pgKey]*pts.Set
+	interIn map[*ir.Function]map[pgKey]engine.SetID
 
 	varUses map[ir.VarID][]*icfg.Node
 	retUses map[ir.VarID][]*icfg.Node
 
 	nodesOfFunc map[*ir.Function][]*icfg.Node
 
-	inWork []bool
-	work   []*icfg.Node
+	wl *engine.Worklist
 
 	deadline time.Time
 }
@@ -134,25 +155,28 @@ type solver struct {
 // means no deadline; otherwise the analysis aborts with OOT when exceeded
 // (standing in for the paper's two-hour budget).
 func Analyze(base *pipeline.Base, timeout time.Duration) *Result {
+	it := engine.NewInterner()
 	r := &Result{
 		Prog:   base.Prog,
-		varPts: make([]*pts.Set, len(base.Prog.Vars)),
-		outOf:  make([]map[pgKey]*pts.Set, len(base.G.Nodes)),
-		inOf:   make([]map[pgKey]*pts.Set, len(base.G.Nodes)),
+		varIDs: make([]engine.SetID, len(base.Prog.Vars)),
+		outOf:  make([]map[pgKey]engine.SetID, len(base.G.Nodes)),
+		inOf:   make([]map[pgKey]engine.SetID, len(base.G.Nodes)),
+		intern: it,
 		base:   base,
 	}
 	s := &solver{
 		r:             r,
 		base:          base,
 		pcg:           pcg.Analyze(base.Model),
+		it:            it,
 		singletons:    base.Model.SingletonObjects(),
 		parallelWith:  map[*ir.Function]bool{},
 		parallelFuncs: map[*ir.Function][]*ir.Function{},
-		interIn:       map[*ir.Function]map[pgKey]*pts.Set{},
+		interIn:       map[*ir.Function]map[pgKey]engine.SetID{},
 		varUses:       map[ir.VarID][]*icfg.Node{},
 		retUses:       map[ir.VarID][]*icfg.Node{},
 		nodesOfFunc:   map[*ir.Function][]*icfg.Node{},
-		inWork:        make([]bool, len(base.G.Nodes)),
+		wl:            engine.NewWorklist(len(base.G.Nodes)),
 	}
 	if timeout > 0 {
 		s.deadline = time.Now().Add(timeout)
@@ -166,6 +190,11 @@ func (s *solver) prepare() {
 	g := s.base.G
 	for _, n := range g.Nodes {
 		s.nodesOfFunc[n.Func] = append(s.nodesOfFunc[n.Func], n)
+		// The ICFG edges drive the worklist's SCC-topo priorities: a node's
+		// predecessors transfer (heuristically) before it does.
+		for _, e := range n.Out {
+			s.wl.AddEdge(n.ID, e.To.ID)
+		}
 		if n.Kind != icfg.NStmt {
 			continue
 		}
@@ -194,12 +223,7 @@ func (s *solver) prepare() {
 	}
 }
 
-func (s *solver) push(n *icfg.Node) {
-	if !s.inWork[n.ID] {
-		s.inWork[n.ID] = true
-		s.work = append(s.work, n)
-	}
-}
+func (s *solver) push(n *icfg.Node) { s.wl.Push(n.ID) }
 
 func (s *solver) varChanged(v *ir.Var) {
 	for _, n := range s.varUses[v.ID] {
@@ -210,16 +234,17 @@ func (s *solver) varChanged(v *ir.Var) {
 	}
 }
 
-func (s *solver) addVar(v *ir.Var, set *pts.Set) {
-	if v == nil || set == nil || set.IsEmpty() {
+// varSet returns the current canonical points-to set of v (read-only).
+func (s *solver) varSet(v *ir.Var) *pts.Set {
+	return s.it.Set(s.r.varIDs[v.ID])
+}
+
+func (s *solver) addVar(v *ir.Var, set engine.SetID) {
+	if v == nil || set == engine.EmptySet {
 		return
 	}
-	p := s.r.varPts[v.ID]
-	if p == nil {
-		p = &pts.Set{}
-		s.r.varPts[v.ID] = p
-	}
-	if p.UnionWith(set) {
+	if u := s.it.Union(s.r.varIDs[v.ID], set); u != s.r.varIDs[v.ID] {
+		s.r.varIDs[v.ID] = u
 		s.varChanged(v)
 	}
 }
@@ -228,59 +253,49 @@ func (s *solver) addVarObj(v *ir.Var, obj uint32) {
 	if v == nil {
 		return
 	}
-	p := s.r.varPts[v.ID]
-	if p == nil {
-		p = &pts.Set{}
-		s.r.varPts[v.ID] = p
-	}
-	if p.Add(obj) {
+	if u := s.it.Add(s.r.varIDs[v.ID], obj); u != s.r.varIDs[v.ID] {
+		s.r.varIDs[v.ID] = u
 		s.varChanged(v)
 	}
 }
 
 // objKey and varKey map IDs into the per-point graph key space.
 func (r *Result) objKey(obj ir.ObjID) pgKey {
-	return pgKey(uint32(len(r.varPts)) + uint32(obj))
+	return pgKey(uint32(len(r.varIDs)) + uint32(obj))
 }
 
 func (r *Result) varKey(v *ir.Var) pgKey { return pgKey(v.ID) }
 
-// mergeOut unions (key → set) into node n's OUT graph, pushing successors
-// on change.
-func (s *solver) mergeOut(n *icfg.Node, key pgKey, set *pts.Set) bool {
-	if set == nil || set.IsEmpty() {
+// mergeOut unions (key → set) into node n's OUT graph, reporting change.
+func (s *solver) mergeOut(n *icfg.Node, key pgKey, set engine.SetID) bool {
+	if set == engine.EmptySet {
 		return false
 	}
 	m := s.r.outOf[n.ID]
 	if m == nil {
-		m = map[pgKey]*pts.Set{}
+		m = map[pgKey]engine.SetID{}
 		s.r.outOf[n.ID] = m
 	}
-	p := m[key]
-	if p == nil {
-		p = &pts.Set{}
-		m[key] = p
+	u := s.it.Union(m[key], set)
+	if u == m[key] {
+		return false
 	}
-	return p.UnionWith(set)
+	m[key] = u
+	return true
 }
 
 // inView refreshes and returns node n's persistent IN graph: the merge of
 // predecessor OUTs plus the interference input of its procedure. The
 // returned map must not be mutated by callers.
-func (s *solver) inView(n *icfg.Node) map[pgKey]*pts.Set {
+func (s *solver) inView(n *icfg.Node) map[pgKey]engine.SetID {
 	in := s.r.inOf[n.ID]
 	if in == nil {
-		in = map[pgKey]*pts.Set{}
+		in = map[pgKey]engine.SetID{}
 		s.r.inOf[n.ID] = in
 	}
-	acc := func(m map[pgKey]*pts.Set) {
-		for key, set := range m {
-			p := in[key]
-			if p == nil {
-				p = &pts.Set{}
-				in[key] = p
-			}
-			p.UnionWith(set)
+	acc := func(m map[pgKey]engine.SetID) {
+		for key, id := range m {
+			in[key] = s.it.Union(in[key], id)
 		}
 	}
 	for _, e := range n.In {
@@ -296,13 +311,18 @@ func (s *solver) inView(n *icfg.Node) map[pgKey]*pts.Set {
 
 func (s *solver) run() {
 	counter := 0
-	for len(s.work) > 0 {
-		n := s.work[len(s.work)-1]
-		s.work = s.work[:len(s.work)-1]
-		s.inWork[n.ID] = false
+	for {
+		id, ok := s.wl.Pop()
+		if !ok {
+			break
+		}
+		n := s.base.G.Nodes[id]
 		s.r.Iterations++
 		counter++
-		if counter%256 == 0 && !s.deadline.IsZero() && time.Now().After(s.deadline) {
+		// The topological ordering converges in far fewer pops than the old
+		// FIFO discipline, so the deadline check runs every 16 pops to keep
+		// the OOT stand-in responsive on small budgets.
+		if counter%16 == 0 && !s.deadline.IsZero() && time.Now().After(s.deadline) {
 			s.r.OOT = true
 			return
 		}
@@ -324,27 +344,27 @@ func (s *solver) transfer(n *icfg.Node) {
 		case *ir.AddrOf:
 			s.addVarObj(st.Dst, uint32(st.Obj.ID))
 		case *ir.Copy:
-			s.addVar(st.Dst, s.r.PointsToVar(st.Src))
+			s.addVar(st.Dst, s.r.varIDs[st.Src.ID])
 		case *ir.Phi:
 			for _, inV := range st.Incoming {
 				if inV != nil {
-					s.addVar(st.Dst, s.r.PointsToVar(inV))
+					s.addVar(st.Dst, s.r.varIDs[inV.ID])
 				}
 			}
 		case *ir.Gep:
-			s.r.PointsToVar(st.Base).ForEach(func(id uint32) {
+			s.varSet(st.Base).ForEach(func(id uint32) {
 				fo := s.r.Prog.FieldObj(s.r.Prog.Objects[id], st.Field)
 				s.addVarObj(st.Dst, uint32(fo.ID))
 			})
 		case *ir.Load:
-			s.r.PointsToVar(st.Addr).ForEach(func(id uint32) {
-				if set := in[s.r.objKey(ir.ObjID(id))]; set != nil {
-					s.addVar(st.Dst, set)
+			s.varSet(st.Addr).ForEach(func(id uint32) {
+				if setID, ok := in[s.r.objKey(ir.ObjID(id))]; ok {
+					s.addVar(st.Dst, setID)
 				}
 			})
 		case *ir.Store:
-			addr := s.r.PointsToVar(st.Addr)
-			src := s.r.PointsToVar(st.Src)
+			addr := s.varSet(st.Addr)
+			src := s.r.varIDs[st.Src.ID]
 			single, isSingle := addr.Single()
 			strongOK := isSingle && s.singletons.Has(single) &&
 				!s.parallelWith[n.Func]
@@ -367,15 +387,15 @@ func (s *solver) transfer(n *icfg.Node) {
 					nn = len(callee.Params)
 				}
 				for i := 0; i < nn; i++ {
-					s.addVar(callee.Params[i], s.r.PointsToVar(st.Args[i]))
+					s.addVar(callee.Params[i], s.r.varIDs[st.Args[i].ID])
 				}
 				if st.Dst != nil && callee.RetVar != nil {
-					s.addVar(st.Dst, s.r.PointsToVar(callee.RetVar))
+					s.addVar(st.Dst, s.r.varIDs[callee.RetVar.ID])
 				}
 			}
 		case *ir.Ret:
 			if st.Val != nil && n.Func.RetVar != nil {
-				s.addVar(n.Func.RetVar, s.r.PointsToVar(st.Val))
+				s.addVar(n.Func.RetVar, s.r.varIDs[st.Val.ID])
 			}
 		case *ir.Fork:
 			if st.Dst != nil {
@@ -383,18 +403,18 @@ func (s *solver) transfer(n *icfg.Node) {
 			}
 			for _, routine := range s.base.Pre.ForkTargets[st] {
 				if st.Arg != nil && len(routine.Params) > 0 {
-					s.addVar(routine.Params[0], s.r.PointsToVar(st.Arg))
+					s.addVar(routine.Params[0], s.r.varIDs[st.Arg.ID])
 				}
 			}
 		}
 	}
 
 	// Pass IN through to OUT (minus strong-update kills).
-	for key, set := range in {
+	for key, id := range in {
 		if kill[key] {
 			continue
 		}
-		if s.mergeOut(n, key, set) {
+		if s.mergeOut(n, key, id) {
 			changed = true
 		}
 	}
@@ -407,22 +427,19 @@ func (s *solver) transfer(n *icfg.Node) {
 
 // propagateInterference merges a store's generated fact into the
 // interference input of every procedure that may run in parallel with f.
-func (s *solver) propagateInterference(f *ir.Function, key pgKey, src *pts.Set) {
-	if src.IsEmpty() {
+func (s *solver) propagateInterference(f *ir.Function, key pgKey, src engine.SetID) {
+	if src == engine.EmptySet {
 		return
 	}
 	for _, g := range s.parallelFuncs[f] {
 		m := s.interIn[g]
 		if m == nil {
-			m = map[pgKey]*pts.Set{}
+			m = map[pgKey]engine.SetID{}
 			s.interIn[g] = m
 		}
-		p := m[key]
-		if p == nil {
-			p = &pts.Set{}
-			m[key] = p
-		}
-		if p.UnionWith(src) {
+		u := s.it.Union(m[key], src)
+		if u != m[key] {
+			m[key] = u
 			// Blind propagation: every node of g re-processes.
 			for _, n := range s.nodesOfFunc[g] {
 				s.push(n)

@@ -5,6 +5,7 @@ package pipeline
 
 import (
 	"fmt"
+	"time"
 
 	"repro/internal/andersen"
 	"repro/internal/callgraph"
@@ -24,6 +25,11 @@ type Base struct {
 	G     *icfg.Graph
 	Ctxs  *callgraph.Ctxs
 	Model *threads.Model
+
+	// ThreadModelTime is the wall-clock cost of constructing the static
+	// thread model, measured inside BuildBase so the facade can report it
+	// as its own phase instead of folding it into the pre-analysis.
+	ThreadModelTime time.Duration
 }
 
 // Compile parses and lowers MiniC source into IR.
@@ -43,8 +49,10 @@ func BuildBase(prog *ir.Program, maxCtxDepth int) *Base {
 	cg := callgraph.Build(pre)
 	g := icfg.Build(cg)
 	ctxs := callgraph.NewCtxs(maxCtxDepth)
+	t0 := time.Now()
 	model := threads.BuildModel(pre, cg, g, ctxs)
-	return &Base{Prog: prog, Pre: pre, CG: cg, G: g, Ctxs: ctxs, Model: model}
+	return &Base{Prog: prog, Pre: pre, CG: cg, G: g, Ctxs: ctxs, Model: model,
+		ThreadModelTime: time.Since(t0)}
 }
 
 // FromSource compiles src and builds the base pipeline.

@@ -259,6 +259,46 @@ func (s *Set) SubsetOf(t *Set) bool {
 	return true
 }
 
+// Difference returns s \ t as a new set.
+func (s *Set) Difference(t *Set) *Set {
+	if t == nil || len(t.words) == 0 {
+		return s.Copy()
+	}
+	out := &Set{}
+	j := 0
+	for i := range s.base {
+		for j < len(t.base) && t.base[j] < s.base[i] {
+			j++
+		}
+		w := s.words[i]
+		if j < len(t.base) && t.base[j] == s.base[i] {
+			w &^= t.words[j]
+		}
+		if w != 0 {
+			out.base = append(out.base, s.base[i])
+			out.words = append(out.words, w)
+		}
+	}
+	return out
+}
+
+// Hash returns a content hash (FNV-1a over the block list). Equal sets hash
+// equal, which is what the engine's hash-consing interner keys on.
+func (s *Set) Hash() uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i, w := range s.words {
+		h ^= uint64(s.base[i])
+		h *= prime64
+		h ^= w
+		h *= prime64
+	}
+	return h
+}
+
 // Copy returns an independent copy of s.
 func (s *Set) Copy() *Set {
 	c := &Set{}
