@@ -1,6 +1,8 @@
 package fsam
 
 import (
+	"context"
+	"errors"
 	"sort"
 	"time"
 
@@ -19,42 +21,133 @@ type Baseline struct {
 	OOT bool
 }
 
+// nonSparsePhase runs the iterative whole-program data-flow solve. An
+// expired deadline is a partial result (Result.OOT), not a phase failure —
+// Table 2 reports OOT rows, it doesn't abort them.
+func nonSparsePhase() pipeline.Phase {
+	return pipeline.Phase{
+		Name:     phaseNonSparse,
+		Needs:    []string{slotBase, slotModel},
+		Provides: []string{slotNSResult},
+		Run: func(ctx context.Context, st *pipeline.State) error {
+			base := pipeline.Get[*pipeline.Base](st, slotBase)
+			st.Put(slotNSResult, nonsparse.AnalyzeCtx(ctx, base))
+			return nil
+		},
+		Bytes: func(st *pipeline.State) uint64 {
+			return pipeline.Get[*nonsparse.Result](st, slotNSResult).Bytes()
+		},
+	}
+}
+
+// nonSparsePhases assembles the NONSPARSE DAG; withCompile prepends the
+// compile phase, otherwise the prog slot must be seeded.
+func nonSparsePhases(name, src string, withCompile bool) []pipeline.Phase {
+	var ps []pipeline.Phase
+	if withCompile {
+		ps = append(ps, compilePhase(name, src))
+	}
+	return append(ps, preAnalysisPhase(0), threadModelPhase(), nonSparsePhase())
+}
+
 // AnalyzeSourceNonSparse parses and analyzes src with the NONSPARSE
 // baseline. timeout <= 0 disables the deadline.
 func AnalyzeSourceNonSparse(name, src string, timeout time.Duration) (*Baseline, error) {
-	prog, err := pipeline.Compile(name, src)
-	if err != nil {
-		return nil, err
+	ctx, cancel := deadlineCtx(timeout)
+	defer cancel()
+	b, err := runNonSparse(ctx, nonSparsePhases(name, src, true), pipeline.NewState())
+	var pe *pipeline.PhaseError
+	if errors.As(err, &pe) && pe.Phase == phaseCompile {
+		return nil, pe.Err // a source error, not an analysis failure
 	}
-	return AnalyzeProgramNonSparse(prog, timeout), nil
+	if err != nil && pipeline.ErrCancelled(err) {
+		b.OOT = true // deadline hit before the solve phase even started
+		return b, nil
+	}
+	return b, err
 }
 
 // AnalyzeProgramNonSparse runs the baseline over an existing program.
 func AnalyzeProgramNonSparse(prog *ir.Program, timeout time.Duration) *Baseline {
-	b := &Baseline{Prog: prog}
-	t0 := time.Now()
-	base := pipeline.BuildBase(prog, 0)
-	b.Base = base
-	b.Stats.Times.PreAnalysis = time.Since(t0) - base.ThreadModelTime
-	b.Stats.Times.ThreadModel = base.ThreadModelTime
-
-	t0 = time.Now()
-	b.Result = nonsparse.Analyze(base, timeout)
-	b.Stats.Times.Sparse = time.Since(t0) // the data-flow solve slot
-	b.OOT = b.Result.OOT
-
-	b.Stats.Threads = len(base.Model.Threads)
-	b.Stats.Iterations = b.Result.Iterations
-	b.Stats.Stmts = prog.NumStmts()
-	b.Stats.Bytes = b.Result.Bytes() + base.Pre.Bytes()
-	b.Stats.PrePops = base.Pre.Pops
-	b.Stats.SolvePops = b.Result.Iterations
-	rs := b.Result.InternStats()
-	rs.AddFrom(base.Pre.InternStats())
-	b.Stats.UniqueSets = rs.Unique
-	b.Stats.SetRefs = rs.Refs
-	b.Stats.DedupRatio = rs.DedupRatio()
+	ctx, cancel := deadlineCtx(timeout)
+	defer cancel()
+	b, err := AnalyzeProgramNonSparseCtx(ctx, prog)
+	if err != nil {
+		if pipeline.ErrCancelled(err) {
+			b.OOT = true
+			return b
+		}
+		// Without cancellation no baseline phase can fail; reaching here
+		// means the DAG itself is malformed.
+		panic(err)
+	}
 	return b
+}
+
+// AnalyzeProgramNonSparseCtx runs the baseline under a context. A deadline
+// that expires during the solve yields a partial Result with OOT set (and
+// nil error); one that expires in an earlier phase surfaces as a
+// *pipeline.PhaseError alongside the partially-populated Baseline.
+func AnalyzeProgramNonSparseCtx(ctx context.Context, prog *ir.Program) (*Baseline, error) {
+	st := pipeline.NewState()
+	st.Put(slotProg, prog)
+	return runNonSparse(ctx, nonSparsePhases("", "", false), st)
+}
+
+// deadlineCtx maps the legacy timeout parameter onto a context.
+func deadlineCtx(timeout time.Duration) (context.Context, context.CancelFunc) {
+	if timeout <= 0 {
+		return context.Background(), func() {}
+	}
+	return context.WithTimeout(context.Background(), timeout)
+}
+
+// runNonSparse schedules the baseline DAG and assembles the facade view.
+func runNonSparse(ctx context.Context, phases []pipeline.Phase, st *pipeline.State) (*Baseline, error) {
+	mgr, err := newManager(Config{}, phases)
+	if err != nil {
+		return nil, err
+	}
+	rep, runErr := mgr.Run(ctx, st)
+	b := &Baseline{
+		Prog:   pipeline.Get[*ir.Program](st, slotProg),
+		Base:   pipeline.Get[*pipeline.Base](st, slotBase),
+		Result: pipeline.Get[*nonsparse.Result](st, slotNSResult),
+	}
+	b.fillStats(rep)
+	return b, runErr
+}
+
+// fillStats maps the manager's Report onto the baseline Stats. The solve
+// time lands in the Sparse slot so FSAM and NONSPARSE rows line up.
+func (b *Baseline) fillStats(rep *pipeline.Report) {
+	t := &b.Stats.Times
+	t.Compile = rep.Time(phaseCompile)
+	t.PreAnalysis = rep.Time(phasePre)
+	t.ThreadModel = rep.Time(phaseModel)
+	t.Sparse = rep.Time(phaseNonSparse)
+	b.Stats.Bytes = rep.TotalBytes()
+	if b.Prog != nil {
+		b.Stats.Stmts = b.Prog.NumStmts()
+	}
+	if b.Base != nil {
+		b.Stats.PrePops = b.Base.Pre.Pops
+		if b.Base.Model != nil {
+			b.Stats.Threads = len(b.Base.Model.Threads)
+		}
+	}
+	if b.Result != nil {
+		b.OOT = b.Result.OOT
+		b.Stats.Iterations = b.Result.Iterations
+		b.Stats.SolvePops = b.Result.Iterations
+		rs := b.Result.InternStats()
+		if b.Base != nil {
+			rs.AddFrom(b.Base.Pre.InternStats())
+		}
+		b.Stats.UniqueSets = rs.Unique
+		b.Stats.SetRefs = rs.Refs
+		b.Stats.DedupRatio = rs.DedupRatio()
+	}
 }
 
 // PointsToGlobal mirrors Analysis.PointsToGlobal for the baseline.

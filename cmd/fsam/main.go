@@ -12,11 +12,13 @@
 //	-query NAME        print the points-to set of one global
 //	-stats             print analysis statistics
 //	-no-interleaving / -no-valueflow / -no-lock   phase ablations
-//	-timeout D         baseline deadline (default 2h, like the paper)
+//	-timeout D         analysis deadline, FSAM or baseline (default 2h,
+//	                   like the paper; exits 1 with an OOT message)
 //	-ir                dump the partial-SSA IR instead of analyzing
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -38,7 +40,7 @@ func main() {
 		noIL     = flag.Bool("no-interleaving", false, "disable the interleaving analysis (use PCG)")
 		noVF     = flag.Bool("no-valueflow", false, "disable the value-flow aliasing premise")
 		noLK     = flag.Bool("no-lock", false, "disable the lock analysis")
-		timeout  = flag.Duration("timeout", 2*time.Hour, "baseline deadline")
+		timeout  = flag.Duration("timeout", 2*time.Hour, "analysis deadline (FSAM and baseline)")
 		dumpIR   = flag.Bool("ir", false, "dump the partial-SSA IR and exit")
 		dotVFG   = flag.Bool("dot-vfg", false, "dump the def-use graph as Graphviz DOT")
 		dotICFG  = flag.Bool("dot-icfg", false, "dump the ICFG as Graphviz DOT")
@@ -86,8 +88,18 @@ func main() {
 	}
 
 	cfg := fsam.Config{NoInterleaving: *noIL, NoValueFlow: *noVF, NoLock: *noLK}
-	a, err := fsam.AnalyzeSource(flag.Arg(0), src, cfg)
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+	a, err := fsam.AnalyzeSourceCtx(ctx, flag.Arg(0), src, cfg)
 	if err != nil {
+		if pipeline.ErrCancelled(err) {
+			fmt.Printf("FSAM: out of time after %s\n", *timeout)
+			os.Exit(1)
+		}
 		fatal(err)
 	}
 

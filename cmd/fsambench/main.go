@@ -5,10 +5,13 @@
 //	fsambench -table2              FSAM vs NONSPARSE time/memory (Table 2)
 //	fsambench -figure12            ablation slowdowns (Figure 12)
 //	fsambench -all                 everything
+//	fsambench -table1 -json        Table 1 rows as JSON (machine-readable)
 //	fsambench -table2 -json        Table 2 rows as JSON (machine-readable)
 //
-// Flags -scale and -timeout control workload size and the NONSPARSE budget
-// (the stand-in for the paper's two-hour limit).
+// Flags -scale and -timeout control workload size and the per-analysis
+// budget (the stand-in for the paper's two-hour limit); the budget applies
+// to FSAM and NONSPARSE alike, so either analysis can appear as an OOT
+// row. Exit status is 1 when any benchmark fails to compile or analyze.
 package main
 
 import (
@@ -22,18 +25,25 @@ import (
 )
 
 func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "fsambench:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
 	var (
 		table1   = flag.Bool("table1", false, "print Table 1 (program statistics)")
 		table2   = flag.Bool("table2", false, "print Table 2 (time and memory, FSAM vs NonSparse)")
 		figure12 = flag.Bool("figure12", false, "print Figure 12 (phase-ablation slowdowns)")
 		all      = flag.Bool("all", false, "print every artifact")
 		scale    = flag.Int("scale", harness.DefaultScale, "workload scale factor")
-		timeout  = flag.Duration("timeout", harness.DefaultTimeout, "NonSparse deadline (stand-in for the paper's 2h)")
-		asJSON   = flag.Bool("json", false, "emit Table 2 rows as JSON instead of text (implies -table2)")
+		timeout  = flag.Duration("timeout", harness.DefaultTimeout, "per-analysis deadline (stand-in for the paper's 2h)")
+		asJSON   = flag.Bool("json", false, "emit the selected tables as JSON instead of text (alone, implies -table2)")
 	)
 	flag.Parse()
 
-	if *asJSON {
+	if *asJSON && !*table1 && !*figure12 && !*all {
 		*table2 = true
 	}
 	if !*table1 && !*table2 && !*figure12 && !*all {
@@ -45,14 +55,7 @@ func main() {
 	}
 
 	if *asJSON {
-		rows := harness.RunTable2(*scale, *timeout)
-		enc := json.NewEncoder(os.Stdout)
-		enc.SetIndent("", "  ")
-		if err := enc.Encode(rows); err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
-		}
-		return
+		return emitJSON(*table1, *table2, *scale, *timeout)
 	}
 
 	if *table1 {
@@ -61,12 +64,48 @@ func main() {
 	}
 	if *table2 {
 		start := time.Now()
-		rows := harness.RunTable2(*scale, *timeout)
+		rows, err := harness.RunTable2(*scale, *timeout)
+		if err != nil {
+			return err
+		}
 		harness.PrintTable2(os.Stdout, rows)
 		fmt.Printf("(total harness time %.1fs, scale %d, timeout %s)\n\n",
 			time.Since(start).Seconds(), *scale, *timeout)
 	}
 	if *figure12 {
-		harness.PrintFigure12(os.Stdout, harness.RunFigure12(*scale))
+		rows, err := harness.RunFigure12(*scale)
+		if err != nil {
+			return err
+		}
+		harness.PrintFigure12(os.Stdout, rows)
 	}
+	return nil
+}
+
+// emitJSON writes the selected tables as JSON. A single table keeps the
+// historical bare-array schema; both tables nest under "table1"/"table2".
+func emitJSON(table1, table2 bool, scale int, timeout time.Duration) error {
+	var payload any
+	switch {
+	case table1 && table2:
+		t2, err := harness.RunTable2(scale, timeout)
+		if err != nil {
+			return err
+		}
+		payload = map[string]any{
+			"table1": harness.RunTable1(scale),
+			"table2": t2,
+		}
+	case table1:
+		payload = harness.RunTable1(scale)
+	default:
+		t2, err := harness.RunTable2(scale, timeout)
+		if err != nil {
+			return err
+		}
+		payload = t2
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	return enc.Encode(payload)
 }

@@ -18,6 +18,8 @@
 package fsam
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"sort"
 	"time"
@@ -46,6 +48,11 @@ type Config struct {
 	NoLock bool
 	// CtxDepth bounds call-string contexts (<=0 uses the default).
 	CtxDepth int
+	// Sequential forces the pass manager to run phases one at a time in
+	// topological order instead of overlapping independent phases
+	// (interleaving ∥ locks). Results are identical either way; the switch
+	// exists for determinism tests and scheduling diagnostics.
+	Sequential bool
 }
 
 // PhaseTimes records wall-clock duration of each pipeline stage.
@@ -108,88 +115,108 @@ type Analysis struct {
 
 // AnalyzeSource parses, compiles and analyzes MiniC source.
 func AnalyzeSource(name, src string, cfg Config) (*Analysis, error) {
-	start := time.Now()
-	prog, err := pipeline.Compile(name, src)
-	if err != nil {
-		return nil, err
+	return AnalyzeSourceCtx(context.Background(), name, src, cfg)
+}
+
+// AnalyzeSourceCtx is AnalyzeSource under a context: the compile phase
+// joins the phase DAG (so compile time is measured directly, not derived
+// by subtraction) and the whole run honors ctx's deadline. On
+// cancellation it returns the partially-populated Analysis alongside a
+// *pipeline.PhaseError wrapping ctx.Err().
+func AnalyzeSourceCtx(ctx context.Context, name, src string, cfg Config) (*Analysis, error) {
+	a, err := runFSAM(ctx, cfg, fsamPhases(cfg, name, src, true), pipeline.NewState())
+	var pe *pipeline.PhaseError
+	if errors.As(err, &pe) && pe.Phase == phaseCompile {
+		return nil, pe.Err // a source error, not an analysis failure
 	}
-	a := AnalyzeProgram(prog, cfg)
-	a.Stats.Times.Compile = time.Since(start) - a.Stats.Times.Total()
-	return a, nil
+	return a, err
 }
 
 // AnalyzeProgram runs FSAM over an already-built program.
 func AnalyzeProgram(prog *ir.Program, cfg Config) *Analysis {
-	a := &Analysis{Prog: prog}
-
-	t0 := time.Now()
-	// Pre-analysis + call graph + ICFG + thread model. BuildBase times the
-	// thread-model construction itself, so it can be attributed to its own
-	// phase rather than folded into PreAnalysis.
-	base := pipeline.BuildBase(prog, cfg.CtxDepth)
-	a.Base = base
-	a.Stats.Times.PreAnalysis = time.Since(t0) - base.ThreadModelTime
-	a.Stats.Times.ThreadModel = base.ThreadModelTime
-
-	t0 = time.Now()
-	var il *mhp.Result
-	var pc *pcg.Result
-	if cfg.NoInterleaving {
-		pc = pcg.Analyze(base.Model)
-	} else {
-		il = mhp.Analyze(base.Model)
-	}
-	a.MHP = il
-	a.PCG = pc
-	a.Stats.Times.Interleave = time.Since(t0)
-
-	t0 = time.Now()
-	var lk *locks.Result
-	if !cfg.NoLock {
-		lk = locks.Analyze(base.Model)
-		a.Stats.LockSpans = lk.NumSpans()
-	}
-	a.Locks = lk
-	a.Stats.Times.LockSpans = time.Since(t0)
-
-	t0 = time.Now()
-	g := vfg.BuildWithOptions(base.Model, vfg.Options{
-		Interleave:  il,
-		PCG:         pc,
-		Locks:       lk,
-		NoValueFlow: cfg.NoValueFlow,
-	})
-	a.Graph = g
-	a.Stats.Times.DefUse = time.Since(t0)
-
-	t0 = time.Now()
-	a.Result = core.Solve(base.Model, g)
-	a.Stats.Times.Sparse = time.Since(t0)
-
-	a.Stats.Threads = len(base.Model.Threads)
-	a.Stats.ObliviousEdges = g.ObliviousEdges
-	a.Stats.ThreadEdges = g.ThreadEdges
-	a.Stats.DefUseEdges = g.ObliviousEdges + g.ThreadEdges
-	a.Stats.Iterations = a.Result.Iterations
-	a.Stats.Stmts = prog.NumStmts()
-	a.Stats.Bytes = a.Result.Bytes() + base.Pre.Bytes()
-	a.Stats.PrePops = base.Pre.Pops
-	a.Stats.SolvePops = a.Result.Iterations
-	rs := a.Result.InternStats()
-	rs.AddFrom(base.Pre.InternStats())
-	a.Stats.UniqueSets = rs.Unique
-	a.Stats.SetRefs = rs.Refs
-	a.Stats.DedupRatio = rs.DedupRatio()
-	if il != nil {
-		a.Stats.Bytes += il.Bytes()
-	}
-	if pc != nil {
-		a.Stats.Bytes += pc.Bytes()
-	}
-	if lk != nil {
-		a.Stats.Bytes += lk.Bytes()
+	a, err := AnalyzeProgramCtx(context.Background(), prog, cfg)
+	if err != nil {
+		// Without a cancellable context no phase can fail; reaching here
+		// means the DAG itself is malformed.
+		panic(err)
 	}
 	return a
+}
+
+// AnalyzeProgramCtx runs FSAM over an already-built program under a
+// context. The pass manager schedules the phases (overlapping the
+// interleaving and lock analyses unless cfg.Sequential) and every
+// fixpoint loop polls ctx, so an expired deadline surfaces promptly as a
+// *pipeline.PhaseError; the returned Analysis then holds the phases that
+// did complete, with their times and bytes in Stats.
+func AnalyzeProgramCtx(ctx context.Context, prog *ir.Program, cfg Config) (*Analysis, error) {
+	st := pipeline.NewState()
+	st.Put(slotProg, prog)
+	return runFSAM(ctx, cfg, fsamPhases(cfg, "", "", false), st)
+}
+
+// runFSAM schedules the phase DAG and assembles the facade view from the
+// final State and the manager's Report.
+func runFSAM(ctx context.Context, cfg Config, phases []pipeline.Phase, st *pipeline.State) (*Analysis, error) {
+	mgr, err := newManager(cfg, phases)
+	if err != nil {
+		return nil, err
+	}
+	rep, runErr := mgr.Run(ctx, st)
+	a := &Analysis{
+		Prog:   pipeline.Get[*ir.Program](st, slotProg),
+		Base:   pipeline.Get[*pipeline.Base](st, slotBase),
+		MHP:    pipeline.Get[*mhp.Result](st, slotMHP),
+		PCG:    pipeline.Get[*pcg.Result](st, slotPCG),
+		Locks:  pipeline.Get[*locks.Result](st, slotLocks),
+		Graph:  pipeline.Get[*vfg.Graph](st, slotVFG),
+		Result: pipeline.Get[*core.Result](st, slotResult),
+	}
+	a.fillStats(rep)
+	return a, runErr
+}
+
+// fillStats maps the manager's per-phase Report onto the facade Stats and
+// derives the result-shape counters. Nil guards keep it usable for the
+// partial Analysis returned on cancellation.
+func (a *Analysis) fillStats(rep *pipeline.Report) {
+	t := &a.Stats.Times
+	t.Compile = rep.Time(phaseCompile)
+	t.PreAnalysis = rep.Time(phasePre)
+	t.ThreadModel = rep.Time(phaseModel)
+	t.Interleave = rep.Time(phaseIL)
+	t.LockSpans = rep.Time(phaseLocks)
+	t.DefUse = rep.Time(phaseDefUse)
+	t.Sparse = rep.Time(phaseSparse)
+	a.Stats.Bytes = rep.TotalBytes()
+	if a.Prog != nil {
+		a.Stats.Stmts = a.Prog.NumStmts()
+	}
+	if a.Base != nil {
+		a.Stats.PrePops = a.Base.Pre.Pops
+		if a.Base.Model != nil {
+			a.Stats.Threads = len(a.Base.Model.Threads)
+		}
+	}
+	if a.Locks != nil {
+		a.Stats.LockSpans = a.Locks.NumSpans()
+	}
+	if a.Graph != nil {
+		a.Stats.ObliviousEdges = a.Graph.ObliviousEdges
+		a.Stats.ThreadEdges = a.Graph.ThreadEdges
+		a.Stats.DefUseEdges = a.Graph.ObliviousEdges + a.Graph.ThreadEdges
+	}
+	if a.Result != nil {
+		a.Stats.Iterations = a.Result.Iterations
+		a.Stats.SolvePops = a.Result.Iterations
+		rs := a.Result.InternStats()
+		if a.Base != nil {
+			rs.AddFrom(a.Base.Pre.InternStats())
+		}
+		a.Stats.UniqueSets = rs.Unique
+		a.Stats.SetRefs = rs.Refs
+		a.Stats.DedupRatio = rs.DedupRatio()
+	}
 }
 
 // errNoGlobal builds the shared "no such global" error.

@@ -15,6 +15,7 @@
 package andersen
 
 import (
+	"context"
 	"sort"
 
 	"repro/internal/engine"
@@ -119,6 +120,7 @@ type solver struct {
 
 	it      *engine.Interner
 	wl      *engine.Worklist
+	cancel  *engine.Canceller
 	ptsOf   []engine.SetID // full points-to set per representative
 	delta   []engine.SetID // not-yet-processed additions per representative
 	copyOut [][]node       // copy successors per representative
@@ -140,11 +142,19 @@ type solver struct {
 
 // Analyze runs the pre-analysis over a finalized program.
 func Analyze(prog *ir.Program) *Result {
+	r, _ := AnalyzeCtx(context.Background(), prog)
+	return r
+}
+
+// AnalyzeCtx runs the pre-analysis under a context. On cancellation it
+// returns (nil, ctx.Err()); the solve loop polls at its worklist pop.
+func AnalyzeCtx(ctx context.Context, prog *ir.Program) (*Result, error) {
 	s := &solver{
 		prog:         prog,
 		numVars:      len(prog.Vars),
 		it:           engine.NewInterner(),
 		wl:           engine.NewWorklist(0),
+		cancel:       engine.NewCanceller(ctx),
 		resolvedCall: map[*ir.Call]map[*ir.Function]bool{},
 		resolvedFork: map[*ir.Fork]map[*ir.Function]bool{},
 		hasEdge:      map[uint64]bool{},
@@ -152,8 +162,10 @@ func Analyze(prog *ir.Program) *Result {
 	s.grow()
 	s.initConstraints()
 	s.collapse()
-	s.solve()
-	return s.result()
+	if err := s.solve(); err != nil {
+		return nil, err
+	}
+	return s.result(), nil
 }
 
 func (s *solver) size() int { return s.numVars + len(s.prog.Objects) }
@@ -355,9 +367,13 @@ func (s *solver) bindFork(fork *ir.Fork, routine *ir.Function) {
 }
 
 // solve runs the difference-propagation worklist to a fixpoint, popping
-// nodes in the engine's SCC-topological order.
-func (s *solver) solve() {
+// nodes in the engine's SCC-topological order. The worklist pop is the
+// cancellation poll point.
+func (s *solver) solve() error {
 	for {
+		if s.cancel.Cancelled() {
+			return s.cancel.Err()
+		}
 		ni, ok := s.wl.Pop()
 		if !ok {
 			break
@@ -409,6 +425,7 @@ func (s *solver) solve() {
 			s.lastCollapse = s.edgeCount
 		}
 	}
+	return nil
 }
 
 // collapse runs Tarjan's SCC algorithm over the copy graph and merges each

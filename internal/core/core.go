@@ -19,6 +19,8 @@
 package core
 
 import (
+	"context"
+
 	"repro/internal/engine"
 	"repro/internal/ir"
 	"repro/internal/pts"
@@ -119,10 +121,18 @@ type solver struct {
 	retUses map[ir.VarID][]ir.Stmt
 
 	emptySet *pts.Set
+	cancel   *engine.Canceller
 }
 
 // Solve runs the sparse analysis over a built def-use graph.
 func Solve(model *threads.Model, g *vfg.Graph) *Result {
+	r, _ := SolveCtx(context.Background(), model, g)
+	return r
+}
+
+// SolveCtx runs the sparse analysis under a context. On cancellation it
+// returns (nil, ctx.Err()); the solve loop polls at its worklist pop.
+func SolveCtx(ctx context.Context, model *threads.Model, g *vfg.Graph) (*Result, error) {
 	it := engine.NewInterner()
 	r := &Result{
 		Prog:       model.Prog,
@@ -145,12 +155,15 @@ func Solve(model *threads.Model, g *vfg.Graph) *Result {
 		chiOfStore: map[*ir.Store][]int{},
 		retUses:    map[ir.VarID][]ir.Stmt{},
 		emptySet:   &pts.Set{},
+		cancel:     engine.NewCanceller(ctx),
 	}
 	s.buildIndexes()
 	s.seed()
-	s.run()
+	if err := s.run(); err != nil {
+		return nil, err
+	}
 	s.snapshot()
-	return r
+	return r, nil
 }
 
 func (s *solver) stmtNode(st ir.Stmt) int { return s.numMem + int(st.ID()) }
@@ -300,8 +313,12 @@ func (s *solver) seed() {
 	}
 }
 
-func (s *solver) run() {
+// run drains the worklist; the pop is the cancellation poll point.
+func (s *solver) run() error {
 	for {
+		if s.cancel.Cancelled() {
+			return s.cancel.Err()
+		}
 		n, ok := s.wl.Pop()
 		if !ok {
 			break
@@ -313,6 +330,7 @@ func (s *solver) run() {
 			s.processStmt(s.r.Prog.Stmts[n-s.numMem])
 		}
 	}
+	return nil
 }
 
 // snapshot materializes the interned handles into the canonical-set slices

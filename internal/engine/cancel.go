@@ -1,0 +1,60 @@
+package engine
+
+import "context"
+
+// PollInterval is the number of worklist pops (or equivalent loop
+// iterations) between context-cancellation checks in the solvers' fixpoint
+// loops. ctx.Err() costs an atomic load plus a mutex in the worst case, so
+// amortizing it keeps the poll overhead invisible while bounding the
+// latency of a cancellation to ~PollInterval pops.
+const PollInterval = 256
+
+// Canceller amortizes context cancellation polling over tight solver
+// loops: Cancelled reports true only once ctx is done, checking the
+// context every PollInterval calls. A nil Canceller (or one built from a
+// nil context) never cancels, so solvers can thread it unconditionally.
+type Canceller struct {
+	ctx  context.Context
+	tick uint32
+	done bool
+}
+
+// NewCanceller returns a Canceller polling ctx. ctx may be nil.
+func NewCanceller(ctx context.Context) *Canceller {
+	if ctx == nil {
+		return nil
+	}
+	// Fast path: Background and friends can never be cancelled.
+	if ctx.Done() == nil {
+		return nil
+	}
+	return &Canceller{ctx: ctx}
+}
+
+// Cancelled reports whether the context has been cancelled, polling it
+// every PollInterval calls (the first call always polls, so an
+// already-expired context is seen immediately).
+func (c *Canceller) Cancelled() bool {
+	if c == nil {
+		return false
+	}
+	if c.done {
+		return true
+	}
+	if c.tick%PollInterval == 0 {
+		if c.ctx.Err() != nil {
+			c.done = true
+			return true
+		}
+	}
+	c.tick++
+	return false
+}
+
+// Err returns the context's error (nil if not cancelled or c is nil).
+func (c *Canceller) Err() error {
+	if c == nil {
+		return nil
+	}
+	return c.ctx.Err()
+}

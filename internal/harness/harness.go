@@ -6,8 +6,10 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 	"io"
+	"math"
 	"strings"
 	"time"
 
@@ -23,15 +25,16 @@ const DefaultScale = 4
 // DefaultTimeout stands in for the paper's two-hour NONSPARSE budget.
 const DefaultTimeout = 30 * time.Second
 
-// Table1Row is one line of Table 1.
+// Table1Row is one line of Table 1. The JSON tags are the schema of
+// `fsambench -table1 -json`.
 type Table1Row struct {
-	Name        string
-	Description string
-	PaperLOC    int
-	GenLOC      int
-	Stmts       int
-	Functions   int
-	Pointers    int
+	Name        string `json:"name"`
+	Description string `json:"description"`
+	PaperLOC    int    `json:"paper_loc"`
+	GenLOC      int    `json:"gen_loc"`
+	Stmts       int    `json:"stmts"`
+	Functions   int    `json:"functions"`
+	Pointers    int    `json:"pointers"`
 }
 
 // RunTable1 computes benchmark statistics.
@@ -58,12 +61,12 @@ func RunTable1(scale int) []Table1Row {
 // PrintTable1 renders Table 1.
 func PrintTable1(w io.Writer, rows []Table1Row) {
 	fmt.Fprintf(w, "Table 1: Program statistics (scaled reproduction)\n")
-	fmt.Fprintf(w, "%-14s %-38s %9s %7s %7s %6s\n",
-		"Benchmark", "Description", "PaperLOC", "GenLOC", "Stmts", "Funcs")
+	fmt.Fprintf(w, "%-14s %-38s %9s %7s %7s %6s %9s\n",
+		"Benchmark", "Description", "PaperLOC", "GenLOC", "Stmts", "Funcs", "Pointers")
 	total := 0
 	for _, r := range rows {
-		fmt.Fprintf(w, "%-14s %-38s %9d %7d %7d %6d\n",
-			r.Name, r.Description, r.PaperLOC, r.GenLOC, r.Stmts, r.Functions)
+		fmt.Fprintf(w, "%-14s %-38s %9d %7d %7d %6d %9d\n",
+			r.Name, r.Description, r.PaperLOC, r.GenLOC, r.Stmts, r.Functions, r.Pointers)
 		total += r.GenLOC
 	}
 	fmt.Fprintf(w, "%-14s %-38s %9d %7d\n", "Total", "", 380659, total)
@@ -80,6 +83,7 @@ type Table2Row struct {
 	FSAMUniqueSets int           `json:"fsam_unique_sets"`
 	FSAMSetRefs    int           `json:"fsam_set_refs"`
 	FSAMDedup      float64       `json:"fsam_dedup_ratio"`
+	FSAMOOT        bool          `json:"fsam_oot"`
 	NSTime         time.Duration `json:"nonsparse_ns"`
 	NSBytes        uint64        `json:"nonsparse_bytes"`
 	NSUniqueSets   int           `json:"nonsparse_unique_sets"`
@@ -89,35 +93,59 @@ type Table2Row struct {
 }
 
 // RunFSAM analyzes one generated benchmark with FSAM and a config.
-func RunFSAM(spec workload.Spec, scale int, cfg fsam.Config) (*fsam.Analysis, time.Duration) {
+// timeout <= 0 disables the deadline; an expired deadline returns the
+// partial Analysis together with an error for which pipeline.ErrCancelled
+// is true, mirroring the NONSPARSE OOT budget so Table 2 can report both
+// analyses symmetrically. Compile failures are returned, not panicked.
+func RunFSAM(spec workload.Spec, scale int, cfg fsam.Config, timeout time.Duration) (*fsam.Analysis, time.Duration, error) {
 	src := workload.GenerateSpec(spec, scale)
 	prog, err := pipeline.Compile(spec.Name, src)
 	if err != nil {
-		panic(fmt.Sprintf("workload %s does not compile: %v", spec.Name, err))
+		return nil, 0, fmt.Errorf("workload %s does not compile: %w", spec.Name, err)
+	}
+	ctx := context.Background()
+	if timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, timeout)
+		defer cancel()
 	}
 	t0 := time.Now()
-	a := fsam.AnalyzeProgram(prog, cfg)
-	return a, time.Since(t0)
+	a, err := fsam.AnalyzeProgramCtx(ctx, prog, cfg)
+	return a, time.Since(t0), err
 }
 
 // RunNonSparse analyzes one generated benchmark with the baseline.
-func RunNonSparse(spec workload.Spec, scale int, timeout time.Duration) (*fsam.Baseline, time.Duration) {
+// Compile failures are returned, not panicked; an expired deadline is an
+// OOT row (Baseline.OOT), not an error.
+func RunNonSparse(spec workload.Spec, scale int, timeout time.Duration) (*fsam.Baseline, time.Duration, error) {
 	src := workload.GenerateSpec(spec, scale)
 	prog, err := pipeline.Compile(spec.Name, src)
 	if err != nil {
-		panic(fmt.Sprintf("workload %s does not compile: %v", spec.Name, err))
+		return nil, 0, fmt.Errorf("workload %s does not compile: %w", spec.Name, err)
 	}
 	t0 := time.Now()
 	b := fsam.AnalyzeProgramNonSparse(prog, timeout)
-	return b, time.Since(t0)
+	return b, time.Since(t0), nil
 }
 
-// RunTable2 measures every benchmark under both analyses.
-func RunTable2(scale int, timeout time.Duration) []Table2Row {
+// RunTable2 measures every benchmark under both analyses. The timeout
+// budget applies to each analysis independently; a run that exceeds it
+// becomes an OOT row rather than an error.
+func RunTable2(scale int, timeout time.Duration) ([]Table2Row, error) {
 	var rows []Table2Row
 	for _, spec := range workload.Suite {
-		a, ft := RunFSAM(spec, scale, fsam.Config{})
-		b, nt := RunNonSparse(spec, scale, timeout)
+		a, ft, err := RunFSAM(spec, scale, fsam.Config{}, timeout)
+		fsamOOT := false
+		if err != nil {
+			if !pipeline.ErrCancelled(err) {
+				return nil, err
+			}
+			fsamOOT = true
+		}
+		b, nt, err := RunNonSparse(spec, scale, timeout)
+		if err != nil {
+			return nil, err
+		}
 		rows = append(rows, Table2Row{
 			Name:           spec.Name,
 			FSAMTime:       ft,
@@ -125,6 +153,7 @@ func RunTable2(scale int, timeout time.Duration) []Table2Row {
 			FSAMUniqueSets: a.Stats.UniqueSets,
 			FSAMSetRefs:    a.Stats.SetRefs,
 			FSAMDedup:      a.Stats.DedupRatio,
+			FSAMOOT:        fsamOOT,
 			NSTime:         nt,
 			NSBytes:        b.Stats.Bytes,
 			NSUniqueSets:   b.Stats.UniqueSets,
@@ -133,7 +162,7 @@ func RunTable2(scale int, timeout time.Duration) []Table2Row {
 			NSOOT:          b.OOT,
 		})
 	}
-	return rows
+	return rows, nil
 }
 
 // PrintTable2 renders Table 2 with speedup/memory summary lines matching
@@ -145,19 +174,25 @@ func PrintTable2(w io.Writer, rows []Table2Row) {
 	var spSum, memSum float64
 	var nBoth int
 	for _, r := range rows {
+		fs := fmt.Sprintf("%12.3f", r.FSAMTime.Seconds())
+		fsm := fmt.Sprintf("%12.2f", float64(r.FSAMBytes)/1e6)
 		ns := fmt.Sprintf("%12.3f", r.NSTime.Seconds())
 		nsm := fmt.Sprintf("%12.2f", float64(r.NSBytes)/1e6)
+		if r.FSAMOOT {
+			fs = fmt.Sprintf("%12s", "OOT")
+			fsm = fmt.Sprintf("%12s", "OOT")
+		}
 		if r.NSOOT {
 			ns = fmt.Sprintf("%12s", "OOT")
 			nsm = fmt.Sprintf("%12s", "OOT")
-		} else {
+		}
+		if !r.FSAMOOT && !r.NSOOT {
 			spSum += r.NSTime.Seconds() / r.FSAMTime.Seconds()
 			memSum += float64(r.NSBytes) / float64(r.FSAMBytes)
 			nBoth++
 		}
-		fmt.Fprintf(w, "%-14s %12.3f %s %12.2f %s %8.2fx %8.2fx\n",
-			r.Name, r.FSAMTime.Seconds(), ns, float64(r.FSAMBytes)/1e6, nsm,
-			r.FSAMDedup, r.NSDedup)
+		fmt.Fprintf(w, "%-14s %s %s %s %s %8.2fx %8.2fx\n",
+			r.Name, fs, ns, fsm, nsm, r.FSAMDedup, r.NSDedup)
 	}
 	if nBoth > 0 {
 		fmt.Fprintf(w, "Average over programs analyzable by both: %.1fx faster, %.1fx less memory\n",
@@ -201,32 +236,41 @@ func resolutionTime(a *fsam.Analysis) time.Duration {
 // at millisecond scale.
 const fig12Reps = 3
 
-func minResolution(spec workload.Spec, scale int, cfg fsam.Config) time.Duration {
+func minResolution(spec workload.Spec, scale int, cfg fsam.Config) (time.Duration, error) {
 	best := time.Duration(0)
 	for i := 0; i < fig12Reps; i++ {
-		a, _ := RunFSAM(spec, scale, cfg)
+		a, _, err := RunFSAM(spec, scale, cfg, 0)
+		if err != nil {
+			return 0, err
+		}
 		t := resolutionTime(a)
 		if best == 0 || t < best {
 			best = t
 		}
 	}
-	return best
+	return best, nil
 }
 
 // RunFigure12 measures the ablation slowdowns.
-func RunFigure12(scale int) []Fig12Row {
+func RunFigure12(scale int) ([]Fig12Row, error) {
 	var rows []Fig12Row
 	for _, spec := range workload.Suite {
-		base := minResolution(spec, scale, fsam.Config{})
+		base, err := minResolution(spec, scale, fsam.Config{})
+		if err != nil {
+			return nil, err
+		}
 		row := Fig12Row{Name: spec.Name, Baseline: base}
 		for i, c := range Fig12Configs {
-			t := minResolution(spec, scale, c.Cfg)
+			t, err := minResolution(spec, scale, c.Cfg)
+			if err != nil {
+				return nil, err
+			}
 			row.Times[i] = t
 			row.Slowdown[i] = t.Seconds() / base.Seconds()
 		}
 		rows = append(rows, row)
 	}
-	return rows
+	return rows, nil
 }
 
 // PrintFigure12 renders the ablation slowdowns as an ASCII chart.
@@ -234,17 +278,18 @@ func PrintFigure12(w io.Writer, rows []Fig12Row) {
 	fmt.Fprintf(w, "Figure 12: Slowdown over FSAM with one interference phase disabled\n")
 	fmt.Fprintf(w, "%-14s %16s %16s %16s\n", "Program",
 		Fig12Configs[0].Label, Fig12Configs[1].Label, Fig12Configs[2].Label)
-	var sums [3]float64
+	var logSums [3]float64
 	for _, r := range rows {
 		fmt.Fprintf(w, "%-14s %15.2fx %15.2fx %15.2fx\n",
 			r.Name, r.Slowdown[0], r.Slowdown[1], r.Slowdown[2])
-		for i := range sums {
-			sums[i] += r.Slowdown[i]
+		for i := range logSums {
+			logSums[i] += math.Log(r.Slowdown[i])
 		}
 	}
-	n := float64(len(rows))
-	fmt.Fprintf(w, "%-14s %15.2fx %15.2fx %15.2fx\n", "GeoMean-ish avg",
-		sums[0]/n, sums[1]/n, sums[2]/n)
+	if n := float64(len(rows)); n > 0 {
+		fmt.Fprintf(w, "%-14s %15.2fx %15.2fx %15.2fx\n", "GeoMean",
+			math.Exp(logSums[0]/n), math.Exp(logSums[1]/n), math.Exp(logSums[2]/n))
+	}
 	for _, r := range rows {
 		fmt.Fprintf(w, "%-14s |%s\n", r.Name, bar(r.Slowdown[0])+bar(r.Slowdown[1])+bar(r.Slowdown[2]))
 	}

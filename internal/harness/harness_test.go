@@ -36,7 +36,10 @@ func TestTable2SmallScale(t *testing.T) {
 	if testing.Short() {
 		t.Skip("short mode")
 	}
-	rows := harness.RunTable2(1, 30*time.Second)
+	rows, err := harness.RunTable2(1, 30*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(rows) != 10 {
 		t.Fatalf("rows = %d", len(rows))
 	}
@@ -79,12 +82,27 @@ func TestRunFSAMAndNonSparse(t *testing.T) {
 	if !ok {
 		t.Fatal("no spec")
 	}
-	a, d := harness.RunFSAM(spec, 1, fsam.Config{})
-	if a == nil || d <= 0 {
-		t.Fatal("RunFSAM")
+	a, d, err := harness.RunFSAM(spec, 1, fsam.Config{}, 0)
+	if err != nil || a == nil || d <= 0 {
+		t.Fatalf("RunFSAM: %v", err)
 	}
-	b, d2 := harness.RunNonSparse(spec, 1, 30*time.Second)
-	if b == nil || d2 <= 0 {
-		t.Fatal("RunNonSparse")
+	b, d2, err := harness.RunNonSparse(spec, 1, 30*time.Second)
+	if err != nil || b == nil || d2 <= 0 {
+		t.Fatalf("RunNonSparse: %v", err)
+	}
+}
+
+func TestTable1PointersRendered(t *testing.T) {
+	rows := harness.RunTable1(1)
+	for _, r := range rows {
+		if r.Pointers == 0 {
+			t.Errorf("%s: Pointers not populated", r.Name)
+		}
+	}
+	var buf bytes.Buffer
+	harness.PrintTable1(&buf, rows)
+	header := strings.SplitN(buf.String(), "\n", 3)[1]
+	if !strings.Contains(header, "Pointers") {
+		t.Errorf("header lacks Pointers column: %q", header)
 	}
 }

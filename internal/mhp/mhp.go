@@ -19,7 +19,10 @@
 package mhp
 
 import (
+	"context"
+
 	"repro/internal/callgraph"
+	"repro/internal/engine"
 	"repro/internal/icfg"
 	"repro/internal/ir"
 	"repro/internal/pts"
@@ -68,6 +71,14 @@ type Result struct {
 
 // Analyze runs the interleaving analysis for every abstract thread.
 func Analyze(model *threads.Model) *Result {
+	r, _ := AnalyzeCtx(context.Background(), model)
+	return r
+}
+
+// AnalyzeCtx runs the interleaving analysis under a context. On
+// cancellation it returns (nil, ctx.Err()); the per-thread data-flow loop
+// polls at its worklist pop.
+func AnalyzeCtx(ctx context.Context, model *threads.Model) (*Result, error) {
 	r := &Result{
 		Model:   model,
 		facts:   map[*threads.Thread]map[nodeCtx]*pts.Set{},
@@ -78,10 +89,13 @@ func Analyze(model *threads.Model) *Result {
 			r.execsOf[fc.Func] = append(r.execsOf[fc.Func], ThreadCtx{Thread: t, Ctx: fc.Ctx})
 		}
 	}
+	cancel := engine.NewCanceller(ctx)
 	for _, t := range model.Threads {
-		r.analyzeThread(t)
+		if err := r.analyzeThread(t, cancel); err != nil {
+			return nil, err
+		}
 	}
-	return r
+	return r, nil
 }
 
 // entrySeed computes the initial fact at a thread's start: its ancestors
@@ -105,7 +119,7 @@ func (r *Result) entrySeed(t *threads.Thread) *pts.Set {
 }
 
 // analyzeThread runs the forward data-flow for one thread over its ICFG.
-func (r *Result) analyzeThread(t *threads.Thread) {
+func (r *Result) analyzeThread(t *threads.Thread, cancel *engine.Canceller) error {
 	m := r.Model
 	facts := map[nodeCtx]*pts.Set{}
 	r.facts[t] = facts
@@ -142,6 +156,9 @@ func (r *Result) analyzeThread(t *threads.Thread) {
 	}
 
 	for len(work) > 0 {
+		if cancel.Cancelled() {
+			return cancel.Err()
+		}
 		nc := work[len(work)-1]
 		work = work[:len(work)-1]
 		inWork[nc] = false
@@ -224,6 +241,7 @@ func (r *Result) analyzeThread(t *threads.Thread) {
 		// modeled by the matched return edge above. A fork node falls
 		// through via its EIntra edge to the return node.
 	}
+	return nil
 }
 
 // I returns I(t, ctx, s): the set of thread IDs that may run concurrently

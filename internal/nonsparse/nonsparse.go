@@ -18,6 +18,7 @@
 package nonsparse
 
 import (
+	"context"
 	"time"
 
 	"repro/internal/engine"
@@ -148,13 +149,27 @@ type solver struct {
 
 	wl *engine.Worklist
 
-	deadline time.Time
+	ctx context.Context
 }
 
 // Analyze runs the baseline over a prepared pipeline base. timeout <= 0
 // means no deadline; otherwise the analysis aborts with OOT when exceeded
 // (standing in for the paper's two-hour budget).
 func Analyze(base *pipeline.Base, timeout time.Duration) *Result {
+	ctx := context.Background()
+	if timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, timeout)
+		defer cancel()
+	}
+	return AnalyzeCtx(ctx, base)
+}
+
+// AnalyzeCtx runs the baseline under a context. Deadline expiry (or
+// cancellation) mid-solve sets Result.OOT — the same out-of-time flag the
+// timeout produced — so the pass manager can report the baseline's OOT
+// rows symmetrically with FSAM's.
+func AnalyzeCtx(ctx context.Context, base *pipeline.Base) *Result {
 	it := engine.NewInterner()
 	r := &Result{
 		Prog:   base.Prog,
@@ -177,9 +192,7 @@ func Analyze(base *pipeline.Base, timeout time.Duration) *Result {
 		retUses:       map[ir.VarID][]*icfg.Node{},
 		nodesOfFunc:   map[*ir.Function][]*icfg.Node{},
 		wl:            engine.NewWorklist(len(base.G.Nodes)),
-	}
-	if timeout > 0 {
-		s.deadline = time.Now().Add(timeout)
+		ctx:           ctx,
 	}
 	s.prepare()
 	s.run()
@@ -322,7 +335,7 @@ func (s *solver) run() {
 		// The topological ordering converges in far fewer pops than the old
 		// FIFO discipline, so the deadline check runs every 16 pops to keep
 		// the OOT stand-in responsive on small budgets.
-		if counter%16 == 0 && !s.deadline.IsZero() && time.Now().After(s.deadline) {
+		if counter%16 == 0 && s.ctx.Err() != nil {
 			s.r.OOT = true
 			return
 		}

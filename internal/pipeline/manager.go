@@ -1,0 +1,351 @@
+// Pass manager: the analysis pipeline as an explicit phase DAG.
+//
+// FSAM is a staged analysis (paper Figure 2: pre-analysis → thread-oblivious
+// def-use → interleaving/value-flow/lock interference → sparse solve), and
+// the stage boundary is the unit of engineering this layer exposes: a Phase
+// declares the typed State slots it consumes and produces, and the Manager
+// topologically schedules the resulting DAG, running phases whose inputs are
+// ready concurrently (the interleaving and lock analyses are independent by
+// construction and overlap today; race/deadlock/leak clients can join the
+// DAG tomorrow). The Manager is also the single place that enforces the
+// per-run context deadline and records per-phase wall time and bytes — the
+// facade's Stats are read off the Report instead of inline stopwatches.
+package pipeline
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Phase is one pipeline stage. Needs and Provides name State slots; the
+// Manager derives the DAG edges from them (a phase depends on the phase
+// providing each slot it needs). Slots no phase provides must be seeded
+// into the State before Run.
+type Phase struct {
+	Name string
+	// Needs lists the slots read by Run. Provides lists the slots Run is
+	// obliged to Put; each slot has exactly one provider.
+	Needs    []string
+	Provides []string
+	// Run executes the phase. It must honor ctx cancellation (long fixpoint
+	// loops poll at their worklist pop) and communicate only through st.
+	Run func(ctx context.Context, st *State) error
+	// Bytes optionally reports the resident footprint of the phase's
+	// outputs; the Manager records it after Run succeeds.
+	Bytes func(st *State) uint64
+}
+
+// State is the shared slot store phases communicate through. It is safe for
+// concurrent use by phases running in parallel.
+type State struct {
+	mu    sync.Mutex
+	slots map[string]any
+}
+
+// NewState returns an empty State.
+func NewState() *State { return &State{slots: map[string]any{}} }
+
+// Put stores v under slot.
+func (s *State) Put(slot string, v any) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.slots[slot] = v
+}
+
+// Value returns the raw slot value and whether it is present.
+func (s *State) Value(slot string) (any, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	v, ok := s.slots[slot]
+	return v, ok
+}
+
+// Get returns the slot value as a T. It returns the zero T when the slot is
+// absent or holds a nil; it panics when the slot holds a different type
+// (a phase wiring bug, not a runtime condition).
+func Get[T any](s *State, slot string) T {
+	var zero T
+	v, ok := s.Value(slot)
+	if !ok || v == nil {
+		return zero
+	}
+	t, ok := v.(T)
+	if !ok {
+		panic(fmt.Sprintf("pipeline: slot %q holds %T, want %T", slot, v, zero))
+	}
+	return t
+}
+
+// Report is the Manager's per-run accounting: wall time and bytes per
+// phase, and the completion order (a valid topological order of the DAG).
+type Report struct {
+	mu    sync.Mutex
+	times map[string]time.Duration
+	bytes map[string]uint64
+	order []string
+}
+
+func newReport() *Report {
+	return &Report{times: map[string]time.Duration{}, bytes: map[string]uint64{}}
+}
+
+func (r *Report) record(name string, d time.Duration, b uint64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.times[name] = d
+	r.bytes[name] = b
+	r.order = append(r.order, name)
+}
+
+// Time returns the recorded wall time of a phase (0 if it never completed).
+func (r *Report) Time(name string) time.Duration {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.times[name]
+}
+
+// Bytes returns the recorded footprint of a phase's outputs.
+func (r *Report) Bytes(name string) uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.bytes[name]
+}
+
+// TotalBytes sums the recorded footprint over all completed phases.
+func (r *Report) TotalBytes() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var total uint64
+	for _, b := range r.bytes {
+		total += b
+	}
+	return total
+}
+
+// Order returns the completion order of the phases that ran.
+func (r *Report) Order() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]string(nil), r.order...)
+}
+
+// PhaseError reports a failed (or cancelled) phase together with the
+// phases that did complete, so callers can expose partial progress.
+type PhaseError struct {
+	Phase     string
+	Completed []string
+	Err       error
+}
+
+func (e *PhaseError) Error() string {
+	return fmt.Sprintf("pipeline: phase %q: %v (completed: %v)", e.Phase, e.Err, e.Completed)
+}
+
+func (e *PhaseError) Unwrap() error { return e.Err }
+
+// Manager schedules a phase DAG.
+type Manager struct {
+	phases []Phase
+	// Sequential forces one-phase-at-a-time execution in a deterministic
+	// topological order (diagnostics and scheduling-equivalence tests);
+	// the default runs every ready phase concurrently.
+	Sequential bool
+
+	providerOf map[string]int // slot → phase index
+	deps       [][]int        // phase → indices of phases it depends on
+	external   []string       // slots that must be seeded into the State
+}
+
+// NewManager validates the phase set (unique names, single provider per
+// slot, acyclic dependencies) and returns a Manager.
+func NewManager(phases ...Phase) (*Manager, error) {
+	m := &Manager{phases: phases, providerOf: map[string]int{}}
+	names := map[string]bool{}
+	for i, p := range phases {
+		if p.Name == "" || p.Run == nil {
+			return nil, fmt.Errorf("pipeline: phase %d needs a name and a Run", i)
+		}
+		if names[p.Name] {
+			return nil, fmt.Errorf("pipeline: duplicate phase %q", p.Name)
+		}
+		names[p.Name] = true
+		for _, slot := range p.Provides {
+			if j, dup := m.providerOf[slot]; dup {
+				return nil, fmt.Errorf("pipeline: slot %q provided by both %q and %q",
+					slot, phases[j].Name, p.Name)
+			}
+			m.providerOf[slot] = i
+		}
+	}
+	ext := map[string]bool{}
+	m.deps = make([][]int, len(phases))
+	for i, p := range phases {
+		seen := map[int]bool{}
+		for _, slot := range p.Needs {
+			j, ok := m.providerOf[slot]
+			if !ok {
+				ext[slot] = true
+				continue
+			}
+			if j == i {
+				return nil, fmt.Errorf("pipeline: phase %q needs its own output %q", p.Name, slot)
+			}
+			if !seen[j] {
+				seen[j] = true
+				m.deps[i] = append(m.deps[i], j)
+			}
+		}
+		sort.Ints(m.deps[i])
+	}
+	for slot := range ext {
+		m.external = append(m.external, slot)
+	}
+	sort.Strings(m.external)
+	if err := m.checkAcyclic(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// checkAcyclic rejects dependency cycles (Kahn's algorithm).
+func (m *Manager) checkAcyclic() error {
+	indeg := make([]int, len(m.phases))
+	succs := make([][]int, len(m.phases))
+	for i, ds := range m.deps {
+		for _, j := range ds {
+			succs[j] = append(succs[j], i)
+			indeg[i]++
+		}
+	}
+	var ready []int
+	for i := range m.phases {
+		if indeg[i] == 0 {
+			ready = append(ready, i)
+		}
+	}
+	done := 0
+	for len(ready) > 0 {
+		i := ready[0]
+		ready = ready[1:]
+		done++
+		for _, j := range succs[i] {
+			if indeg[j]--; indeg[j] == 0 {
+				ready = append(ready, j)
+			}
+		}
+	}
+	if done != len(m.phases) {
+		var stuck []string
+		for i, p := range m.phases {
+			if indeg[i] > 0 {
+				stuck = append(stuck, p.Name)
+			}
+		}
+		return fmt.Errorf("pipeline: dependency cycle among phases %v", stuck)
+	}
+	return nil
+}
+
+// Run executes the DAG over st. Phases whose dependencies are satisfied run
+// concurrently unless m.Sequential is set. On the first failure (including
+// ctx cancellation) no new phases start, in-flight phases are drained, and
+// the error is returned as a *PhaseError carrying the completed set. The
+// Report covers every phase that completed, even on error.
+func (m *Manager) Run(ctx context.Context, st *State) (*Report, error) {
+	if st == nil {
+		st = NewState()
+	}
+	rep := newReport()
+	for _, slot := range m.external {
+		if _, ok := st.Value(slot); !ok {
+			return rep, fmt.Errorf("pipeline: slot %q has no providing phase and is not seeded", slot)
+		}
+	}
+
+	n := len(m.phases)
+	indeg := make([]int, n)
+	succs := make([][]int, n)
+	for i, ds := range m.deps {
+		indeg[i] = len(ds)
+		for _, j := range ds {
+			succs[j] = append(succs[j], i)
+		}
+	}
+	var ready []int
+	for i := n - 1; i >= 0; i-- {
+		if indeg[i] == 0 {
+			ready = append(ready, i) // reversed; popped back-to-front in order
+		}
+	}
+
+	type doneMsg struct {
+		idx int
+		err error
+	}
+	doneCh := make(chan doneMsg)
+	running := 0
+	var firstErr *PhaseError
+
+	run := func(i int) doneMsg {
+		p := m.phases[i]
+		if err := ctx.Err(); err != nil {
+			return doneMsg{i, err}
+		}
+		t0 := time.Now()
+		if err := p.Run(ctx, st); err != nil {
+			return doneMsg{i, err}
+		}
+		var b uint64
+		if p.Bytes != nil {
+			b = p.Bytes(st)
+		}
+		rep.record(p.Name, time.Since(t0), b)
+		return doneMsg{i, nil}
+	}
+
+	launch := func() {
+		for len(ready) > 0 && firstErr == nil {
+			i := ready[len(ready)-1]
+			ready = ready[:len(ready)-1]
+			running++
+			go func(i int) { doneCh <- run(i) }(i)
+			if m.Sequential {
+				// One phase at a time: wait for its message before the next.
+				return
+			}
+		}
+	}
+
+	launch()
+	for running > 0 {
+		msg := <-doneCh
+		running--
+		if msg.err != nil {
+			if firstErr == nil {
+				firstErr = &PhaseError{Phase: m.phases[msg.idx].Name, Err: msg.err}
+			}
+			continue
+		}
+		for _, j := range succs[msg.idx] {
+			if indeg[j]--; indeg[j] == 0 {
+				ready = append(ready, j)
+			}
+		}
+		launch()
+	}
+	if firstErr != nil {
+		firstErr.Completed = rep.Order()
+		return rep, firstErr
+	}
+	return rep, nil
+}
+
+// ErrCancelled reports whether err stems from context cancellation or
+// deadline expiry (possibly wrapped in a *PhaseError).
+func ErrCancelled(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}

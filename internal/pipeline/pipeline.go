@@ -1,11 +1,14 @@
 // Package pipeline wires the analysis stages together: parse → IR →
-// pre-analysis → call graph → ICFG → thread model. It exists so the public
-// facade, the benchmark harness and the internal tests share one setup path.
+// pre-analysis → call graph → ICFG → thread model, and provides the pass
+// manager (manager.go) that schedules those stages — plus the interference
+// and solve stages the facade registers — as an explicit phase DAG. It
+// exists so the public facade, the benchmark harness and the internal tests
+// share one setup path.
 package pipeline
 
 import (
+	"context"
 	"fmt"
-	"time"
 
 	"repro/internal/andersen"
 	"repro/internal/callgraph"
@@ -17,7 +20,9 @@ import (
 	"repro/internal/threads"
 )
 
-// Base bundles the substrate every interference analysis builds on.
+// Base bundles the substrate every interference analysis builds on. Model
+// is nil until BuildThreadModel runs (the thread model is its own pipeline
+// phase, so the manager can time it separately from the pre-analysis).
 type Base struct {
 	Prog  *ir.Program
 	Pre   *andersen.Result
@@ -25,11 +30,6 @@ type Base struct {
 	G     *icfg.Graph
 	Ctxs  *callgraph.Ctxs
 	Model *threads.Model
-
-	// ThreadModelTime is the wall-clock cost of constructing the static
-	// thread model, measured inside BuildBase so the facade can report it
-	// as its own phase instead of folding it into the pre-analysis.
-	ThreadModelTime time.Duration
 }
 
 // Compile parses and lowers MiniC source into IR.
@@ -41,18 +41,35 @@ func Compile(name, src string) (*ir.Program, error) {
 	return irbuild.Build(f)
 }
 
-// BuildBase runs the pre-analysis and constructs the call graph, ICFG and
-// static thread model for prog. maxCtxDepth bounds call strings (<=0 for
-// the default).
-func BuildBase(prog *ir.Program, maxCtxDepth int) *Base {
-	pre := andersen.Analyze(prog)
+// BuildPre runs the pre-analysis and constructs the call graph, ICFG and
+// context table for prog (the "preanalysis" phase; Model stays nil until
+// BuildThreadModel). maxCtxDepth bounds call strings (<=0 for the
+// default). On ctx cancellation it returns (nil, ctx.Err()).
+func BuildPre(ctx context.Context, prog *ir.Program, maxCtxDepth int) (*Base, error) {
+	pre, err := andersen.AnalyzeCtx(ctx, prog)
+	if err != nil {
+		return nil, err
+	}
 	cg := callgraph.Build(pre)
 	g := icfg.Build(cg)
 	ctxs := callgraph.NewCtxs(maxCtxDepth)
-	t0 := time.Now()
-	model := threads.BuildModel(pre, cg, g, ctxs)
-	return &Base{Prog: prog, Pre: pre, CG: cg, G: g, Ctxs: ctxs, Model: model,
-		ThreadModelTime: time.Since(t0)}
+	return &Base{Prog: prog, Pre: pre, CG: cg, G: g, Ctxs: ctxs}, nil
+}
+
+// BuildThreadModel constructs the static thread model (the "threadmodel"
+// phase) over an already-built substrate.
+func (b *Base) BuildThreadModel() {
+	b.Model = threads.BuildModel(b.Pre, b.CG, b.G, b.Ctxs)
+}
+
+// BuildBase runs the pre-analysis and constructs the call graph, ICFG and
+// static thread model for prog in one call (the non-managed path used by
+// tests and benchmarks). maxCtxDepth bounds call strings (<=0 for the
+// default).
+func BuildBase(prog *ir.Program, maxCtxDepth int) *Base {
+	b, _ := BuildPre(context.Background(), prog, maxCtxDepth)
+	b.BuildThreadModel()
+	return b
 }
 
 // FromSource compiles src and builds the base pipeline.

@@ -69,6 +69,8 @@ func (m *Model) HappensBefore(a, b *Thread) bool {
 	if a == b || b.Fork == nil {
 		return false
 	}
+	m.hbMu.Lock()
+	defer m.hbMu.Unlock()
 	if m.hbMemo == nil {
 		m.hbMemo = map[hbKey]bool{}
 	}

@@ -10,6 +10,7 @@ package threads
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/andersen"
 	"repro/internal/callgraph"
@@ -112,7 +113,10 @@ type Model struct {
 	maxThreads int
 
 	// hbMemo and mjbMemo cache happens-before queries and the per-function
-	// must-joined-before analyses behind them.
+	// must-joined-before analyses behind them. They are the only lazily
+	// mutated state on a built Model, so hbMu is what makes a Model safe to
+	// share between pipeline phases scheduled concurrently (MHP ∥ locks).
+	hbMu    sync.Mutex
 	hbMemo  map[hbKey]bool
 	mjbMemo map[mjbKey]map[*icfg.Node]*pts.Set
 }

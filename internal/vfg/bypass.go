@@ -14,8 +14,11 @@ import (
 // separate bypass edges carry the pre-fork value to the in-between uses —
 // reproducing both the soundness of Figure 6(c) and the precision of
 // Figure 1(c).
-func (b *gbuilder) buildForkBypass() {
+func (b *gbuilder) buildForkBypass() error {
 	for fork, defs := range b.forkDefs {
+		if b.cancel.Cancelled() {
+			return b.cancel.Err()
+		}
 		f := ir.StmtFunc(fork)
 		if f == nil {
 			continue
@@ -28,6 +31,7 @@ func (b *gbuilder) buildForkBypass() {
 			b.bypassUse(s, defs)
 		}
 	}
+	return nil
 }
 
 // bypassUse adds edges from the recorded pre-fork definitions to the uses

@@ -11,7 +11,7 @@ import (
 // lock analysis filters non-interference pairs (Definition 6); the
 // No-Value-Flow ablation drops the aliasing premise and connects every MHP
 // pair over all objects the store may define.
-func (b *gbuilder) buildThreadAware() {
+func (b *gbuilder) buildThreadAware() error {
 	g := b.g
 
 	// Index memory accesses by the objects they may touch.
@@ -49,6 +49,9 @@ func (b *gbuilder) buildThreadAware() {
 				}
 			}
 			for _, peer := range peers {
+				if b.cancel.Cancelled() {
+					return b.cancel.Err()
+				}
 				if !b.pairMHP(s, peer) {
 					continue
 				}
@@ -62,7 +65,7 @@ func (b *gbuilder) buildThreadAware() {
 				})
 			}
 		}
-		return
+		return nil
 	}
 
 	// Normal mode: object-grouped aliased pairs. A statement pair sharing
@@ -82,6 +85,9 @@ func (b *gbuilder) buildThreadAware() {
 		obj := g.Prog.Objects[objID]
 		for _, s := range ss {
 			for _, peer := range accessesOf[objID] {
+				if b.cancel.Cancelled() {
+					return b.cancel.Err()
+				}
 				if peer == ir.Stmt(s) {
 					continue
 				}
@@ -97,6 +103,7 @@ func (b *gbuilder) buildThreadAware() {
 			}
 		}
 	}
+	return nil
 }
 
 // connect adds the thread-aware edge store --obj--> peer.

@@ -19,10 +19,12 @@
 package vfg
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/andersen"
 	"repro/internal/dom"
+	"repro/internal/engine"
 	"repro/internal/ir"
 	"repro/internal/locks"
 	"repro/internal/mhp"
@@ -161,6 +163,14 @@ func Build(model *threads.Model, lk *locks.Result, il *mhp.Result, pc *pcg.Resul
 
 // BuildWithOptions constructs the def-use graph with explicit options.
 func BuildWithOptions(model *threads.Model, opt Options) *Graph {
+	g, _ := BuildCtx(context.Background(), model, opt)
+	return g
+}
+
+// BuildCtx constructs the def-use graph under a context. On cancellation
+// it returns (nil, ctx.Err()); the construction loops (SSA renaming,
+// fork-bypass wiring, [THREAD-VF] pair enumeration) poll periodically.
+func BuildCtx(ctx context.Context, model *threads.Model, opt Options) (*Graph, error) {
 	g := &Graph{
 		Prog:     model.Prog,
 		Pre:      model.Pre,
@@ -177,11 +187,18 @@ func BuildWithOptions(model *threads.Model, opt Options) *Graph {
 		forkDefs: map[*ir.Fork]map[ir.ObjID]int{},
 		seenMem:  map[memEdgeKey]bool{},
 		seenLoad: map[loadEdgeKey]bool{},
+		cancel:   engine.NewCanceller(ctx),
 	}
-	b.buildOblivious()
-	b.buildForkBypass()
-	b.buildThreadAware()
-	return g
+	if err := b.buildOblivious(); err != nil {
+		return nil, err
+	}
+	if err := b.buildForkBypass(); err != nil {
+		return nil, err
+	}
+	if err := b.buildThreadAware(); err != nil {
+		return nil, err
+	}
+	return g, nil
 }
 
 // StoreChiNode returns the node ID for (store, obj), or -1.
@@ -243,6 +260,8 @@ type gbuilder struct {
 	// seenMem and seenLoad deduplicate edges in O(1).
 	seenMem  map[memEdgeKey]bool
 	seenLoad map[loadEdgeKey]bool
+
+	cancel *engine.Canceller
 }
 
 type memEdgeKey struct {
@@ -308,7 +327,7 @@ func (b *gbuilder) addLoadEdge(from int, l *ir.Load, threadAware bool, ungated b
 
 // ---- Thread-oblivious construction (memory SSA over Pseq) ----
 
-func (b *gbuilder) buildOblivious() {
+func (b *gbuilder) buildOblivious() error {
 	g := b.g
 	// Pre-create entry chis and exit phis so interprocedural edges can be
 	// wired during each function's renaming regardless of order.
@@ -327,8 +346,12 @@ func (b *gbuilder) buildOblivious() {
 		})
 	}
 	for _, f := range g.Prog.Funcs {
+		if b.cancel.Cancelled() {
+			return b.cancel.Err()
+		}
 		b.renameFunc(f)
 	}
+	return nil
 }
 
 // calleesAt returns the Pseq callees of a statement: call targets, fork
