@@ -19,6 +19,10 @@ type Baseline struct {
 	Stats  Stats
 	// OOT reports that the run exceeded its deadline before convergence.
 	OOT bool
+	// Err records a non-deadline failure (e.g. a contained phase panic)
+	// when the caller used the error-less AnalyzeProgramNonSparse entry
+	// point; nil otherwise.
+	Err error
 }
 
 // nonSparsePhase runs the iterative whole-program data-flow solve. An
@@ -67,19 +71,22 @@ func AnalyzeSourceNonSparse(name, src string, timeout time.Duration) (*Baseline,
 	return b, err
 }
 
-// AnalyzeProgramNonSparse runs the baseline over an existing program.
+// AnalyzeProgramNonSparse runs the baseline over an existing program. It
+// never panics: a deadline sets OOT, any other contained failure lands in
+// Baseline.Err alongside whatever phases completed.
 func AnalyzeProgramNonSparse(prog *ir.Program, timeout time.Duration) *Baseline {
 	ctx, cancel := deadlineCtx(timeout)
 	defer cancel()
 	b, err := AnalyzeProgramNonSparseCtx(ctx, prog)
+	if b == nil {
+		b = &Baseline{Prog: prog}
+	}
 	if err != nil {
 		if pipeline.ErrCancelled(err) {
 			b.OOT = true
 			return b
 		}
-		// Without cancellation no baseline phase can fail; reaching here
-		// means the DAG itself is malformed.
-		panic(err)
+		b.Err = err
 	}
 	return b
 }

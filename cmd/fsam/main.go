@@ -14,7 +14,14 @@
 //	-no-interleaving / -no-valueflow / -no-lock   phase ablations
 //	-timeout D         analysis deadline, FSAM or baseline (default 2h,
 //	                   like the paper; exits 1 with an OOT message)
+//	-membudget N       soft heap budget in bytes for the post-pre-analysis
+//	                   phases (0 = unlimited); a trip degrades precision
+//	-steplimit N       per-phase worklist-pop limit (0 = unlimited)
 //	-ir                dump the partial-SSA IR instead of analyzing
+//
+// Exit codes: 0 full-precision result, 1 hard failure (I/O, compile
+// error, pre-analysis deadline), 2 usage, 3 result degraded to
+// thread-oblivious flow-sensitive, 4 result degraded to Andersen-only.
 package main
 
 import (
@@ -26,6 +33,7 @@ import (
 	"time"
 
 	fsam "repro"
+	"repro/internal/exitcode"
 	"repro/internal/ir"
 	"repro/internal/pipeline"
 )
@@ -41,6 +49,8 @@ func main() {
 		noVF     = flag.Bool("no-valueflow", false, "disable the value-flow aliasing premise")
 		noLK     = flag.Bool("no-lock", false, "disable the lock analysis")
 		timeout  = flag.Duration("timeout", 2*time.Hour, "analysis deadline (FSAM and baseline)")
+		memBud   = flag.Uint64("membudget", 0, "soft heap budget in bytes, 0 = unlimited")
+		stepLim  = flag.Int64("steplimit", 0, "per-phase worklist-pop limit, 0 = unlimited")
 		dumpIR   = flag.Bool("ir", false, "dump the partial-SSA IR and exit")
 		dotVFG   = flag.Bool("dot-vfg", false, "dump the def-use graph as Graphviz DOT")
 		dotICFG  = flag.Bool("dot-icfg", false, "dump the ICFG as Graphviz DOT")
@@ -49,7 +59,7 @@ func main() {
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: fsam [flags] prog.mc")
 		flag.Usage()
-		os.Exit(2)
+		os.Exit(exitcode.Usage)
 	}
 	srcBytes, err := os.ReadFile(flag.Arg(0))
 	if err != nil {
@@ -87,7 +97,10 @@ func main() {
 		return
 	}
 
-	cfg := fsam.Config{NoInterleaving: *noIL, NoValueFlow: *noVF, NoLock: *noLK}
+	cfg := fsam.Config{
+		NoInterleaving: *noIL, NoValueFlow: *noVF, NoLock: *noLK,
+		MemBudgetBytes: *memBud, StepLimit: *stepLim,
+	}
 	ctx := context.Background()
 	if *timeout > 0 {
 		var cancel context.CancelFunc
@@ -98,26 +111,37 @@ func main() {
 	if err != nil {
 		if pipeline.ErrCancelled(err) {
 			fmt.Printf("FSAM: out of time after %s\n", *timeout)
-			os.Exit(1)
+			os.Exit(exitcode.Failure)
 		}
 		fatal(err)
 	}
+	if a.Precision != fsam.PrecisionSparseFS {
+		fmt.Fprintf(os.Stderr, "fsam: precision degraded to %s (%s)\n",
+			a.Precision, a.Stats.Degraded)
+	}
 
 	if *dotVFG {
+		if a.Graph == nil {
+			fatal(fmt.Errorf("no def-use graph at precision %s", a.Precision))
+		}
 		if err := a.Graph.WriteDot(os.Stdout); err != nil {
 			fatal(err)
 		}
-		return
+		os.Exit(exitcode.ForPrecision(a.Precision))
 	}
 	if *dotICFG {
 		if err := a.Base.G.WriteDot(os.Stdout); err != nil {
 			fatal(err)
 		}
-		return
+		os.Exit(exitcode.ForPrecision(a.Precision))
 	}
 
 	if *stats {
 		st := a.Stats
+		fmt.Printf("precision:         %s\n", a.Precision)
+		if st.Degraded != "" {
+			fmt.Printf("degraded:          %s\n", st.Degraded)
+		}
 		fmt.Printf("statements:        %d\n", st.Stmts)
 		fmt.Printf("abstract threads:  %d\n", st.Threads)
 		fmt.Printf("def-use edges:     %d (%d thread-oblivious + %d thread-aware)\n",
@@ -168,9 +192,11 @@ func main() {
 			fmt.Println(r)
 		}
 	}
+
+	os.Exit(exitcode.ForPrecision(a.Precision))
 }
 
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "fsam:", err)
-	os.Exit(1)
+	os.Exit(exitcode.Failure)
 }

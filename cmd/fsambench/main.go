@@ -11,7 +11,13 @@
 // Flags -scale and -timeout control workload size and the per-analysis
 // budget (the stand-in for the paper's two-hour limit); the budget applies
 // to FSAM and NONSPARSE alike, so either analysis can appear as an OOT
-// row. Exit status is 1 when any benchmark fails to compile or analyze.
+// row. -membudget and -steplimit impose the degradation ladder's resource
+// budgets on the FSAM runs; a tripped row reports its tier in the
+// fsam_precision / fsam_degraded columns rather than failing.
+//
+// Exit codes: 0 every FSAM row at full precision, 1 a benchmark failed to
+// compile or analyze, 2 usage, 3/4 at least one FSAM row degraded (3 if
+// the lowest tier reached was thread-oblivious, 4 if Andersen-only).
 package main
 
 import (
@@ -21,17 +27,21 @@ import (
 	"os"
 	"time"
 
+	fsam "repro"
+	"repro/internal/exitcode"
 	"repro/internal/harness"
 )
 
 func main() {
-	if err := run(); err != nil {
+	code, err := run()
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "fsambench:", err)
-		os.Exit(1)
+		os.Exit(exitcode.Failure)
 	}
+	os.Exit(code)
 }
 
-func run() error {
+func run() (int, error) {
 	var (
 		table1   = flag.Bool("table1", false, "print Table 1 (program statistics)")
 		table2   = flag.Bool("table2", false, "print Table 2 (time and memory, FSAM vs NonSparse)")
@@ -39,6 +49,8 @@ func run() error {
 		all      = flag.Bool("all", false, "print every artifact")
 		scale    = flag.Int("scale", harness.DefaultScale, "workload scale factor")
 		timeout  = flag.Duration("timeout", harness.DefaultTimeout, "per-analysis deadline (stand-in for the paper's 2h)")
+		memBud   = flag.Uint64("membudget", 0, "soft heap budget in bytes for each FSAM run, 0 = unlimited")
+		stepLim  = flag.Int64("steplimit", 0, "per-phase worklist-pop limit for each FSAM run, 0 = unlimited")
 		asJSON   = flag.Bool("json", false, "emit the selected tables as JSON instead of text (alone, implies -table2)")
 	)
 	flag.Parse()
@@ -48,26 +60,29 @@ func run() error {
 	}
 	if !*table1 && !*table2 && !*figure12 && !*all {
 		flag.Usage()
-		os.Exit(2)
+		os.Exit(exitcode.Usage)
 	}
 	if *all {
 		*table1, *table2, *figure12 = true, true, true
 	}
+	cfg := fsam.Config{MemBudgetBytes: *memBud, StepLimit: *stepLim}
 
 	if *asJSON {
-		return emitJSON(*table1, *table2, *scale, *timeout)
+		return emitJSON(*table1, *table2, *scale, *timeout, cfg)
 	}
 
+	code := exitcode.OK
 	if *table1 {
 		harness.PrintTable1(os.Stdout, harness.RunTable1(*scale))
 		fmt.Println()
 	}
 	if *table2 {
 		start := time.Now()
-		rows, err := harness.RunTable2(*scale, *timeout)
+		rows, err := harness.RunTable2(*scale, *timeout, cfg)
 		if err != nil {
-			return err
+			return exitcode.Failure, err
 		}
+		code = worstTier(rows)
 		harness.PrintTable2(os.Stdout, rows)
 		fmt.Printf("(total harness time %.1fs, scale %d, timeout %s)\n\n",
 			time.Since(start).Seconds(), *scale, *timeout)
@@ -75,23 +90,39 @@ func run() error {
 	if *figure12 {
 		rows, err := harness.RunFigure12(*scale)
 		if err != nil {
-			return err
+			return exitcode.Failure, err
 		}
 		harness.PrintFigure12(os.Stdout, rows)
 	}
-	return nil
+	return code, nil
+}
+
+// worstTier folds the FSAM precision column into the exit-code convention.
+func worstTier(rows []harness.Table2Row) int {
+	code := exitcode.OK
+	for _, r := range rows {
+		switch r.FSAMPrecision {
+		case fsam.PrecisionThreadObliviousFS.String():
+			code = exitcode.Worst(code, exitcode.DegradedThreadOblivious)
+		case fsam.PrecisionAndersenOnly.String():
+			code = exitcode.Worst(code, exitcode.DegradedAndersen)
+		}
+	}
+	return code
 }
 
 // emitJSON writes the selected tables as JSON. A single table keeps the
 // historical bare-array schema; both tables nest under "table1"/"table2".
-func emitJSON(table1, table2 bool, scale int, timeout time.Duration) error {
+func emitJSON(table1, table2 bool, scale int, timeout time.Duration, cfg fsam.Config) (int, error) {
 	var payload any
+	code := exitcode.OK
 	switch {
 	case table1 && table2:
-		t2, err := harness.RunTable2(scale, timeout)
+		t2, err := harness.RunTable2(scale, timeout, cfg)
 		if err != nil {
-			return err
+			return exitcode.Failure, err
 		}
+		code = worstTier(t2)
 		payload = map[string]any{
 			"table1": harness.RunTable1(scale),
 			"table2": t2,
@@ -99,13 +130,17 @@ func emitJSON(table1, table2 bool, scale int, timeout time.Duration) error {
 	case table1:
 		payload = harness.RunTable1(scale)
 	default:
-		t2, err := harness.RunTable2(scale, timeout)
+		t2, err := harness.RunTable2(scale, timeout, cfg)
 		if err != nil {
-			return err
+			return exitcode.Failure, err
 		}
+		code = worstTier(t2)
 		payload = t2
 	}
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")
-	return enc.Encode(payload)
+	if err := enc.Encode(payload); err != nil {
+		return exitcode.Failure, err
+	}
+	return code, nil
 }

@@ -6,6 +6,9 @@
 //	fsamgen -list
 //	fsamgen [-scale N] word_count            # print one program to stdout
 //	fsamgen [-scale N] -o DIR -all           # write every program to DIR
+//	fsamgen [-scale N] -check -all           # compile-check, emit nothing
+//
+// Exit codes: 0 success, 1 generation or compile-check failure, 2 usage.
 package main
 
 import (
@@ -14,6 +17,8 @@ import (
 	"os"
 	"path/filepath"
 
+	"repro/internal/exitcode"
+	"repro/internal/pipeline"
 	"repro/internal/workload"
 )
 
@@ -23,6 +28,7 @@ func main() {
 		all   = flag.Bool("all", false, "generate every benchmark")
 		scale = flag.Int("scale", 1, "scale factor")
 		out   = flag.String("o", "", "output directory (default stdout)")
+		check = flag.Bool("check", false, "compile-check the generated source instead of emitting it")
 	)
 	flag.Parse()
 
@@ -42,29 +48,40 @@ func main() {
 		names = flag.Args()
 	}
 	if len(names) == 0 {
-		fmt.Fprintln(os.Stderr, "usage: fsamgen [-scale N] [-o DIR] (-all | name...)")
-		os.Exit(2)
+		fmt.Fprintln(os.Stderr, "usage: fsamgen [-scale N] [-o DIR | -check] (-all | name...)")
+		os.Exit(exitcode.Usage)
 	}
 
 	for _, name := range names {
 		src, err := workload.Generate(name, *scale)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "fsamgen:", err)
-			os.Exit(1)
+			fatal(err)
+		}
+		if *check {
+			// Compile surfaces positioned errors ("name:line:col: msg")
+			// instead of panicking; a generator regression fails here.
+			if _, err := pipeline.Compile(name+".mc", src); err != nil {
+				fatal(fmt.Errorf("%s does not compile: %w", name, err))
+			}
+			fmt.Printf("%s: ok (%d lines)\n", name, workload.LOC(src))
+			continue
 		}
 		if *out == "" {
 			fmt.Print(src)
 			continue
 		}
 		if err := os.MkdirAll(*out, 0o755); err != nil {
-			fmt.Fprintln(os.Stderr, "fsamgen:", err)
-			os.Exit(1)
+			fatal(err)
 		}
 		path := filepath.Join(*out, name+".mc")
 		if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
-			fmt.Fprintln(os.Stderr, "fsamgen:", err)
-			os.Exit(1)
+			fatal(err)
 		}
 		fmt.Printf("wrote %s (%d lines)\n", path, workload.LOC(src))
 	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "fsamgen:", err)
+	os.Exit(exitcode.Failure)
 }

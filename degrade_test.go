@@ -1,0 +1,207 @@
+package fsam_test
+
+import (
+	"context"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	fsam "repro"
+	"repro/internal/pipeline"
+)
+
+// ladderSrc is the Fig. 1a program: pt(c) = {y, z} under full FSAM, and
+// every global's Andersen set is a superset of its flow-sensitive one.
+const ladderSrc = `
+int x; int y; int z;
+int *p; int *q; int *r; int *c;
+void foo(void *arg) {
+	*p = q;
+}
+int main() {
+	p = &x; q = &y; r = &z;
+	thread_t t;
+	t = spawn(foo, NULL);
+	*p = r;
+	c = *p;
+	return 0;
+}
+`
+
+// wrapSparse installs a test wrapper around the sparse phase only (both
+// the tier-1 and the fallback tier-2 instance) and removes it on cleanup.
+func wrapSparse(t *testing.T, run func(orig pipeline.Phase, ctx context.Context, st *pipeline.State) error) {
+	t.Helper()
+	fsam.SetTestPhaseWrap(func(p pipeline.Phase) pipeline.Phase {
+		if p.Name != fsam.PhaseSparse {
+			return p
+		}
+		orig := p
+		p.Run = func(ctx context.Context, st *pipeline.State) error {
+			return run(orig, ctx, st)
+		}
+		return p
+	})
+	t.Cleanup(func() { fsam.SetTestPhaseWrap(nil) })
+}
+
+// checkSubsetOfAndersen: whatever tier the ladder landed on, points-to
+// answers stay within the sound Andersen sets.
+func checkSubsetOfAndersen(t *testing.T, a *fsam.Analysis, globals ...string) {
+	t.Helper()
+	for _, g := range globals {
+		pt, err := a.PointsToGlobal(g)
+		if err != nil {
+			t.Fatalf("pt(%s): %v", g, err)
+		}
+		ai, err := a.AndersenPointsToGlobal(g)
+		if err != nil {
+			t.Fatalf("andersen pt(%s): %v", g, err)
+		}
+		set := map[string]bool{}
+		for _, n := range ai {
+			set[n] = true
+		}
+		for _, n := range pt {
+			if !set[n] {
+				t.Errorf("pt(%s) = %v outside Andersen %v", g, pt, ai)
+			}
+		}
+	}
+}
+
+// TestSparsePanicDegradesToThreadOblivious: a one-shot panic in the sparse
+// solve is contained, and the ladder reruns it over the thread-oblivious
+// def-use graph.
+func TestSparsePanicDegradesToThreadOblivious(t *testing.T) {
+	for _, seq := range []bool{false, true} {
+		var calls atomic.Int32
+		wrapSparse(t, func(orig pipeline.Phase, ctx context.Context, st *pipeline.State) error {
+			if calls.Add(1) == 1 {
+				panic("injected sparse fault")
+			}
+			return orig.Run(ctx, st)
+		})
+		a, err := fsam.AnalyzeSource("test.mc", ladderSrc, fsam.Config{Sequential: seq})
+		if err != nil {
+			t.Fatalf("Sequential=%v: degraded run errored: %v", seq, err)
+		}
+		if a.Precision != fsam.PrecisionThreadObliviousFS {
+			t.Fatalf("Sequential=%v: precision = %s, want %s (degraded: %q)",
+				seq, a.Precision, fsam.PrecisionThreadObliviousFS, a.Stats.Degraded)
+		}
+		if !strings.Contains(a.Stats.Degraded, "panicked") {
+			t.Errorf("Degraded = %q, want panic reason", a.Stats.Degraded)
+		}
+		if a.Result == nil || a.Graph == nil {
+			t.Fatalf("Sequential=%v: thread-oblivious tier missing Result/Graph", seq)
+		}
+		checkSubsetOfAndersen(t, a, "p", "q", "r", "c")
+		fsam.SetTestPhaseWrap(nil)
+	}
+}
+
+// TestPersistentSparseFailureDegradesToAndersen: when even the fallback
+// solve fails, queries answer from the pre-analysis — with the full
+// failure history in Stats.Degraded — and the precision-gated clients
+// refuse cleanly instead of crashing.
+func TestPersistentSparseFailureDegradesToAndersen(t *testing.T) {
+	for _, seq := range []bool{false, true} {
+		wrapSparse(t, func(orig pipeline.Phase, ctx context.Context, st *pipeline.State) error {
+			panic("injected persistent fault")
+		})
+		a, err := fsam.AnalyzeSource("test.mc", ladderSrc, fsam.Config{Sequential: seq})
+		if err != nil {
+			t.Fatalf("Sequential=%v: degraded run errored: %v", seq, err)
+		}
+		if a.Precision != fsam.PrecisionAndersenOnly {
+			t.Fatalf("Sequential=%v: precision = %s, want %s", seq, a.Precision, fsam.PrecisionAndersenOnly)
+		}
+		if !strings.Contains(a.Stats.Degraded, "panicked") ||
+			!strings.Contains(a.Stats.Degraded, "thread-oblivious fallback") {
+			t.Errorf("Degraded = %q, want original fault and fallback failure", a.Stats.Degraded)
+		}
+		// Andersen answers are the Andersen sets exactly.
+		pt, err := a.PointsToGlobal("c")
+		if err != nil {
+			t.Fatal(err)
+		}
+		ai, err := a.AndersenPointsToGlobal("c")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if strings.Join(pt, ",") != strings.Join(ai, ",") {
+			t.Errorf("Andersen-only pt(c) = %v, want Andersen's %v", pt, ai)
+		}
+		if _, err := a.Races(); err == nil || !strings.Contains(err.Error(), "andersen-only") {
+			t.Errorf("Races on degraded tier: err = %v, want precision-gated refusal", err)
+		}
+		if reports := a.Leaks(); reports != nil {
+			t.Errorf("Leaks on Andersen-only tier = %v, want nil", reports)
+		}
+		fsam.SetTestPhaseWrap(nil)
+	}
+}
+
+// TestDeadlineInsideSparsePhase: a deadline that expires mid-solve (after
+// the pre-analysis) still yields a usable, labeled tier — never a
+// zero-value Result, never an escaped cancellation error.
+func TestDeadlineInsideSparsePhase(t *testing.T) {
+	for _, seq := range []bool{false, true} {
+		wrapSparse(t, func(orig pipeline.Phase, ctx context.Context, st *pipeline.State) error {
+			<-ctx.Done() // stall until the deadline fires, then solve
+			return orig.Run(ctx, st)
+		})
+		ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+		a, err := fsam.AnalyzeSourceCtx(ctx, "test.mc", ladderSrc, fsam.Config{Sequential: seq})
+		cancel()
+		if err != nil {
+			t.Fatalf("Sequential=%v: %v", seq, err)
+		}
+		if a.Precision != fsam.PrecisionThreadObliviousFS && a.Precision != fsam.PrecisionAndersenOnly {
+			t.Fatalf("Sequential=%v: precision = %s, want a degraded tier", seq, a.Precision)
+		}
+		if !strings.Contains(a.Stats.Degraded, "out of time") {
+			t.Errorf("Degraded = %q, want out-of-time reason", a.Stats.Degraded)
+		}
+		if a.Base == nil || a.Prog == nil {
+			t.Fatalf("Sequential=%v: zero-value Analysis", seq)
+		}
+		checkSubsetOfAndersen(t, a, "p", "q", "r", "c")
+		fsam.SetTestPhaseWrap(nil)
+	}
+}
+
+// TestNoDegradeSurfacesFault: with the ladder disabled, the contained
+// panic surfaces as a *pipeline.PhaseError for the caller to handle.
+func TestNoDegradeSurfacesFault(t *testing.T) {
+	wrapSparse(t, func(orig pipeline.Phase, ctx context.Context, st *pipeline.State) error {
+		panic("injected sparse fault")
+	})
+	a, err := fsam.AnalyzeSource("test.mc", ladderSrc, fsam.Config{NoDegrade: true})
+	if err == nil || !pipeline.ErrPanicked(err) {
+		t.Fatalf("err = %v, want contained panic", err)
+	}
+	if a == nil || a.Base == nil {
+		t.Fatal("partial Analysis missing alongside NoDegrade error")
+	}
+	if a.Precision != fsam.PrecisionNone {
+		t.Errorf("precision = %s, want %s on NoDegrade failure", a.Precision, fsam.PrecisionNone)
+	}
+}
+
+// TestBudgetTripRendersInDegradedReason: an over-budget trip names the
+// phase and wraps ErrOverBudget semantics into the reason string.
+func TestBudgetTripRendersInDegradedReason(t *testing.T) {
+	a, err := fsam.AnalyzeSource("test.mc", ladderSrc, fsam.Config{StepLimit: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Precision == fsam.PrecisionSparseFS || a.Precision == fsam.PrecisionNone {
+		t.Fatalf("precision = %s, want a degraded tier", a.Precision)
+	}
+	if !strings.Contains(a.Stats.Degraded, "over budget") {
+		t.Errorf("Degraded = %q, want over-budget reason", a.Stats.Degraded)
+	}
+}

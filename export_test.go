@@ -1,0 +1,16 @@
+package fsam
+
+import "repro/internal/pipeline"
+
+// SetTestPhaseWrap installs (or, with nil, removes) a wrapper applied to
+// every pipeline phase before scheduling — including the degradation
+// ladder's fallback phases. Fault-containment tests use it to inject
+// panics, budget trips, and deadline stalls into specific phases by name.
+func SetTestPhaseWrap(f func(pipeline.Phase) pipeline.Phase) { testPhaseWrap = f }
+
+// Phase names re-exported for the fault-injection tests.
+const (
+	PhaseSparse = phaseSparse
+	PhaseDefUse = phaseDefUse
+	PhaseIL     = phaseIL
+)

@@ -21,11 +21,13 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"runtime"
 	"sort"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/deadlock"
+	"repro/internal/engine"
 	"repro/internal/ir"
 	"repro/internal/leak"
 	"repro/internal/locks"
@@ -53,6 +55,56 @@ type Config struct {
 	// (interleaving ∥ locks). Results are identical either way; the switch
 	// exists for determinism tests and scheduling diagnostics.
 	Sequential bool
+	// MemBudgetBytes is a soft budget on the live process heap, polled by
+	// every post-pre-analysis fixpoint loop (the pre-analysis is exempt:
+	// it is the degradation ladder's safety net). A trip degrades the
+	// result down the ladder instead of failing; 0 means unlimited.
+	MemBudgetBytes uint64
+	// StepLimit bounds the worklist pops of each post-pre-analysis
+	// fixpoint loop independently; a trip degrades like a memory trip.
+	// 0 means unlimited.
+	StepLimit int64
+	// NoDegrade disables the precision-degradation ladder: any phase
+	// failure (panic, deadline, budget) surfaces as an error alongside
+	// the partial Analysis, as in the pre-ladder API.
+	NoDegrade bool
+}
+
+// Precision labels the tier of the result an Analysis carries, in
+// ascending precision. The degradation ladder guarantees every analysis
+// of a compilable program lands on at least PrecisionAndersenOnly: FSAM
+// is staged so the cheap, sound Andersen pre-analysis always has run
+// before anything expensive can fail.
+type Precision int
+
+const (
+	// PrecisionNone: no usable result (the program did not compile or the
+	// pre-analysis itself failed).
+	PrecisionNone Precision = iota
+	// PrecisionAndersenOnly: only the flow-insensitive pre-analysis
+	// completed; points-to queries answer from it.
+	PrecisionAndersenOnly
+	// PrecisionThreadObliviousFS: sparse flow-sensitive solve over the
+	// thread-oblivious def-use graph only (interference phases skipped).
+	// Sound for sequential flows; cross-thread value flows are missing.
+	PrecisionThreadObliviousFS
+	// PrecisionSparseFS: the full FSAM result (under whatever ablations
+	// Config selected).
+	PrecisionSparseFS
+)
+
+func (p Precision) String() string {
+	switch p {
+	case PrecisionNone:
+		return "none"
+	case PrecisionAndersenOnly:
+		return "andersen-only"
+	case PrecisionThreadObliviousFS:
+		return "thread-oblivious-fs"
+	case PrecisionSparseFS:
+		return "sparse-fs"
+	}
+	return fmt.Sprintf("Precision(%d)", int(p))
 }
 
 // PhaseTimes records wall-clock duration of each pipeline stage.
@@ -99,18 +151,26 @@ type Stats struct {
 	LockSpans      int
 	Iterations     int
 	Stmts          int
+	// Degraded records why the result is below full precision (empty for
+	// a PrecisionSparseFS result): the failing phase and its panic,
+	// deadline, or budget reason, plus any fallback tier that also failed.
+	Degraded string
 }
 
-// Analysis is a completed FSAM run.
+// Analysis is a completed FSAM run. Precision labels the tier the
+// degradation ladder landed on; below PrecisionSparseFS, Result and Graph
+// may be the thread-oblivious fallback's (PrecisionThreadObliviousFS) or
+// nil (PrecisionAndersenOnly, where queries answer from Base.Pre).
 type Analysis struct {
-	Prog   *ir.Program
-	Base   *pipeline.Base
-	MHP    *mhp.Result   // nil under NoInterleaving
-	PCG    *pcg.Result   // non-nil under NoInterleaving
-	Locks  *locks.Result // nil under NoLock
-	Graph  *vfg.Graph
-	Result *core.Result
-	Stats  Stats
+	Prog      *ir.Program
+	Base      *pipeline.Base
+	MHP       *mhp.Result   // nil under NoInterleaving
+	PCG       *pcg.Result   // non-nil under NoInterleaving
+	Locks     *locks.Result // nil under NoLock
+	Graph     *vfg.Graph
+	Result    *core.Result
+	Precision Precision
+	Stats     Stats
 }
 
 // AnalyzeSource parses, compiles and analyzes MiniC source.
@@ -132,14 +192,11 @@ func AnalyzeSourceCtx(ctx context.Context, name, src string, cfg Config) (*Analy
 	return a, err
 }
 
-// AnalyzeProgram runs FSAM over an already-built program.
+// AnalyzeProgram runs FSAM over an already-built program. It never
+// panics: a phase failure degrades the result down the ladder, with the
+// tier in Analysis.Precision and the reason in Stats.Degraded.
 func AnalyzeProgram(prog *ir.Program, cfg Config) *Analysis {
-	a, err := AnalyzeProgramCtx(context.Background(), prog, cfg)
-	if err != nil {
-		// Without a cancellable context no phase can fail; reaching here
-		// means the DAG itself is malformed.
-		panic(err)
-	}
+	a, _ := AnalyzeProgramCtx(context.Background(), prog, cfg)
 	return a
 }
 
@@ -155,15 +212,33 @@ func AnalyzeProgramCtx(ctx context.Context, prog *ir.Program, cfg Config) (*Anal
 	return runFSAM(ctx, cfg, fsamPhases(cfg, "", "", false), st)
 }
 
-// runFSAM schedules the phase DAG and assembles the facade view from the
-// final State and the manager's Report.
+// runFSAM schedules the phase DAG, assembles the facade view from the
+// final State and the manager's Report, and — when a post-pre-analysis
+// phase fails by panic, deadline, or budget — walks the degradation
+// ladder (sparse FS → thread-oblivious FS → Andersen-only) so the caller
+// always receives the best completed tier, explicitly labeled.
 func runFSAM(ctx context.Context, cfg Config, phases []pipeline.Phase, st *pipeline.State) (*Analysis, error) {
+	ctx = engine.WithBudget(ctx, engine.Budget{MemBytes: cfg.MemBudgetBytes, MaxSteps: cfg.StepLimit})
 	mgr, err := newManager(cfg, phases)
 	if err != nil {
 		return nil, err
 	}
 	rep, runErr := mgr.Run(ctx, st)
-	a := &Analysis{
+	a := assemble(st)
+	a.fillStats(rep)
+	if runErr == nil {
+		a.Precision = PrecisionSparseFS
+		return a, nil
+	}
+	if cfg.NoDegrade {
+		return a, runErr
+	}
+	return a.degrade(ctx, cfg, st, runErr)
+}
+
+// assemble builds the facade view over the State's completed slots.
+func assemble(st *pipeline.State) *Analysis {
+	return &Analysis{
 		Prog:   pipeline.Get[*ir.Program](st, slotProg),
 		Base:   pipeline.Get[*pipeline.Base](st, slotBase),
 		MHP:    pipeline.Get[*mhp.Result](st, slotMHP),
@@ -172,8 +247,83 @@ func runFSAM(ctx context.Context, cfg Config, phases []pipeline.Phase, st *pipel
 		Graph:  pipeline.Get[*vfg.Graph](st, slotVFG),
 		Result: pipeline.Get[*core.Result](st, slotResult),
 	}
-	a.fillStats(rep)
-	return a, runErr
+}
+
+// degrade walks the ladder after runErr stopped the full pipeline. The
+// contract: a compilable program whose pre-analysis completed always comes
+// back usable — tier 2 (thread-oblivious FS) when the context is still
+// alive and the cheaper rerun converges, tier 3 (Andersen-only, already
+// computed) otherwise. The original failure is preserved in
+// Stats.Degraded; the returned error is nil whenever a tier was reached.
+func (a *Analysis) degrade(ctx context.Context, cfg Config, st *pipeline.State, runErr error) (*Analysis, error) {
+	var pe *pipeline.PhaseError
+	if !errors.As(runErr, &pe) {
+		// Not a phase failure (malformed DAG, missing seed): a programming
+		// error, not a runtime condition — report it.
+		a.Precision = PrecisionNone
+		return a, runErr
+	}
+	if a.Base == nil || pe.Phase == phaseCompile || pe.Phase == phasePre {
+		// Below the ladder: nothing sound completed to fall back to.
+		a.Precision = PrecisionNone
+		return a, runErr
+	}
+	reason := degradeReason(pe)
+
+	// Tier 2: rerun def-use + solve in thread-oblivious mode, skipping the
+	// interference analyses entirely. Only worth attempting while the
+	// context is alive (an expired deadline would cancel it on the first
+	// poll). The failed tier's outputs are dropped first — and the heap
+	// garbage-collected after a memory trip — so the rerun starts with
+	// budget headroom.
+	if ctx.Err() == nil {
+		st.Delete(slotVFG)
+		st.Delete(slotResult)
+		a.Graph, a.Result = nil, nil
+		if pipeline.ErrOverBudget(runErr) {
+			runtime.GC()
+		}
+		var tier2 []pipeline.Phase
+		if a.Base.Model == nil {
+			tier2 = append(tier2, threadModelPhase())
+		}
+		tier2 = append(tier2, obliviousDefUsePhase(), sparsePhase())
+		if mgr, err := newManager(cfg, tier2); err == nil {
+			rep2, err2 := mgr.Run(ctx, st)
+			if err2 == nil {
+				a.Graph = pipeline.Get[*vfg.Graph](st, slotVFG)
+				a.Result = pipeline.Get[*core.Result](st, slotResult)
+				a.Stats.Times.DefUse = rep2.Time(phaseDefUse)
+				a.Stats.Times.Sparse = rep2.Time(phaseSparse)
+				a.Stats.Bytes += rep2.TotalBytes()
+				a.fillResultStats()
+				a.Precision = PrecisionThreadObliviousFS
+				a.Stats.Degraded = reason
+				return a, nil
+			}
+			reason += fmt.Sprintf("; thread-oblivious fallback: %v", err2)
+		}
+	}
+
+	// Tier 3: the Andersen pre-analysis is already computed and sound;
+	// queries answer from it.
+	a.Precision = PrecisionAndersenOnly
+	a.Stats.Degraded = reason
+	return a, nil
+}
+
+// degradeReason renders a phase failure for Stats.Degraded.
+func degradeReason(pe *pipeline.PhaseError) string {
+	switch {
+	case pe.Panic:
+		return fmt.Sprintf("phase %s panicked: %v", pe.Phase, pe.Err)
+	case pipeline.ErrOverBudget(pe):
+		return fmt.Sprintf("phase %s over budget: %v", pe.Phase, pe.Err)
+	case pipeline.ErrCancelled(pe):
+		return fmt.Sprintf("phase %s out of time: %v", pe.Phase, pe.Err)
+	default:
+		return fmt.Sprintf("phase %s failed: %v", pe.Phase, pe.Err)
+	}
 }
 
 // fillStats maps the manager's per-phase Report onto the facade Stats and
@@ -206,17 +356,24 @@ func (a *Analysis) fillStats(rep *pipeline.Report) {
 		a.Stats.ThreadEdges = a.Graph.ThreadEdges
 		a.Stats.DefUseEdges = a.Graph.ObliviousEdges + a.Graph.ThreadEdges
 	}
-	if a.Result != nil {
-		a.Stats.Iterations = a.Result.Iterations
-		a.Stats.SolvePops = a.Result.Iterations
-		rs := a.Result.InternStats()
-		if a.Base != nil {
-			rs.AddFrom(a.Base.Pre.InternStats())
-		}
-		a.Stats.UniqueSets = rs.Unique
-		a.Stats.SetRefs = rs.Refs
-		a.Stats.DedupRatio = rs.DedupRatio()
+	a.fillResultStats()
+}
+
+// fillResultStats derives the result-shape counters; re-run after the
+// degradation ladder replaces Result with a fallback tier's.
+func (a *Analysis) fillResultStats() {
+	if a.Result == nil {
+		return
 	}
+	a.Stats.Iterations = a.Result.Iterations
+	a.Stats.SolvePops = a.Result.Iterations
+	rs := a.Result.InternStats()
+	if a.Base != nil {
+		rs.AddFrom(a.Base.Pre.InternStats())
+	}
+	a.Stats.UniqueSets = rs.Unique
+	a.Stats.SetRefs = rs.Refs
+	a.Stats.DedupRatio = rs.DedupRatio()
 }
 
 // errNoGlobal builds the shared "no such global" error.
@@ -226,6 +383,9 @@ func errNoGlobal(name string) error {
 
 // GlobalObject resolves a global variable by name.
 func (a *Analysis) GlobalObject(name string) (*ir.Object, error) {
+	if a.Prog == nil {
+		return nil, fmt.Errorf("no program (precision %s)", a.Precision)
+	}
 	for _, o := range a.Prog.Objects {
 		if o.Kind == ir.ObjGlobal && o.Name == name {
 			return o, nil
@@ -237,12 +397,26 @@ func (a *Analysis) GlobalObject(name string) (*ir.Object, error) {
 // PointsToGlobal returns the sorted names of the objects that global name
 // may point to at program exit (the exit of main, after all handled joins),
 // which is the flow-sensitive "final" answer the paper's examples quote.
+// On a PrecisionAndersenOnly analysis it answers from the flow-insensitive
+// pre-analysis — sound, just less precise.
 func (a *Analysis) PointsToGlobal(name string) ([]string, error) {
 	obj, err := a.GlobalObject(name)
 	if err != nil {
 		return nil, err
 	}
+	if a.Result == nil {
+		return a.andersenNames(obj)
+	}
 	return a.names(a.Result.ObjAtExit(a.Prog.Main, obj)), nil
+}
+
+// andersenNames answers a points-to query from the pre-analysis (the
+// Andersen-only tier).
+func (a *Analysis) andersenNames(obj *ir.Object) ([]string, error) {
+	if a.Base == nil || a.Base.Pre == nil {
+		return nil, fmt.Errorf("no points-to result (precision %s)", a.Precision)
+	}
+	return a.names(a.Base.Pre.PointsToObj(obj)), nil
 }
 
 // PointsToGlobalAnywhere returns the union of the global's points-to sets
@@ -252,6 +426,9 @@ func (a *Analysis) PointsToGlobalAnywhere(name string) ([]string, error) {
 	obj, err := a.GlobalObject(name)
 	if err != nil {
 		return nil, err
+	}
+	if a.Graph == nil || a.Result == nil {
+		return a.andersenNames(obj)
 	}
 	acc := &pts.Set{}
 	for _, n := range a.Graph.Nodes {
@@ -276,6 +453,10 @@ func (a *Analysis) names(set *pts.Set) []string {
 // It requires the precise interleaving analysis (Config.NoInterleaving must
 // be false).
 func (a *Analysis) Races() ([]*race.Report, error) {
+	if a.Precision != PrecisionSparseFS {
+		return nil, fmt.Errorf("race detection requires a full-precision result (got %s: %s)",
+			a.Precision, a.Stats.Degraded)
+	}
 	if a.MHP == nil {
 		return nil, fmt.Errorf("race detection requires the interleaving analysis (disable NoInterleaving)")
 	}
@@ -292,6 +473,10 @@ func (a *Analysis) Races() ([]*race.Report, error) {
 // analysis' results. It requires both the interleaving analysis and the
 // lock analysis (NoInterleaving and NoLock must be false).
 func (a *Analysis) Deadlocks() ([]*deadlock.Report, error) {
+	if a.Precision != PrecisionSparseFS {
+		return nil, fmt.Errorf("deadlock detection requires a full-precision result (got %s: %s)",
+			a.Precision, a.Stats.Degraded)
+	}
 	if a.MHP == nil {
 		return nil, fmt.Errorf("deadlock detection requires the interleaving analysis (disable NoInterleaving)")
 	}
@@ -312,14 +497,22 @@ func (a *Analysis) leakDetector() *leak.Detector {
 }
 
 // Leaks runs the memory-leak client: heap allocations neither must-freed
-// nor reachable from globals at program exit.
+// nor reachable from globals at program exit. It needs a flow-sensitive
+// result; a degraded Andersen-only analysis reports nothing.
 func (a *Analysis) Leaks() []*leak.Report {
+	if a.Result == nil || a.Base == nil {
+		return nil
+	}
 	return a.leakDetector().Detect()
 }
 
 // LeakAudit evaluates the leak conditions for every reachable allocation
-// site (diagnostics).
+// site (diagnostics). Like Leaks, it is empty below thread-oblivious
+// precision.
 func (a *Analysis) LeakAudit() []*leak.Report {
+	if a.Result == nil || a.Base == nil {
+		return nil
+	}
 	return a.leakDetector().Audit()
 }
 
@@ -330,5 +523,5 @@ func (a *Analysis) AndersenPointsToGlobal(name string) ([]string, error) {
 	if err != nil {
 		return nil, err
 	}
-	return a.names(a.Base.Pre.PointsToObj(obj)), nil
+	return a.andersenNames(obj)
 }

@@ -1,0 +1,47 @@
+package fsam_test
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	fsam "repro"
+)
+
+// FuzzAnalyzeSource: the full pipeline is panic-free on arbitrary input.
+// Malformed source comes back as a positioned error; anything that
+// compiles comes back as an Analysis at some ladder tier — never a panic,
+// never a nil Analysis with a nil error. A step limit plus a deadline keep
+// pathological inputs from stalling the fuzzer; tripping either is itself
+// a valid outcome (the ladder absorbs it).
+func FuzzAnalyzeSource(f *testing.F) {
+	f.Add("int main() { int x; int *p; p = &x; return 0; }")
+	f.Add("int *g; void w() { int h; g = &h; } int main() { spawn w(); join; return 0; }")
+	f.Add("int main() { lock(m); unlock(m); return 0; }")
+	f.Add("}{")
+	paths, _ := filepath.Glob(filepath.Join("testdata", "*.mc"))
+	for _, p := range paths {
+		if src, err := os.ReadFile(p); err == nil {
+			f.Add(string(src))
+		}
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		a, err := fsam.AnalyzeSourceCtx(ctx, "fuzz.mc", src, fsam.Config{StepLimit: 200000})
+		if err == nil {
+			if a == nil {
+				t.Fatal("nil Analysis with nil error")
+			}
+			if a.Precision == fsam.PrecisionNone {
+				t.Fatalf("nil error but precision %s", a.Precision)
+			}
+			// Queries over whatever tier we landed on must not panic either.
+			for _, o := range a.Prog.Objects {
+				_, _ = a.PointsToGlobal(o.Name)
+			}
+		}
+	})
+}

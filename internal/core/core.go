@@ -155,7 +155,7 @@ func SolveCtx(ctx context.Context, model *threads.Model, g *vfg.Graph) (*Result,
 		chiOfStore: map[*ir.Store][]int{},
 		retUses:    map[ir.VarID][]ir.Stmt{},
 		emptySet:   &pts.Set{},
-		cancel:     engine.NewCanceller(ctx),
+		cancel:     engine.NewLimitedCanceller(ctx),
 	}
 	s.buildIndexes()
 	s.seed()

@@ -1,0 +1,99 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"runtime/metrics"
+)
+
+// Budget caps the resources a fixpoint loop may consume beyond wall-clock
+// time: a soft process-heap budget and a per-loop step limit. Budgets ride
+// on the context (WithBudget) so they reach every solver through the same
+// channel as cancellation, and they are enforced at the same amortized
+// poll (Canceller.Cancelled) as the deadline — a trip surfaces as an error
+// wrapping ErrOverBudget, symmetric with context.DeadlineExceeded.
+//
+// The pre-analysis is deliberately exempt (it uses NewCanceller, not
+// NewLimitedCanceller): FSAM is staged so that the cheap, sound Andersen
+// stage always completes and every later failure has a fallback tier.
+type Budget struct {
+	// MemBytes is a soft budget on the live process heap
+	// (/memory/classes/heap/objects:bytes via runtime/metrics); 0 means
+	// unlimited. "Soft" because it is polled every PollInterval steps and
+	// measures the whole heap, not one analysis' share.
+	MemBytes uint64
+	// MaxSteps bounds the worklist pops (Cancelled calls) of each fixpoint
+	// loop independently; 0 means unlimited. Per-loop rather than global so
+	// a trip identifies the phase that overran.
+	MaxSteps int64
+}
+
+// IsZero reports whether b imposes no limits.
+func (b Budget) IsZero() bool { return b.MemBytes == 0 && b.MaxSteps == 0 }
+
+// ErrOverBudget is wrapped by every budget-trip error, so callers can
+// classify them with errors.Is regardless of which limit fired.
+var ErrOverBudget = errors.New("over resource budget")
+
+type budgetKey struct{}
+
+// WithBudget returns a context carrying b. A zero budget returns ctx
+// unchanged.
+func WithBudget(ctx context.Context, b Budget) context.Context {
+	if b.IsZero() {
+		return ctx
+	}
+	return context.WithValue(ctx, budgetKey{}, b)
+}
+
+// BudgetFrom extracts the Budget carried by ctx (zero when absent).
+func BudgetFrom(ctx context.Context) Budget {
+	if ctx == nil {
+		return Budget{}
+	}
+	b, _ := ctx.Value(budgetKey{}).(Budget)
+	return b
+}
+
+// heapMetric is the runtime/metrics name of the live-heap gauge the memory
+// budget polls.
+const heapMetric = "/memory/classes/heap/objects:bytes"
+
+// newHeapSample returns a sample slice for HeapBytes. Each Canceller owns
+// its slice: metrics.Read writes into it, so sharing one across concurrent
+// phases would race.
+func newHeapSample() []metrics.Sample {
+	s := make([]metrics.Sample, 1)
+	s[0].Name = heapMetric
+	return s
+}
+
+// HeapBytes reads the live-heap gauge into s (from newHeapSample). The
+// cheap gauge aggregates per-P stat caches that may not have flushed yet
+// (fresh process, only small allocations), in which case it reads zero —
+// a value no live Go heap ever has — so that case falls back to the
+// precise stop-the-world accounting. The fallback keeps one-byte budgets
+// (used by tests to force the degradation ladder) deterministic.
+func HeapBytes(s []metrics.Sample) uint64 {
+	metrics.Read(s)
+	if s[0].Value.Kind() == metrics.KindUint64 {
+		if v := s[0].Value.Uint64(); v > 0 {
+			return v
+		}
+	}
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return ms.HeapAlloc
+}
+
+// overStepsError builds the step-limit trip error.
+func overStepsError(steps, limit int64) error {
+	return fmt.Errorf("%w: %d worklist steps (limit %d)", ErrOverBudget, steps, limit)
+}
+
+// overMemError builds the memory-budget trip error.
+func overMemError(heap, budget uint64) error {
+	return fmt.Errorf("%w: live heap %d bytes (budget %d)", ErrOverBudget, heap, budget)
+}

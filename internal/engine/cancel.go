@@ -1,6 +1,9 @@
 package engine
 
-import "context"
+import (
+	"context"
+	"runtime/metrics"
+)
 
 // PollInterval is the number of worklist pops (or equivalent loop
 // iterations) between context-cancellation checks in the solvers' fixpoint
@@ -9,17 +12,27 @@ import "context"
 // latency of a cancellation to ~PollInterval pops.
 const PollInterval = 256
 
-// Canceller amortizes context cancellation polling over tight solver
-// loops: Cancelled reports true only once ctx is done, checking the
-// context every PollInterval calls. A nil Canceller (or one built from a
-// nil context) never cancels, so solvers can thread it unconditionally.
+// Canceller amortizes context cancellation (and, when built with
+// NewLimitedCanceller, resource-budget) polling over tight solver loops:
+// Cancelled reports true once ctx is done or a Budget limit trips,
+// checking the context and the heap gauge every PollInterval calls and the
+// step limit on every call. A nil Canceller (or one built from a nil
+// context) never cancels, so solvers can thread it unconditionally.
 type Canceller struct {
 	ctx  context.Context
 	tick uint32
 	done bool
+	err  error
+
+	budget Budget
+	steps  int64
+	mem    []metrics.Sample
 }
 
-// NewCanceller returns a Canceller polling ctx. ctx may be nil.
+// NewCanceller returns a Canceller polling ctx's cancellation only; any
+// Budget on ctx is ignored (the pre-analysis path — the ladder's safety
+// net — must not be starved by the budget meant for the expensive
+// phases). ctx may be nil.
 func NewCanceller(ctx context.Context) *Canceller {
 	if ctx == nil {
 		return nil
@@ -31,9 +44,28 @@ func NewCanceller(ctx context.Context) *Canceller {
 	return &Canceller{ctx: ctx}
 }
 
-// Cancelled reports whether the context has been cancelled, polling it
-// every PollInterval calls (the first call always polls, so an
-// already-expired context is seen immediately).
+// NewLimitedCanceller returns a Canceller enforcing both ctx's
+// cancellation and the Budget it carries (WithBudget). With no budget it
+// behaves exactly like NewCanceller.
+func NewLimitedCanceller(ctx context.Context) *Canceller {
+	if ctx == nil {
+		return nil
+	}
+	b := BudgetFrom(ctx)
+	if b.IsZero() {
+		return NewCanceller(ctx)
+	}
+	c := &Canceller{ctx: ctx, budget: b}
+	if b.MemBytes > 0 {
+		c.mem = newHeapSample()
+	}
+	return c
+}
+
+// Cancelled reports whether the run must stop — context cancelled or
+// budget exhausted. The step limit is checked every call; the context and
+// the heap gauge every PollInterval calls (the first call always polls, so
+// an already-expired context is seen immediately).
 func (c *Canceller) Cancelled() bool {
 	if c == nil {
 		return false
@@ -41,20 +73,50 @@ func (c *Canceller) Cancelled() bool {
 	if c.done {
 		return true
 	}
+	if c.budget.MaxSteps > 0 {
+		if c.steps++; c.steps > c.budget.MaxSteps {
+			return c.fail(overStepsError(c.steps, c.budget.MaxSteps))
+		}
+	}
 	if c.tick%PollInterval == 0 {
-		if c.ctx.Err() != nil {
-			c.done = true
-			return true
+		if err := c.ctx.Err(); err != nil {
+			return c.fail(err)
+		}
+		if c.budget.MemBytes > 0 {
+			if h := HeapBytes(c.mem); h > c.budget.MemBytes {
+				return c.fail(overMemError(h, c.budget.MemBytes))
+			}
 		}
 	}
 	c.tick++
 	return false
 }
 
-// Err returns the context's error (nil if not cancelled or c is nil).
+// fail latches the stop reason.
+func (c *Canceller) fail(err error) bool {
+	c.done = true
+	c.err = err
+	return true
+}
+
+// Err returns the reason the Canceller tripped: the budget error when a
+// limit fired, otherwise the context's error (nil if neither, or c is
+// nil).
 func (c *Canceller) Err() error {
 	if c == nil {
 		return nil
 	}
+	if c.err != nil {
+		return c.err
+	}
 	return c.ctx.Err()
+}
+
+// Steps returns the number of Cancelled calls so far (the step-limit
+// meter); 0 for a nil Canceller.
+func (c *Canceller) Steps() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.steps
 }

@@ -1,0 +1,63 @@
+// Package exitcode fixes the process exit-code convention shared by the
+// cmd/ tools, so scripts driving them can distinguish "worked at full
+// precision" from "worked, but the degradation ladder kicked in" from
+// "failed outright" without parsing output.
+package exitcode
+
+import fsam "repro"
+
+const (
+	// OK: the analysis completed at full precision (or the command does
+	// not run an analysis and simply succeeded).
+	OK = 0
+	// Failure: hard failure — I/O error, source that does not compile, a
+	// deadline that expired before the pre-analysis completed, or a
+	// validation violation.
+	Failure = 1
+	// Usage: bad flags or arguments.
+	Usage = 2
+	// DegradedThreadOblivious: the run completed, but the degradation
+	// ladder fell back to the thread-oblivious flow-sensitive tier.
+	DegradedThreadOblivious = 3
+	// DegradedAndersen: the run completed, but only the flow-insensitive
+	// Andersen pre-analysis is available.
+	DegradedAndersen = 4
+)
+
+// ForPrecision maps a result tier onto the exit-code convention.
+// PrecisionNone maps to Failure: the ladder only reports it alongside an
+// error, which callers should have handled already.
+func ForPrecision(p fsam.Precision) int {
+	switch p {
+	case fsam.PrecisionSparseFS:
+		return OK
+	case fsam.PrecisionThreadObliviousFS:
+		return DegradedThreadOblivious
+	case fsam.PrecisionAndersenOnly:
+		return DegradedAndersen
+	}
+	return Failure
+}
+
+// Worst returns the more severe of two codes under the convention:
+// Failure and Usage dominate everything; otherwise the higher degradation
+// tier wins (DegradedAndersen > DegradedThreadOblivious > OK).
+func Worst(a, b int) int {
+	rank := func(c int) int {
+		switch c {
+		case Failure:
+			return 3
+		case Usage:
+			return 2
+		case DegradedAndersen:
+			return 1
+		case DegradedThreadOblivious:
+			return 0
+		}
+		return -1
+	}
+	if rank(b) > rank(a) {
+		return b
+	}
+	return a
+}

@@ -1,0 +1,36 @@
+package lexer_test
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/frontend/lexer"
+	"repro/internal/frontend/token"
+)
+
+// FuzzLex: the lexer terminates on arbitrary input, never panics, and
+// every token carries a position inside the source.
+func FuzzLex(f *testing.F) {
+	f.Add("int main() { return 0; }")
+	f.Add("spawn worker(&x); lock(m); /* unterminated")
+	f.Add("\"string with \\n escape\" 0x1234 'c'")
+	f.Add("\x00\xff\xfe")
+	paths, _ := filepath.Glob(filepath.Join("..", "..", "..", "testdata", "*.mc"))
+	for _, p := range paths {
+		if src, err := os.ReadFile(p); err == nil {
+			f.Add(string(src))
+		}
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		l := lexer.New(src)
+		// Every Next call consumes at least one byte (or reports an error
+		// and skips one), so len(src)+1 pops bound any terminating run.
+		for i := 0; i <= len(src); i++ {
+			if l.Next().Kind == token.EOF {
+				return
+			}
+		}
+		t.Fatalf("lexer did not reach EOF within %d tokens", len(src)+1)
+	})
+}

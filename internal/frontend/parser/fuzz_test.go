@@ -1,0 +1,36 @@
+package parser_test
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/frontend/parser"
+)
+
+// FuzzParse: ParseChecked never panics — malformed input comes back as a
+// positioned error, hostile nesting as a depth error, and a nil error
+// always carries a non-nil file.
+func FuzzParse(f *testing.F) {
+	f.Add("int main() { int x; int *p; p = &x; return 0; }")
+	f.Add("int main() { spawn w(); join; }")
+	f.Add("int main() { if (x) { } else { while (y) { } } }")
+	f.Add("int main() { return " + strings.Repeat("(", 300) + "1; }")
+	f.Add("}{)(;;")
+	paths, _ := filepath.Glob(filepath.Join("..", "..", "..", "testdata", "*.mc"))
+	for _, p := range paths {
+		if src, err := os.ReadFile(p); err == nil {
+			f.Add(string(src))
+		}
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		file, err := parser.ParseChecked("fuzz.mc", src)
+		if err == nil && file == nil {
+			t.Fatal("nil error with nil file")
+		}
+		if err != nil && !strings.HasPrefix(err.Error(), "fuzz.mc:") {
+			t.Fatalf("error not positioned: %v", err)
+		}
+	})
+}

@@ -20,7 +20,15 @@ type Parser struct {
 	pos     int
 	errs    []error
 	structs map[string]*types.Struct
+	depth   int
+	bailed  bool
 }
+
+// maxDepth bounds statement/expression nesting. Recursive descent consumes
+// Go stack proportionally to input nesting, so without a bound a hostile
+// input of a few hundred KB of "(((((..." exhausts the stack — a panic no
+// recover can contain. Exceeding it is a positioned syntax error.
+const maxDepth = 256
 
 // Parse parses src (name is used in diagnostics only) and returns the file
 // plus any syntax errors. A non-nil file is returned even on error so tools
@@ -33,14 +41,20 @@ func Parse(name, src string) (*ast.File, []error) {
 	return file, p.errs
 }
 
-// MustParse parses src and panics on any error; intended for tests and
-// generated workloads that are known to be well-formed.
-func MustParse(name, src string) *ast.File {
+// ParseChecked parses src and returns the file, or a positioned error
+// ("name:line:col: message") describing the first problem and how many
+// more follow. It is the error-returning replacement for the old
+// panicking MustParse: malformed input is a value, not a crash.
+func ParseChecked(name, src string) (*ast.File, error) {
 	f, errs := Parse(name, src)
-	if len(errs) > 0 {
-		panic(fmt.Sprintf("parse %s: %v", name, errs[0]))
+	switch len(errs) {
+	case 0:
+		return f, nil
+	case 1:
+		return nil, fmt.Errorf("%s:%w", name, errs[0])
+	default:
+		return nil, fmt.Errorf("%s:%w (and %d more)", name, errs[0], len(errs)-1)
 	}
-	return f
 }
 
 func (p *Parser) cur() token.Token { return p.toks[p.pos] }
@@ -80,6 +94,24 @@ func (p *Parser) expect(k token.Kind) token.Token {
 func (p *Parser) errorf(format string, args ...any) {
 	p.errs = append(p.errs, fmt.Errorf("%s: %s", p.cur().Pos, fmt.Sprintf(format, args...)))
 }
+
+// enter records one nesting level for the recursive-descent guard. It
+// reports false at the cap, recording one positioned error and
+// fast-forwarding to EOF so every recursion unwinds promptly.
+func (p *Parser) enter() bool {
+	p.depth++
+	if p.depth <= maxDepth {
+		return true
+	}
+	if !p.bailed {
+		p.bailed = true
+		p.errorf("nesting deeper than %d levels", maxDepth)
+		p.pos = len(p.toks) - 1
+	}
+	return false
+}
+
+func (p *Parser) leave() { p.depth-- }
 
 // sync skips tokens until after the next semicolon or before a closing
 // brace, to recover from a syntax error.
@@ -283,6 +315,10 @@ func (p *Parser) parseBlock() *ast.BlockStmt {
 
 func (p *Parser) parseStmt() ast.Stmt {
 	pos := p.cur().Pos
+	if !p.enter() {
+		return &ast.BlockStmt{P: pos}
+	}
+	defer p.leave()
 	switch p.cur().Kind {
 	case token.LBRACE:
 		return p.parseBlock()
@@ -465,6 +501,10 @@ func (p *Parser) parseBinary(minPrec int) ast.Expr {
 
 func (p *Parser) parseUnary() ast.Expr {
 	pos := p.cur().Pos
+	if !p.enter() {
+		return &ast.IntLit{P: pos}
+	}
+	defer p.leave()
 	switch p.cur().Kind {
 	case token.STAR:
 		p.next()

@@ -1,6 +1,7 @@
 package parser_test
 
 import (
+	"strings"
 	"testing"
 
 	"repro/internal/frontend/ast"
@@ -273,13 +274,37 @@ func TestErrorHasPosition(t *testing.T) {
 	}
 }
 
-func TestMustParsePanics(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Error("MustParse must panic on bad input")
-		}
-	}()
-	parser.MustParse("bad.mc", "int main( {")
+func TestParseCheckedReturnsPositionedError(t *testing.T) {
+	f, err := parser.ParseChecked("bad.mc", "int main( {")
+	if err == nil {
+		t.Fatal("ParseChecked must return an error on bad input, not panic")
+	}
+	if f != nil {
+		t.Error("ParseChecked must return a nil file on error")
+	}
+	msg := err.Error()
+	if !strings.HasPrefix(msg, "bad.mc:1:") {
+		t.Errorf("error %q lacks a file:line:col position prefix", msg)
+	}
+}
+
+func TestParseCheckedOK(t *testing.T) {
+	f, err := parser.ParseChecked("ok.mc", "int main() { return 0; }")
+	if err != nil {
+		t.Fatalf("ParseChecked: %v", err)
+	}
+	if len(f.Funcs) != 1 {
+		t.Fatalf("got %d funcs, want 1", len(f.Funcs))
+	}
+}
+
+func TestDeepNestingIsErrorNotStackOverflow(t *testing.T) {
+	src := "int main() { int x; x = " + strings.Repeat("(", 100000) + "1" +
+		strings.Repeat(")", 100000) + "; return 0; }"
+	_, errs := parser.Parse("deep.mc", src)
+	if len(errs) == 0 {
+		t.Fatal("expected a nesting-depth error")
+	}
 }
 
 func TestLogicalOperators(t *testing.T) {

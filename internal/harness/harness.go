@@ -84,6 +84,8 @@ type Table2Row struct {
 	FSAMSetRefs    int           `json:"fsam_set_refs"`
 	FSAMDedup      float64       `json:"fsam_dedup_ratio"`
 	FSAMOOT        bool          `json:"fsam_oot"`
+	FSAMPrecision  string        `json:"fsam_precision"`
+	FSAMDegraded   string        `json:"fsam_degraded,omitempty"`
 	NSTime         time.Duration `json:"nonsparse_ns"`
 	NSBytes        uint64        `json:"nonsparse_bytes"`
 	NSUniqueSets   int           `json:"nonsparse_unique_sets"`
@@ -93,10 +95,12 @@ type Table2Row struct {
 }
 
 // RunFSAM analyzes one generated benchmark with FSAM and a config.
-// timeout <= 0 disables the deadline; an expired deadline returns the
-// partial Analysis together with an error for which pipeline.ErrCancelled
-// is true, mirroring the NONSPARSE OOT budget so Table 2 can report both
-// analyses symmetrically. Compile failures are returned, not panicked.
+// timeout <= 0 disables the deadline. A deadline that expires before the
+// pre-analysis completes returns the partial Analysis together with an
+// error for which pipeline.ErrCancelled is true; a later failure (deadline,
+// budget, panic) is absorbed by the degradation ladder, landing in
+// Analysis.Precision/Stats.Degraded with a nil error. Compile failures are
+// returned, not panicked.
 func RunFSAM(spec workload.Spec, scale int, cfg fsam.Config, timeout time.Duration) (*fsam.Analysis, time.Duration, error) {
 	src := workload.GenerateSpec(spec, scale)
 	prog, err := pipeline.Compile(spec.Name, src)
@@ -128,13 +132,16 @@ func RunNonSparse(spec workload.Spec, scale int, timeout time.Duration) (*fsam.B
 	return b, time.Since(t0), nil
 }
 
-// RunTable2 measures every benchmark under both analyses. The timeout
-// budget applies to each analysis independently; a run that exceeds it
-// becomes an OOT row rather than an error.
-func RunTable2(scale int, timeout time.Duration) ([]Table2Row, error) {
+// RunTable2 measures every benchmark under both analyses with cfg (the
+// zero Config reproduces the paper's setup; MemBudgetBytes/StepLimit
+// exercise the degradation ladder). The timeout budget applies to each
+// analysis independently; a run that exceeds it becomes an OOT row rather
+// than an error, and a run the ladder degraded carries its tier in
+// FSAMPrecision with the reason in FSAMDegraded.
+func RunTable2(scale int, timeout time.Duration, cfg fsam.Config) ([]Table2Row, error) {
 	var rows []Table2Row
 	for _, spec := range workload.Suite {
-		a, ft, err := RunFSAM(spec, scale, fsam.Config{}, timeout)
+		a, ft, err := RunFSAM(spec, scale, cfg, timeout)
 		fsamOOT := false
 		if err != nil {
 			if !pipeline.ErrCancelled(err) {
@@ -142,35 +149,46 @@ func RunTable2(scale int, timeout time.Duration) ([]Table2Row, error) {
 			}
 			fsamOOT = true
 		}
+		row := Table2Row{Name: spec.Name, FSAMTime: ft, FSAMOOT: fsamOOT}
+		if a != nil {
+			row.FSAMBytes = a.Stats.Bytes
+			row.FSAMUniqueSets = a.Stats.UniqueSets
+			row.FSAMSetRefs = a.Stats.SetRefs
+			row.FSAMDedup = a.Stats.DedupRatio
+			row.FSAMPrecision = a.Precision.String()
+			row.FSAMDegraded = a.Stats.Degraded
+		}
 		b, nt, err := RunNonSparse(spec, scale, timeout)
 		if err != nil {
 			return nil, err
 		}
-		rows = append(rows, Table2Row{
-			Name:           spec.Name,
-			FSAMTime:       ft,
-			FSAMBytes:      a.Stats.Bytes,
-			FSAMUniqueSets: a.Stats.UniqueSets,
-			FSAMSetRefs:    a.Stats.SetRefs,
-			FSAMDedup:      a.Stats.DedupRatio,
-			FSAMOOT:        fsamOOT,
-			NSTime:         nt,
-			NSBytes:        b.Stats.Bytes,
-			NSUniqueSets:   b.Stats.UniqueSets,
-			NSSetRefs:      b.Stats.SetRefs,
-			NSDedup:        b.Stats.DedupRatio,
-			NSOOT:          b.OOT,
-		})
+		if b.Err != nil {
+			return nil, fmt.Errorf("workload %s baseline: %w", spec.Name, b.Err)
+		}
+		row.NSTime = nt
+		row.NSBytes = b.Stats.Bytes
+		row.NSUniqueSets = b.Stats.UniqueSets
+		row.NSSetRefs = b.Stats.SetRefs
+		row.NSDedup = b.Stats.DedupRatio
+		row.NSOOT = b.OOT
+		rows = append(rows, row)
 	}
 	return rows, nil
+}
+
+// fsamFull reports whether the row's FSAM run completed at full precision
+// (neither out of time nor degraded down the ladder).
+func (r Table2Row) fsamFull() bool {
+	return !r.FSAMOOT &&
+		(r.FSAMPrecision == "" || r.FSAMPrecision == fsam.PrecisionSparseFS.String())
 }
 
 // PrintTable2 renders Table 2 with speedup/memory summary lines matching
 // the paper's reporting style.
 func PrintTable2(w io.Writer, rows []Table2Row) {
 	fmt.Fprintf(w, "Table 2: Analysis time and memory usage\n")
-	fmt.Fprintf(w, "%-14s %12s %12s %12s %12s %9s %9s\n",
-		"Program", "FSAM(s)", "NonSp(s)", "FSAM(MB)", "NonSp(MB)", "F-dedup", "NS-dedup")
+	fmt.Fprintf(w, "%-14s %12s %12s %12s %12s %9s %9s %s\n",
+		"Program", "FSAM(s)", "NonSp(s)", "FSAM(MB)", "NonSp(MB)", "F-dedup", "NS-dedup", "Tier")
 	var spSum, memSum float64
 	var nBoth int
 	for _, r := range rows {
@@ -186,13 +204,20 @@ func PrintTable2(w io.Writer, rows []Table2Row) {
 			ns = fmt.Sprintf("%12s", "OOT")
 			nsm = fmt.Sprintf("%12s", "OOT")
 		}
-		if !r.FSAMOOT && !r.NSOOT {
+		if r.fsamFull() && !r.NSOOT {
 			spSum += r.NSTime.Seconds() / r.FSAMTime.Seconds()
 			memSum += float64(r.NSBytes) / float64(r.FSAMBytes)
 			nBoth++
 		}
-		fmt.Fprintf(w, "%-14s %s %s %s %s %8.2fx %8.2fx\n",
-			r.Name, fs, ns, fsm, nsm, r.FSAMDedup, r.NSDedup)
+		tier := r.FSAMPrecision
+		if tier == "" {
+			tier = fsam.PrecisionSparseFS.String()
+		}
+		fmt.Fprintf(w, "%-14s %s %s %s %s %8.2fx %8.2fx %s\n",
+			r.Name, fs, ns, fsm, nsm, r.FSAMDedup, r.NSDedup, tier)
+		if r.FSAMDegraded != "" {
+			fmt.Fprintf(w, "%-14s   degraded: %s\n", "", r.FSAMDegraded)
+		}
 	}
 	if nBoth > 0 {
 		fmt.Fprintf(w, "Average over programs analyzable by both: %.1fx faster, %.1fx less memory\n",

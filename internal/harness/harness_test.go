@@ -36,7 +36,7 @@ func TestTable2SmallScale(t *testing.T) {
 	if testing.Short() {
 		t.Skip("short mode")
 	}
-	rows, err := harness.RunTable2(1, 30*time.Second)
+	rows, err := harness.RunTable2(1, 30*time.Second, fsam.Config{})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -78,13 +78,11 @@ func Build(file *ast.File) (*ir.Program, error) {
 	return b.prog, nil
 }
 
-// MustBuild parses-and-builds for callers with known-good input.
-func MustBuild(file *ast.File) *ir.Program {
-	p, err := Build(file)
-	if err != nil {
-		panic(err)
-	}
-	return p
+// BuildChecked is Build under a clearer name for callers migrating off the
+// old panicking MustBuild: lowering failures (unresolved names, malformed
+// constructs) are positioned errors, never panics.
+func BuildChecked(file *ast.File) (*ir.Program, error) {
+	return Build(file)
 }
 
 func (b *builder) build() error {

@@ -89,7 +89,7 @@ func AnalyzeCtx(ctx context.Context, model *threads.Model) (*Result, error) {
 			r.execsOf[fc.Func] = append(r.execsOf[fc.Func], ThreadCtx{Thread: t, Ctx: fc.Ctx})
 		}
 	}
-	cancel := engine.NewCanceller(ctx)
+	cancel := engine.NewLimitedCanceller(ctx)
 	for _, t := range model.Threads {
 		if err := r.analyzeThread(t, cancel); err != nil {
 			return nil, err

@@ -149,7 +149,7 @@ type solver struct {
 
 	wl *engine.Worklist
 
-	ctx context.Context
+	cancel *engine.Canceller
 }
 
 // Analyze runs the baseline over a prepared pipeline base. timeout <= 0
@@ -192,7 +192,7 @@ func AnalyzeCtx(ctx context.Context, base *pipeline.Base) *Result {
 		retUses:       map[ir.VarID][]*icfg.Node{},
 		nodesOfFunc:   map[*ir.Function][]*icfg.Node{},
 		wl:            engine.NewWorklist(len(base.G.Nodes)),
-		ctx:           ctx,
+		cancel:        engine.NewLimitedCanceller(ctx),
 	}
 	s.prepare()
 	s.run()
@@ -323,7 +323,6 @@ func (s *solver) inView(n *icfg.Node) map[pgKey]engine.SetID {
 }
 
 func (s *solver) run() {
-	counter := 0
 	for {
 		id, ok := s.wl.Pop()
 		if !ok {
@@ -331,11 +330,10 @@ func (s *solver) run() {
 		}
 		n := s.base.G.Nodes[id]
 		s.r.Iterations++
-		counter++
-		// The topological ordering converges in far fewer pops than the old
-		// FIFO discipline, so the deadline check runs every 16 pops to keep
-		// the OOT stand-in responsive on small budgets.
-		if counter%16 == 0 && s.ctx.Err() != nil {
+		// Deadline expiry and resource-budget trips (engine.Budget on the
+		// context) both mark the row OOT — the baseline degrades to a
+		// partial result either way, it never errors out mid-solve.
+		if s.cancel.Cancelled() {
 			s.r.OOT = true
 			return
 		}

@@ -16,9 +16,12 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"runtime/debug"
 	"sort"
 	"sync"
 	"time"
+
+	"repro/internal/engine"
 )
 
 // Phase is one pipeline stage. Needs and Provides name State slots; the
@@ -54,6 +57,15 @@ func (s *State) Put(slot string, v any) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.slots[slot] = v
+}
+
+// Delete removes slot, releasing its value for collection. The degradation
+// ladder uses it to drop a failed tier's outputs before retrying a cheaper
+// tier under a memory budget.
+func (s *State) Delete(slot string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.slots, slot)
 }
 
 // Value returns the raw slot value and whether it is present.
@@ -134,18 +146,36 @@ func (r *Report) Order() []string {
 }
 
 // PhaseError reports a failed (or cancelled) phase together with the
-// phases that did complete, so callers can expose partial progress.
+// phases that did complete, so callers can expose partial progress. A
+// recovered phase panic sets Panic and carries the goroutine stack —
+// fault containment: no phase, however broken, takes the process down.
 type PhaseError struct {
 	Phase     string
 	Completed []string
 	Err       error
+	// Panic is set when Err is a recovered panic; Stack then holds the
+	// panicking goroutine's stack trace.
+	Panic bool
+	Stack []byte
 }
 
 func (e *PhaseError) Error() string {
+	if e.Panic {
+		return fmt.Sprintf("pipeline: phase %q panicked: %v (completed: %v)", e.Phase, e.Err, e.Completed)
+	}
 	return fmt.Sprintf("pipeline: phase %q: %v (completed: %v)", e.Phase, e.Err, e.Completed)
 }
 
 func (e *PhaseError) Unwrap() error { return e.Err }
+
+// panicError carries a recovered phase panic value and its stack until the
+// Manager folds it into the PhaseError.
+type panicError struct {
+	val   any
+	stack []byte
+}
+
+func (e *panicError) Error() string { return fmt.Sprintf("panic: %v", e.val) }
 
 // Manager schedules a phase DAG.
 type Manager struct {
@@ -290,11 +320,19 @@ func (m *Manager) Run(ctx context.Context, st *State) (*Report, error) {
 	running := 0
 	var firstErr *PhaseError
 
-	run := func(i int) doneMsg {
+	// run executes one phase with panic containment: a panic anywhere in
+	// Run (or the Bytes probe) is recovered into a *panicError instead of
+	// unwinding through the Manager's goroutine and killing the process.
+	run := func(i int) (msg doneMsg) {
 		p := m.phases[i]
 		if err := ctx.Err(); err != nil {
 			return doneMsg{i, err}
 		}
+		defer func() {
+			if r := recover(); r != nil {
+				msg = doneMsg{i, &panicError{val: r, stack: debug.Stack()}}
+			}
+		}()
 		t0 := time.Now()
 		if err := p.Run(ctx, st); err != nil {
 			return doneMsg{i, err}
@@ -327,6 +365,11 @@ func (m *Manager) Run(ctx context.Context, st *State) (*Report, error) {
 		if msg.err != nil {
 			if firstErr == nil {
 				firstErr = &PhaseError{Phase: m.phases[msg.idx].Name, Err: msg.err}
+				var pv *panicError
+				if errors.As(msg.err, &pv) {
+					firstErr.Panic = true
+					firstErr.Stack = pv.stack
+				}
 			}
 			continue
 		}
@@ -348,4 +391,20 @@ func (m *Manager) Run(ctx context.Context, st *State) (*Report, error) {
 // deadline expiry (possibly wrapped in a *PhaseError).
 func ErrCancelled(err error) bool {
 	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}
+
+// ErrOverBudget reports whether err stems from a resource-budget trip
+// (engine.ErrOverBudget, possibly wrapped in a *PhaseError).
+func ErrOverBudget(err error) bool {
+	return errors.Is(err, engine.ErrOverBudget)
+}
+
+// ErrPanicked reports whether err is (or wraps) a recovered phase panic.
+func ErrPanicked(err error) bool {
+	var pe *PhaseError
+	if errors.As(err, &pe) {
+		return pe.Panic
+	}
+	var pv *panicError
+	return errors.As(err, &pv)
 }

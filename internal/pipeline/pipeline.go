@@ -8,7 +8,6 @@ package pipeline
 
 import (
 	"context"
-	"fmt"
 
 	"repro/internal/andersen"
 	"repro/internal/callgraph"
@@ -32,13 +31,14 @@ type Base struct {
 	Model *threads.Model
 }
 
-// Compile parses and lowers MiniC source into IR.
+// Compile parses and lowers MiniC source into IR. Malformed source is a
+// positioned error ("name:line:col: message"), never a panic.
 func Compile(name, src string) (*ir.Program, error) {
-	f, errs := parser.Parse(name, src)
-	if len(errs) > 0 {
-		return nil, fmt.Errorf("%s: %w (and %d more)", name, errs[0], len(errs)-1)
+	f, err := parser.ParseChecked(name, src)
+	if err != nil {
+		return nil, err
 	}
-	return irbuild.Build(f)
+	return irbuild.BuildChecked(f)
 }
 
 // BuildPre runs the pre-analysis and constructs the call graph, ICFG and

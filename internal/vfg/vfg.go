@@ -115,6 +115,13 @@ type Options struct {
 	// NoValueFlow disables the aliasing premise of [THREAD-VF]: every MHP
 	// store-access pair gets edges for all objects the store may define.
 	NoValueFlow bool
+	// ThreadOblivious skips [THREAD-VF] entirely: only the sequential
+	// memory-SSA def-use chains (plus fork bypass and join edges) are
+	// built, and no interference analysis is consulted. This is the
+	// degradation ladder's middle tier — a flow-sensitive result that
+	// ignores cross-thread value flows, used when the interference phases
+	// or the full sparse solve fail by panic or budget.
+	ThreadOblivious bool
 }
 
 // Graph is the finished def-use graph.
@@ -187,7 +194,7 @@ func BuildCtx(ctx context.Context, model *threads.Model, opt Options) (*Graph, e
 		forkDefs: map[*ir.Fork]map[ir.ObjID]int{},
 		seenMem:  map[memEdgeKey]bool{},
 		seenLoad: map[loadEdgeKey]bool{},
-		cancel:   engine.NewCanceller(ctx),
+		cancel:   engine.NewLimitedCanceller(ctx),
 	}
 	if err := b.buildOblivious(); err != nil {
 		return nil, err
@@ -195,8 +202,10 @@ func BuildCtx(ctx context.Context, model *threads.Model, opt Options) (*Graph, e
 	if err := b.buildForkBypass(); err != nil {
 		return nil, err
 	}
-	if err := b.buildThreadAware(); err != nil {
-		return nil, err
+	if !opt.ThreadOblivious {
+		if err := b.buildThreadAware(); err != nil {
+			return nil, err
+		}
 	}
 	return g, nil
 }

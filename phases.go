@@ -179,6 +179,30 @@ func defUsePhase(cfg Config) pipeline.Phase {
 	}
 }
 
+// obliviousDefUsePhase builds the def-use graph in thread-oblivious mode
+// (sequential memory SSA plus fork-bypass/join edges, no [THREAD-VF]).
+// It is the degradation ladder's middle tier: it consumes only the thread
+// model, so it can run after the interference analyses failed.
+func obliviousDefUsePhase() pipeline.Phase {
+	return pipeline.Phase{
+		Name:     phaseDefUse,
+		Needs:    []string{slotModel},
+		Provides: []string{slotVFG},
+		Run: func(ctx context.Context, st *pipeline.State) error {
+			g, err := vfg.BuildCtx(ctx, pipeline.Get[*threads.Model](st, slotModel),
+				vfg.Options{ThreadOblivious: true})
+			if err != nil {
+				return err
+			}
+			st.Put(slotVFG, g)
+			return nil
+		},
+		Bytes: func(st *pipeline.State) uint64 {
+			return pipeline.Get[*vfg.Graph](st, slotVFG).Bytes()
+		},
+	}
+}
+
 // sparsePhase runs the sparse flow-sensitive solve.
 func sparsePhase() pipeline.Phase {
 	return pipeline.Phase{
@@ -221,8 +245,21 @@ func fsamPhases(cfg Config, name, src string, withCompile bool) []pipeline.Phase
 	return ps
 }
 
-// newManager builds a Manager over phases, honoring cfg.Sequential.
+// testPhaseWrap, when non-nil, wraps every phase before scheduling. It is
+// the fault-injection seam for the degradation-ladder tests (installed via
+// export_test.go) and is nil outside test binaries.
+var testPhaseWrap func(pipeline.Phase) pipeline.Phase
+
+// newManager builds a Manager over phases, honoring cfg.Sequential and
+// the test fault-injection hook.
 func newManager(cfg Config, phases []pipeline.Phase) (*pipeline.Manager, error) {
+	if testPhaseWrap != nil {
+		wrapped := make([]pipeline.Phase, len(phases))
+		for i, p := range phases {
+			wrapped[i] = testPhaseWrap(p)
+		}
+		phases = wrapped
+	}
 	m, err := pipeline.NewManager(phases...)
 	if err != nil {
 		return nil, err
