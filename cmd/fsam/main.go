@@ -18,6 +18,9 @@
 //	                   phases (0 = unlimited); a trip degrades precision
 //	-steplimit N       per-phase worklist-pop limit (0 = unlimited)
 //	-ir                dump the partial-SSA IR instead of analyzing
+//	-server URL        submit to a running fsamd instead of analyzing
+//	                   in-process (-query/-races/-stats work; the exit
+//	                   code carries the served result's tier)
 //
 // Exit codes: 0 full-precision result, 1 hard failure (I/O, compile
 // error, pre-analysis deadline), 2 usage, 3 result degraded to
@@ -26,6 +29,7 @@ package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -36,6 +40,8 @@ import (
 	"repro/internal/exitcode"
 	"repro/internal/ir"
 	"repro/internal/pipeline"
+	"repro/internal/server"
+	"repro/internal/server/client"
 )
 
 func main() {
@@ -54,6 +60,7 @@ func main() {
 		dumpIR   = flag.Bool("ir", false, "dump the partial-SSA IR and exit")
 		dotVFG   = flag.Bool("dot-vfg", false, "dump the def-use graph as Graphviz DOT")
 		dotICFG  = flag.Bool("dot-icfg", false, "dump the ICFG as Graphviz DOT")
+		srvURL   = flag.String("server", "", "submit to a running fsamd at this base URL instead of analyzing in-process")
 	)
 	flag.Parse()
 	if flag.NArg() != 1 {
@@ -66,6 +73,21 @@ func main() {
 		fatal(err)
 	}
 	src := string(srcBytes)
+
+	if *srvURL != "" {
+		if *baseline || *dumpIR || *dotVFG || *dotICFG || *globals {
+			fmt.Fprintln(os.Stderr, "fsam: -baseline/-ir/-dot-vfg/-dot-icfg/-globals are in-process only, not available with -server")
+			os.Exit(exitcode.Usage)
+		}
+		os.Exit(runServed(*srvURL, flag.Arg(0), src, servedOpts{
+			query: *query, races: *races, stats: *stats,
+			cfg: server.ConfigRequest{
+				NoInterleaving: *noIL, NoValueFlow: *noVF, NoLock: *noLK,
+				MemBudgetBytes: *memBud, StepLimit: *stepLim,
+			},
+			timeout: *timeout,
+		}))
+	}
 
 	if *dumpIR {
 		prog, err := pipeline.Compile(flag.Arg(0), src)
@@ -97,10 +119,12 @@ func main() {
 		return
 	}
 
+	// Normalize keeps the CLI on the same canonical configuration the
+	// fsamd cache keys on, so a local run and a served run can't diverge.
 	cfg := fsam.Config{
 		NoInterleaving: *noIL, NoValueFlow: *noVF, NoLock: *noLK,
 		MemBudgetBytes: *memBud, StepLimit: *stepLim,
-	}
+	}.Normalize()
 	ctx := context.Background()
 	if *timeout > 0 {
 		var cancel context.CancelFunc
@@ -199,4 +223,82 @@ func main() {
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "fsam:", err)
 	os.Exit(exitcode.Failure)
+}
+
+// servedOpts is the subset of the CLI surface that works against fsamd.
+type servedOpts struct {
+	query   string
+	races   bool
+	stats   bool
+	cfg     server.ConfigRequest
+	timeout time.Duration
+}
+
+// runServed submits the program to a running fsamd and renders the same
+// views the in-process path prints. The returned exit code is the served
+// result's tier under the repo convention, exactly as a local run would
+// exit.
+func runServed(baseURL, name, src string, opts servedOpts) int {
+	ctx := context.Background()
+	if opts.timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, opts.timeout)
+		defer cancel()
+	}
+	c := client.New(baseURL)
+	areq := server.AnalyzeRequest{Name: name, Source: src, Config: opts.cfg}
+	if opts.timeout > 0 {
+		areq.DeadlineMS = opts.timeout.Milliseconds()
+	}
+	resp, err := c.Analyze(ctx, areq)
+	if err != nil {
+		var apiErr *client.APIError
+		if errors.As(err, &apiErr) && apiErr.ExitCode != 0 {
+			fmt.Fprintln(os.Stderr, "fsam:", apiErr.Message)
+			return apiErr.ExitCode
+		}
+		fmt.Fprintln(os.Stderr, "fsam:", err)
+		return exitcode.Failure
+	}
+	if resp.Precision != fsam.PrecisionSparseFS.String() {
+		fmt.Fprintf(os.Stderr, "fsam: precision degraded to %s (%s)\n", resp.Precision, resp.Degraded)
+	}
+
+	if opts.stats {
+		fmt.Printf("server:            %s\n", baseURL)
+		fmt.Printf("id:                %s\n", resp.ID)
+		fmt.Printf("cached:            %v (shared %v)\n", resp.Cached, resp.Shared)
+		fmt.Printf("precision:         %s\n", resp.Precision)
+		if resp.Degraded != "" {
+			fmt.Printf("degraded:          %s\n", resp.Degraded)
+		}
+		fmt.Printf("fsam time:         %s\n", resp.Stats.FSAMTime)
+		fmt.Printf("memory:            %.2f MB\n", float64(resp.Stats.FSAMBytes)/1e6)
+		fmt.Printf("interned sets:     %d unique / %d refs (dedup %.2fx)\n",
+			resp.Stats.FSAMUniqueSets, resp.Stats.FSAMSetRefs, resp.Stats.FSAMDedup)
+	}
+
+	if opts.query != "" {
+		pt, err := c.PointsTo(ctx, resp.ID, opts.query)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "fsam:", err)
+			return exitcode.Failure
+		}
+		fmt.Printf("pt(%s) = {%s}\n", opts.query, strings.Join(pt.PointsTo, ", "))
+	}
+
+	if opts.races {
+		rr, err := c.Races(ctx, resp.ID)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "fsam:", err)
+			return resp.ExitCode
+		}
+		if rr.Count == 0 {
+			fmt.Println("no candidate races")
+		}
+		for _, r := range rr.Reports {
+			fmt.Println(r)
+		}
+	}
+	return resp.ExitCode
 }

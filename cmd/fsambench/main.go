@@ -7,6 +7,10 @@
 //	fsambench -all                 everything
 //	fsambench -table1 -json        Table 1 rows as JSON (machine-readable)
 //	fsambench -table2 -json        Table 2 rows as JSON (machine-readable)
+//	fsambench -server URL          drive a running fsamd instead: N requests
+//	                               per benchmark (-requests), reporting
+//	                               client-observed latency percentiles and
+//	                               cache hits
 //
 // Flags -scale and -timeout control workload size and the per-analysis
 // budget (the stand-in for the paper's two-hour limit); the budget applies
@@ -21,6 +25,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -30,6 +35,9 @@ import (
 	fsam "repro"
 	"repro/internal/exitcode"
 	"repro/internal/harness"
+	"repro/internal/server"
+	"repro/internal/server/client"
+	"repro/internal/workload"
 )
 
 func main() {
@@ -52,9 +60,14 @@ func run() (int, error) {
 		memBud   = flag.Uint64("membudget", 0, "soft heap budget in bytes for each FSAM run, 0 = unlimited")
 		stepLim  = flag.Int64("steplimit", 0, "per-phase worklist-pop limit for each FSAM run, 0 = unlimited")
 		asJSON   = flag.Bool("json", false, "emit the selected tables as JSON instead of text (alone, implies -table2)")
+		srvURL   = flag.String("server", "", "drive a running fsamd at this base URL instead of analyzing in-process")
+		requests = flag.Int("requests", 5, "requests per benchmark in -server mode")
 	)
 	flag.Parse()
 
+	if *srvURL != "" {
+		return runServer(*srvURL, *requests, *scale, *timeout, *memBud, *stepLim)
+	}
 	if *asJSON && !*table1 && !*figure12 && !*all {
 		*table2 = true
 	}
@@ -93,6 +106,55 @@ func run() (int, error) {
 			return exitcode.Failure, err
 		}
 		harness.PrintFigure12(os.Stdout, rows)
+	}
+	return code, nil
+}
+
+// runServer drives a running fsamd: N analyze requests per suite benchmark,
+// reporting client-observed latency percentiles (the service-level view —
+// queueing, caching, and transport included) alongside how many were served
+// from the daemon's cache. The exit code folds the worst served tier, same
+// as the in-process harness.
+func runServer(baseURL string, requests, scale int, timeout time.Duration, memBud uint64, stepLim int64) (int, error) {
+	if requests < 1 {
+		requests = 1
+	}
+	ctx := context.Background()
+	c := client.New(baseURL)
+	cfg := server.ConfigRequest{MemBudgetBytes: memBud, StepLimit: stepLim}
+
+	fmt.Printf("fsamd at %s: %d request(s) per benchmark, scale %d\n\n", baseURL, requests, scale)
+	fmt.Printf("%-14s %8s %6s %6s  %10s %10s %10s  %s\n",
+		"benchmark", "requests", "hits", "dedup", "p50", "p90", "p99", "precision")
+	code := exitcode.OK
+	for _, spec := range workload.Suite {
+		samples := make([]time.Duration, 0, requests)
+		hits, shared := 0, 0
+		tier := ""
+		for i := 0; i < requests; i++ {
+			areq := server.AnalyzeRequest{Benchmark: spec.Name, Scale: scale, Config: cfg}
+			if timeout > 0 {
+				areq.DeadlineMS = timeout.Milliseconds()
+			}
+			t0 := time.Now()
+			resp, err := c.Analyze(ctx, areq)
+			if err != nil {
+				return exitcode.Failure, fmt.Errorf("%s: %w", spec.Name, err)
+			}
+			samples = append(samples, time.Since(t0))
+			if resp.Cached {
+				hits++
+			}
+			if resp.Shared {
+				shared++
+			}
+			tier = resp.Precision
+			code = exitcode.Worst(code, resp.ExitCode)
+		}
+		ps := harness.Percentiles(samples, 0.50, 0.90, 0.99)
+		fmt.Printf("%-14s %8d %6d %6d  %10s %10s %10s  %s\n",
+			spec.Name, requests, hits, shared,
+			ps[0].Round(time.Microsecond), ps[1].Round(time.Microsecond), ps[2].Round(time.Microsecond), tier)
 	}
 	return code, nil
 }

@@ -41,7 +41,9 @@ func main() {
 		fatal(err)
 	}
 
-	a, err := fsam.AnalyzeSource(flag.Arg(0), string(srcBytes), fsam.Config{MemBudgetBytes: *memBud})
+	// Normalize keeps the CLI on the same canonical configuration the
+	// fsamd cache keys on, so a local run and a served run can't diverge.
+	a, err := fsam.AnalyzeSource(flag.Arg(0), string(srcBytes), fsam.Config{MemBudgetBytes: *memBud}.Normalize())
 	if err != nil {
 		fatal(err)
 	}

@@ -23,8 +23,10 @@ import (
 	"fmt"
 	"runtime"
 	"sort"
+	"sync"
 	"time"
 
+	"repro/internal/callgraph"
 	"repro/internal/core"
 	"repro/internal/deadlock"
 	"repro/internal/engine"
@@ -68,6 +70,40 @@ type Config struct {
 	// failure (panic, deadline, budget) surfaces as an error alongside
 	// the partial Analysis, as in the pre-ladder API.
 	NoDegrade bool
+}
+
+// Normalize returns cfg with implementation defaults made explicit and
+// out-of-range values clamped, so two Configs that would drive identical
+// analyses compare (and render) identically. It is the shared
+// canonicalization used by the CLIs and by the analysis service's
+// content-addressed cache key — keeping them on one helper is what stops
+// CLI behavior and cache identity from drifting apart.
+func (c Config) Normalize() Config {
+	if c.CtxDepth <= 0 {
+		c.CtxDepth = callgraph.DefaultMaxDepth
+	}
+	if c.StepLimit < 0 {
+		c.StepLimit = 0
+	}
+	return c
+}
+
+// Canonical renders the normalized Config as a stable, human-readable
+// key fragment. Every field that can change analysis results or resource
+// behavior appears; adding a Config field without extending Canonical
+// would silently alias distinct configurations in a content-addressed
+// cache, so keep the two in lockstep.
+func (c Config) Canonical() string {
+	n := c.Normalize()
+	b2i := func(b bool) int {
+		if b {
+			return 1
+		}
+		return 0
+	}
+	return fmt.Sprintf("il=%d vf=%d lk=%d ctx=%d seq=%d mem=%d steps=%d nodeg=%d",
+		b2i(n.NoInterleaving), b2i(n.NoValueFlow), b2i(n.NoLock),
+		n.CtxDepth, b2i(n.Sequential), n.MemBudgetBytes, n.StepLimit, b2i(n.NoDegrade))
 }
 
 // Precision labels the tier of the result an Analysis carries, in
@@ -124,6 +160,20 @@ func (p PhaseTimes) Total() time.Duration {
 		p.LockSpans + p.DefUse + p.Sparse
 }
 
+// Each visits every phase with its stable name (the pipeline phase names),
+// in pipeline order. Consumers that export per-phase durations — the
+// service's /metrics endpoint, structured logs — iterate here instead of
+// hard-coding the field list.
+func (p PhaseTimes) Each(f func(phase string, d time.Duration)) {
+	f("compile", p.Compile)
+	f("preanalysis", p.PreAnalysis)
+	f("threadmodel", p.ThreadModel)
+	f("interleave", p.Interleave)
+	f("locks", p.LockSpans)
+	f("defuse", p.DefUse)
+	f("sparse", p.Sparse)
+}
+
 // Stats summarizes an analysis run.
 type Stats struct {
 	Times PhaseTimes
@@ -171,6 +221,26 @@ type Analysis struct {
 	Result    *core.Result
 	Precision Precision
 	Stats     Stats
+
+	// Detection clients are memoized: a completed Analysis is an immutable
+	// value served to many concurrent readers (the fsamd service keeps one
+	// per cache entry), so Races/Deadlocks/Leaks/LeakAudit compute once
+	// under a sync.Once and afterwards return the shared reports without
+	// re-running the detectors. Callers must treat the returned slices as
+	// read-only.
+	racesOnce sync.Once
+	races     []*race.Report
+	racesErr  error
+
+	deadlocksOnce sync.Once
+	deadlocks     []*deadlock.Report
+	deadlocksErr  error
+
+	leaksOnce sync.Once
+	leaks     []*leak.Report
+
+	leakAuditOnce sync.Once
+	leakAudit     []*leak.Report
 }
 
 // AnalyzeSource parses, compiles and analyzes MiniC source.
@@ -451,40 +521,52 @@ func (a *Analysis) names(set *pts.Set) []string {
 
 // Races runs the data-race detection client over this analysis' results.
 // It requires the precise interleaving analysis (Config.NoInterleaving must
-// be false).
+// be false). The detection runs once; repeated and concurrent calls share
+// the memoized reports.
 func (a *Analysis) Races() ([]*race.Report, error) {
-	if a.Precision != PrecisionSparseFS {
-		return nil, fmt.Errorf("race detection requires a full-precision result (got %s: %s)",
-			a.Precision, a.Stats.Degraded)
-	}
-	if a.MHP == nil {
-		return nil, fmt.Errorf("race detection requires the interleaving analysis (disable NoInterleaving)")
-	}
-	d := &race.Detector{
-		Model:  a.Base.Model,
-		MHP:    a.MHP,
-		Locks:  a.Locks,
-		Points: a.Result,
-	}
-	return d.Detect(), nil
+	a.racesOnce.Do(func() {
+		if a.Precision != PrecisionSparseFS {
+			a.racesErr = fmt.Errorf("race detection requires a full-precision result (got %s: %s)",
+				a.Precision, a.Stats.Degraded)
+			return
+		}
+		if a.MHP == nil {
+			a.racesErr = fmt.Errorf("race detection requires the interleaving analysis (disable NoInterleaving)")
+			return
+		}
+		d := &race.Detector{
+			Model:  a.Base.Model,
+			MHP:    a.MHP,
+			Locks:  a.Locks,
+			Points: a.Result,
+		}
+		a.races = d.Detect()
+	})
+	return a.races, a.racesErr
 }
 
 // Deadlocks runs the lock-order-cycle deadlock detector over this
 // analysis' results. It requires both the interleaving analysis and the
 // lock analysis (NoInterleaving and NoLock must be false).
 func (a *Analysis) Deadlocks() ([]*deadlock.Report, error) {
-	if a.Precision != PrecisionSparseFS {
-		return nil, fmt.Errorf("deadlock detection requires a full-precision result (got %s: %s)",
-			a.Precision, a.Stats.Degraded)
-	}
-	if a.MHP == nil {
-		return nil, fmt.Errorf("deadlock detection requires the interleaving analysis (disable NoInterleaving)")
-	}
-	if a.Locks == nil {
-		return nil, fmt.Errorf("deadlock detection requires the lock analysis (disable NoLock)")
-	}
-	d := &deadlock.Detector{Model: a.Base.Model, MHP: a.MHP, Locks: a.Locks}
-	return d.Detect(), nil
+	a.deadlocksOnce.Do(func() {
+		if a.Precision != PrecisionSparseFS {
+			a.deadlocksErr = fmt.Errorf("deadlock detection requires a full-precision result (got %s: %s)",
+				a.Precision, a.Stats.Degraded)
+			return
+		}
+		if a.MHP == nil {
+			a.deadlocksErr = fmt.Errorf("deadlock detection requires the interleaving analysis (disable NoInterleaving)")
+			return
+		}
+		if a.Locks == nil {
+			a.deadlocksErr = fmt.Errorf("deadlock detection requires the lock analysis (disable NoLock)")
+			return
+		}
+		d := &deadlock.Detector{Model: a.Base.Model, MHP: a.MHP, Locks: a.Locks}
+		a.deadlocks = d.Detect()
+	})
+	return a.deadlocks, a.deadlocksErr
 }
 
 // leakDetector builds the leak client over this analysis' results.
@@ -500,20 +582,26 @@ func (a *Analysis) leakDetector() *leak.Detector {
 // nor reachable from globals at program exit. It needs a flow-sensitive
 // result; a degraded Andersen-only analysis reports nothing.
 func (a *Analysis) Leaks() []*leak.Report {
-	if a.Result == nil || a.Base == nil {
-		return nil
-	}
-	return a.leakDetector().Detect()
+	a.leaksOnce.Do(func() {
+		if a.Result == nil || a.Base == nil {
+			return
+		}
+		a.leaks = a.leakDetector().Detect()
+	})
+	return a.leaks
 }
 
 // LeakAudit evaluates the leak conditions for every reachable allocation
 // site (diagnostics). Like Leaks, it is empty below thread-oblivious
 // precision.
 func (a *Analysis) LeakAudit() []*leak.Report {
-	if a.Result == nil || a.Base == nil {
-		return nil
-	}
-	return a.leakDetector().Audit()
+	a.leakAuditOnce.Do(func() {
+		if a.Result == nil || a.Base == nil {
+			return
+		}
+		a.leakAudit = a.leakDetector().Audit()
+	})
+	return a.leakAudit
 }
 
 // AndersenPointsToGlobal returns the pre-analysis (flow-insensitive) result

@@ -216,11 +216,16 @@ type Ctxs struct {
 	MaxDepth int
 }
 
-// NewCtxs returns a context table with the given depth bound (<=0 means a
-// generous default).
+// DefaultMaxDepth is the call-string depth bound used when the caller does
+// not pick one. fsam.Config.Normalize mirrors it so cache keys over a
+// canonicalized Config cannot drift from the depth actually used.
+const DefaultMaxDepth = 32
+
+// NewCtxs returns a context table with the given depth bound (<=0 means
+// DefaultMaxDepth).
 func NewCtxs(maxDepth int) *Ctxs {
 	if maxDepth <= 0 {
-		maxDepth = 32
+		maxDepth = DefaultMaxDepth
 	}
 	c := &Ctxs{index: map[ctxEntry]Ctx{}, MaxDepth: maxDepth}
 	c.entries = append(c.entries, ctxEntry{parent: -1, site: ir.NoStmt, depth: 0})

@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"sort"
 	"strings"
 	"time"
 
@@ -72,12 +73,12 @@ func PrintTable1(w io.Writer, rows []Table1Row) {
 	fmt.Fprintf(w, "%-14s %-38s %9d %7d\n", "Total", "", 380659, total)
 }
 
-// Table2Row is one line of Table 2. The JSON tags are the schema of
-// `fsambench -json`, which the BENCH trajectory consumes; the unique-set
-// and dedup-ratio fields are the guardrail that interning keeps sharing
-// sets (ratio > 1).
-type Table2Row struct {
-	Name           string        `json:"name"`
+// FSAMStats is the FSAM half of a Table 2 row, factored out so every
+// consumer of per-run statistics — the bench tables, the fsamd service's
+// analyze responses — shares one JSON schema instead of re-deriving fields
+// from fsam.Analysis. Embedded in Table2Row, its fields flatten into the
+// historical `fsambench -json` schema unchanged.
+type FSAMStats struct {
 	FSAMTime       time.Duration `json:"fsam_ns"`
 	FSAMBytes      uint64        `json:"fsam_bytes"`
 	FSAMUniqueSets int           `json:"fsam_unique_sets"`
@@ -86,12 +87,38 @@ type Table2Row struct {
 	FSAMOOT        bool          `json:"fsam_oot"`
 	FSAMPrecision  string        `json:"fsam_precision"`
 	FSAMDegraded   string        `json:"fsam_degraded,omitempty"`
-	NSTime         time.Duration `json:"nonsparse_ns"`
-	NSBytes        uint64        `json:"nonsparse_bytes"`
-	NSUniqueSets   int           `json:"nonsparse_unique_sets"`
-	NSSetRefs      int           `json:"nonsparse_set_refs"`
-	NSDedup        float64       `json:"nonsparse_dedup_ratio"`
-	NSOOT          bool          `json:"nonsparse_oot"`
+}
+
+// StatsOf extracts the shared statistics view from a completed (possibly
+// nil, possibly degraded) analysis. elapsed is the caller-observed wall
+// time of the whole run; oot marks a deadline that expired before any tier
+// completed.
+func StatsOf(a *fsam.Analysis, elapsed time.Duration, oot bool) FSAMStats {
+	st := FSAMStats{FSAMTime: elapsed, FSAMOOT: oot}
+	if a != nil {
+		st.FSAMBytes = a.Stats.Bytes
+		st.FSAMUniqueSets = a.Stats.UniqueSets
+		st.FSAMSetRefs = a.Stats.SetRefs
+		st.FSAMDedup = a.Stats.DedupRatio
+		st.FSAMPrecision = a.Precision.String()
+		st.FSAMDegraded = a.Stats.Degraded
+	}
+	return st
+}
+
+// Table2Row is one line of Table 2. The JSON tags are the schema of
+// `fsambench -json`, which the BENCH trajectory consumes; the unique-set
+// and dedup-ratio fields are the guardrail that interning keeps sharing
+// sets (ratio > 1).
+type Table2Row struct {
+	Name string `json:"name"`
+	FSAMStats
+	NSTime       time.Duration `json:"nonsparse_ns"`
+	NSBytes      uint64        `json:"nonsparse_bytes"`
+	NSUniqueSets int           `json:"nonsparse_unique_sets"`
+	NSSetRefs    int           `json:"nonsparse_set_refs"`
+	NSDedup      float64       `json:"nonsparse_dedup_ratio"`
+	NSOOT        bool          `json:"nonsparse_oot"`
 }
 
 // RunFSAM analyzes one generated benchmark with FSAM and a config.
@@ -149,15 +176,7 @@ func RunTable2(scale int, timeout time.Duration, cfg fsam.Config) ([]Table2Row, 
 			}
 			fsamOOT = true
 		}
-		row := Table2Row{Name: spec.Name, FSAMTime: ft, FSAMOOT: fsamOOT}
-		if a != nil {
-			row.FSAMBytes = a.Stats.Bytes
-			row.FSAMUniqueSets = a.Stats.UniqueSets
-			row.FSAMSetRefs = a.Stats.SetRefs
-			row.FSAMDedup = a.Stats.DedupRatio
-			row.FSAMPrecision = a.Precision.String()
-			row.FSAMDegraded = a.Stats.Degraded
-		}
+		row := Table2Row{Name: spec.Name, FSAMStats: StatsOf(a, ft, fsamOOT)}
 		b, nt, err := RunNonSparse(spec, scale, timeout)
 		if err != nil {
 			return nil, err
@@ -331,6 +350,30 @@ func bar(x float64) string {
 		n = 1
 	}
 	return strings.Repeat("#", n) + " "
+}
+
+// Percentiles returns the nearest-rank quantiles of samples for each q in
+// (0, 1]. It copies and sorts; the input is untouched. Shared by the
+// in-process benchmarks and `fsambench -server`, which reports
+// client-observed service latency the same way.
+func Percentiles(samples []time.Duration, qs ...float64) []time.Duration {
+	out := make([]time.Duration, len(qs))
+	if len(samples) == 0 {
+		return out
+	}
+	sorted := append([]time.Duration(nil), samples...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	for i, q := range qs {
+		rank := int(math.Ceil(q * float64(len(sorted))))
+		if rank < 1 {
+			rank = 1
+		}
+		if rank > len(sorted) {
+			rank = len(sorted)
+		}
+		out[i] = sorted[rank-1]
+	}
+	return out
 }
 
 // CountPointerStmts tallies loads and stores, a rough pointer-density

@@ -106,3 +106,28 @@ func TestTable1PointersRendered(t *testing.T) {
 		t.Errorf("header lacks Pointers column: %q", header)
 	}
 }
+
+// TestPercentiles pins the nearest-rank definition the fsambench -server
+// mode reports.
+func TestPercentiles(t *testing.T) {
+	ms := func(n int) time.Duration { return time.Duration(n) * time.Millisecond }
+	samples := []time.Duration{ms(9), ms(1), ms(5), ms(3), ms(7)} // unsorted on purpose
+	got := harness.Percentiles(samples, 0, 0.5, 0.9, 0.99, 1)
+	want := []time.Duration{ms(1), ms(5), ms(9), ms(9), ms(9)}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("percentile %d: got %s, want %s", i, got[i], want[i])
+		}
+	}
+	// The input must not be reordered.
+	if samples[0] != ms(9) || samples[4] != ms(7) {
+		t.Errorf("Percentiles mutated its input: %v", samples)
+	}
+	if got := harness.Percentiles(nil, 0.5); got[0] != 0 {
+		t.Errorf("empty sample p50 = %s, want 0", got[0])
+	}
+	one := harness.Percentiles([]time.Duration{ms(4)}, 0.5, 0.99)
+	if one[0] != ms(4) || one[1] != ms(4) {
+		t.Errorf("single sample percentiles = %v, want all 4ms", one)
+	}
+}

@@ -17,6 +17,8 @@
 package locks
 
 import (
+	"sync"
+
 	"repro/internal/andersen"
 	"repro/internal/callgraph"
 	"repro/internal/icfg"
@@ -56,6 +58,13 @@ type Span struct {
 	// the span (exclusive of i itself unless through a cycle).
 	reach [][]int
 
+	// hdMemo/tlMemo lazily cache the per-object Head/Tail computations.
+	// memoMu guards them: Head and Tail are reached from post-analysis
+	// query clients (race and deadlock detection) that may run from
+	// concurrent readers of one completed Analysis, not just from the
+	// single-threaded def-use phase. The cached maps themselves are
+	// immutable once published.
+	memoMu sync.Mutex
 	hdMemo map[*ir.Object]map[nodeCtx]bool
 	tlMemo map[*ir.Object]map[nodeCtx]bool
 }
@@ -307,6 +316,8 @@ func (r *Result) accessTouches(s ir.Stmt, obj *ir.Object) (touches, isStore bool
 // Head computes HD(sp, o): accesses of o with no span-internal store of o
 // reaching them (Definition 4).
 func (sp *Span) Head(r *Result, obj *ir.Object) map[nodeCtx]bool {
+	sp.memoMu.Lock()
+	defer sp.memoMu.Unlock()
 	if hd, ok := sp.hdMemo[obj]; ok {
 		return hd
 	}
@@ -346,6 +357,8 @@ func (sp *Span) Head(r *Result, obj *ir.Object) map[nodeCtx]bool {
 // Tail computes TL(sp, o): stores of o with no later span-internal store of
 // o (Definition 5).
 func (sp *Span) Tail(r *Result, obj *ir.Object) map[nodeCtx]bool {
+	sp.memoMu.Lock()
+	defer sp.memoMu.Unlock()
 	if tl, ok := sp.tlMemo[obj]; ok {
 		return tl
 	}

@@ -1,0 +1,72 @@
+package server
+
+import (
+	"context"
+	"errors"
+)
+
+// Shedding errors. queue-full is the client's fault (try later → 429);
+// a deadline that expires while still queued means the server is saturated
+// for this client's patience (→ 503).
+var (
+	errQueueFull = errors.New("admission queue full")
+)
+
+// admission is the bounded worker pool + bounded queue in front of the
+// pipeline. A request first joins the queue (shedding immediately when the
+// bound is hit), then waits for one of the worker slots; the analysis runs
+// while the slot is held. Counters are channel/atomic-based so gauges can
+// be read without a lock.
+type admission struct {
+	slots chan struct{} // capacity = worker count
+	queue chan struct{} // capacity = workers + queue depth
+}
+
+func newAdmission(workers, queueDepth int) *admission {
+	if workers < 1 {
+		workers = 1
+	}
+	if queueDepth < 0 {
+		queueDepth = 0
+	}
+	return &admission{
+		slots: make(chan struct{}, workers),
+		queue: make(chan struct{}, workers+queueDepth),
+	}
+}
+
+// acquire admits one request: an immediate error when the queue bound is
+// hit, then a wait for a worker slot bounded by ctx. On nil return the
+// caller holds a slot and must release it.
+func (ad *admission) acquire(ctx context.Context) error {
+	select {
+	case ad.queue <- struct{}{}:
+	default:
+		return errQueueFull
+	}
+	select {
+	case ad.slots <- struct{}{}:
+		return nil
+	case <-ctx.Done():
+		<-ad.queue
+		return ctx.Err()
+	}
+}
+
+// release returns the worker slot and the queue position.
+func (ad *admission) release() {
+	<-ad.slots
+	<-ad.queue
+}
+
+// inflight is the number of requests currently holding a worker slot.
+func (ad *admission) inflight() int64 { return int64(len(ad.slots)) }
+
+// queued is the number of admitted requests not yet holding a slot.
+func (ad *admission) queued() int64 {
+	n := int64(len(ad.queue)) - int64(len(ad.slots))
+	if n < 0 {
+		n = 0
+	}
+	return n
+}

@@ -1,0 +1,185 @@
+// Package server implements fsamd, the long-running analysis service: an
+// HTTP/JSON front end over the staged FSAM pipeline with a
+// content-addressed result cache, admission control mapped onto the
+// engine's resource budgets and the precision-degradation ladder, request
+// deduplication, and Prometheus-text observability.
+//
+// The service view of the pipeline: analyses are expensive, deterministic
+// and repeatedly requested on near-identical inputs, so results are cached
+// under a content address — the SHA-256 of the source plus the
+// canonicalized Config (fsam.Config.Normalize / Canonical) — and every
+// query endpoint (points-to, races, leaks) answers from the cached
+// *fsam.Analysis, whose query methods are safe for concurrent readers.
+package server
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"net/http"
+	"time"
+
+	fsam "repro"
+	"repro/internal/exitcode"
+	"repro/internal/harness"
+)
+
+// AnalyzeRequest is the body of POST /v1/analyze. Exactly one of Source or
+// Benchmark must be set: Source carries MiniC text directly, Benchmark
+// names a program of the internal/workload suite (generated server-side at
+// Scale). The query parameters ?membudget=, ?steplimit= and ?deadline=
+// override the corresponding fields, so budgets can be imposed without
+// re-serializing the body.
+type AnalyzeRequest struct {
+	// Name labels the source in positions and reports (default "request.mc").
+	Name string `json:"name,omitempty"`
+	// Source is MiniC program text.
+	Source string `json:"source,omitempty"`
+	// Benchmark is an internal/workload suite name (e.g. "word_count").
+	Benchmark string `json:"benchmark,omitempty"`
+	// Scale is the workload scale factor (default 1, server-capped).
+	Scale int `json:"scale,omitempty"`
+	// Config selects analysis variants and resource budgets.
+	Config ConfigRequest `json:"config"`
+	// DeadlineMS bounds the analysis wall time in milliseconds (0 uses the
+	// server default; server-capped). The deadline rides the request
+	// context into every fixpoint loop; tripping it degrades the result
+	// down the precision ladder rather than failing the request.
+	DeadlineMS int64 `json:"deadline_ms,omitempty"`
+}
+
+// ConfigRequest is the wire form of fsam.Config. The service always runs
+// with the degradation ladder enabled and parallel phase scheduling:
+// NoDegrade and Sequential are deliberately not exposed, so every request
+// lands on the best tier the budgets allow.
+type ConfigRequest struct {
+	NoInterleaving bool   `json:"no_interleaving,omitempty"`
+	NoValueFlow    bool   `json:"no_valueflow,omitempty"`
+	NoLock         bool   `json:"no_lock,omitempty"`
+	CtxDepth       int    `json:"ctx_depth,omitempty"`
+	MemBudgetBytes uint64 `json:"membudget,omitempty"`
+	StepLimit      int64  `json:"steplimit,omitempty"`
+}
+
+// Config maps the wire form onto a canonicalized fsam.Config.
+func (c ConfigRequest) Config() fsam.Config {
+	return fsam.Config{
+		NoInterleaving: c.NoInterleaving,
+		NoValueFlow:    c.NoValueFlow,
+		NoLock:         c.NoLock,
+		CtxDepth:       c.CtxDepth,
+		MemBudgetBytes: c.MemBudgetBytes,
+		StepLimit:      c.StepLimit,
+	}.Normalize()
+}
+
+// AnalyzeResponse answers POST /v1/analyze. A degraded run is a success
+// (HTTP 200) whose ExitCode carries the tier under the repo's exit-code
+// convention — the service never turns a budget trip into a 5xx.
+type AnalyzeResponse struct {
+	// ID is the content address of the result ("sha256:..."); subsequent
+	// query requests pass it back.
+	ID string `json:"id"`
+	// Cached is true when the result was served from the cache without a
+	// pipeline run.
+	Cached bool `json:"cached"`
+	// Shared is true when this request was deduplicated onto another
+	// in-flight identical submission (one solve, many responses).
+	Shared bool `json:"shared,omitempty"`
+	// Precision is the tier the ladder landed on; Degraded carries the
+	// reason when below full precision.
+	Precision string `json:"precision"`
+	Degraded  string `json:"degraded,omitempty"`
+	// ExitCode is the repo-wide exit-code convention value for Precision
+	// (0 full, 3 thread-oblivious, 4 Andersen-only).
+	ExitCode int `json:"exit_code"`
+	// Stats is the shared harness statistics schema (fsam_ns is the
+	// server-observed pipeline wall time for the run that produced the
+	// entry, not this request's latency).
+	Stats harness.FSAMStats `json:"stats"`
+	// PhaseSeconds is per-phase wall time from the pipeline report.
+	PhaseSeconds map[string]float64 `json:"phase_seconds,omitempty"`
+}
+
+// PointsToResponse answers GET /v1/pointsto.
+type PointsToResponse struct {
+	ID        string   `json:"id"`
+	Global    string   `json:"global"`
+	PointsTo  []string `json:"points_to"`
+	Precision string   `json:"precision"`
+}
+
+// RacesResponse answers GET /v1/races.
+type RacesResponse struct {
+	ID        string   `json:"id"`
+	Count     int      `json:"count"`
+	Reports   []string `json:"reports,omitempty"`
+	Precision string   `json:"precision"`
+}
+
+// LeaksResponse answers GET /v1/leaks.
+type LeaksResponse struct {
+	ID        string   `json:"id"`
+	Count     int      `json:"count"`
+	Reports   []string `json:"reports,omitempty"`
+	Precision string   `json:"precision"`
+}
+
+// HealthResponse answers GET /healthz.
+type HealthResponse struct {
+	Status        string  `json:"status"` // "ok" or "draining"
+	Inflight      int64   `json:"inflight"`
+	Queued        int64   `json:"queued"`
+	CacheEntries  int     `json:"cache_entries"`
+	UptimeSeconds float64 `json:"uptime_seconds"`
+}
+
+// ErrorResponse is the body of every non-2xx answer.
+type ErrorResponse struct {
+	Error string `json:"error"`
+	// ExitCode carries the exit-code convention value when the error has
+	// one (e.g. 1 for a compile failure, 2 for a malformed request).
+	ExitCode int `json:"exit_code,omitempty"`
+}
+
+// HTTPStatus maps the repo's process exit-code convention onto HTTP
+// statuses. Degraded tiers are successes: the request was served, the
+// response labels the tier — the HTTP analogue of a nonzero-but-not-failure
+// exit code.
+func HTTPStatus(code int) int {
+	switch code {
+	case exitcode.OK, exitcode.DegradedThreadOblivious, exitcode.DegradedAndersen:
+		return http.StatusOK
+	case exitcode.Usage:
+		return http.StatusBadRequest
+	case exitcode.Failure:
+		return http.StatusUnprocessableEntity
+	}
+	return http.StatusInternalServerError
+}
+
+// Key computes the content address of an analysis result: the SHA-256 of
+// the canonicalized configuration and the exact source text (the name
+// participates because it appears in positions, and therefore in race and
+// leak reports). Two requests agree on Key iff the pipeline would compute
+// identical results for them.
+func Key(name, src string, cfg fsam.Config) string {
+	h := sha256.New()
+	h.Write([]byte(cfg.Canonical()))
+	h.Write([]byte{0})
+	h.Write([]byte(name))
+	h.Write([]byte{0})
+	h.Write([]byte(src))
+	return "sha256:" + hex.EncodeToString(h.Sum(nil))
+}
+
+// phaseSeconds renders the facade's per-phase times for responses and
+// metrics.
+func phaseSeconds(a *fsam.Analysis) map[string]float64 {
+	out := map[string]float64{}
+	a.Stats.Times.Each(func(phase string, d time.Duration) {
+		if d > 0 {
+			out[phase] = d.Seconds()
+		}
+	})
+	return out
+}

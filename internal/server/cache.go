@@ -1,0 +1,127 @@
+package server
+
+import (
+	"container/list"
+	"sync"
+
+	fsam "repro"
+)
+
+// entry is one cached analysis: the live *fsam.Analysis handle (whose
+// query methods are concurrent-reader-safe) plus the response skeleton the
+// analyze endpoint replays on a hit.
+type entry struct {
+	id    string
+	a     *fsam.Analysis
+	resp  AnalyzeResponse
+	bytes uint64
+}
+
+// cacheStats is a point-in-time snapshot of the cache counters.
+type cacheStats struct {
+	Hits, Misses, Evictions uint64
+	Bytes                   uint64
+	Entries                 int
+}
+
+// HitRatio is hits over lookups (0 when the cache has never been asked).
+func (s cacheStats) HitRatio() float64 {
+	if s.Hits+s.Misses == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(s.Hits+s.Misses)
+}
+
+// cache is a content-addressed LRU over completed analyses, bounded both
+// by accounted bytes (the analyses' own Stats.Bytes plus the retained
+// source) and by entry count. Eviction is strictly LRU from the cold end;
+// a single entry larger than the byte budget is still admitted, because
+// it is the only handle the query endpoints can answer from.
+type cache struct {
+	mu         sync.Mutex
+	maxBytes   uint64
+	maxEntries int
+
+	ll   *list.List // front = most recently used; values are *entry
+	byID map[string]*list.Element
+
+	bytes                   uint64
+	hits, misses, evictions uint64
+}
+
+func newCache(maxBytes uint64, maxEntries int) *cache {
+	return &cache{
+		maxBytes:   maxBytes,
+		maxEntries: maxEntries,
+		ll:         list.New(),
+		byID:       map[string]*list.Element{},
+	}
+}
+
+// get looks up id for the analyze path, counting a hit or a miss and
+// refreshing recency on a hit.
+func (c *cache) get(id string) (*entry, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.byID[id]
+	if !ok {
+		c.misses++
+		return nil, false
+	}
+	c.hits++
+	c.ll.MoveToFront(el)
+	return el.Value.(*entry), true
+}
+
+// peek looks up id for the query endpoints: recency is refreshed (a
+// queried analysis is a live one) but the hit/miss counters — which track
+// the analyze endpoint's amortization — are untouched.
+func (c *cache) peek(id string) (*entry, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.byID[id]
+	if !ok {
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	return el.Value.(*entry), true
+}
+
+// put inserts e (replacing any same-id entry) and evicts from the cold end
+// until the byte and entry budgets hold. The newly inserted entry itself
+// is never evicted.
+func (c *cache) put(e *entry) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.byID[e.id]; ok {
+		// A singleflight follower can re-put what the leader already
+		// published; keep the existing entry and its recency.
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.byID[e.id] = c.ll.PushFront(e)
+	c.bytes += e.bytes
+	for (c.maxBytes > 0 && c.bytes > c.maxBytes) || (c.maxEntries > 0 && c.ll.Len() > c.maxEntries) {
+		el := c.ll.Back()
+		if el == nil || el.Value.(*entry) == e {
+			break
+		}
+		victim := c.ll.Remove(el).(*entry)
+		delete(c.byID, victim.id)
+		c.bytes -= victim.bytes
+		c.evictions++
+	}
+}
+
+// stats snapshots the counters.
+func (c *cache) stats() cacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return cacheStats{
+		Hits:      c.hits,
+		Misses:    c.misses,
+		Evictions: c.evictions,
+		Bytes:     c.bytes,
+		Entries:   c.ll.Len(),
+	}
+}

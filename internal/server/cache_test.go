@@ -1,0 +1,110 @@
+package server
+
+import (
+	"fmt"
+	"testing"
+)
+
+func mkEntry(id string, bytes uint64) *entry {
+	return &entry{id: id, bytes: bytes, resp: AnalyzeResponse{ID: id}}
+}
+
+func TestCacheLRUEviction(t *testing.T) {
+	c := newCache(100, 0) // byte bound only
+
+	c.put(mkEntry("a", 40))
+	c.put(mkEntry("b", 40))
+	if _, ok := c.get("a"); !ok {
+		t.Fatalf("a missing before eviction")
+	}
+	// a is now the most recently used; inserting c (40 bytes, total 120)
+	// must evict b, the cold end.
+	c.put(mkEntry("c", 40))
+	if _, ok := c.peek("b"); ok {
+		t.Fatalf("b survived eviction; LRU order not respected")
+	}
+	for _, id := range []string{"a", "c"} {
+		if _, ok := c.peek(id); !ok {
+			t.Fatalf("%s evicted; want b only", id)
+		}
+	}
+	st := c.stats()
+	if st.Evictions != 1 || st.Entries != 2 || st.Bytes != 80 {
+		t.Fatalf("stats after eviction: %+v", st)
+	}
+}
+
+func TestCacheEntryBound(t *testing.T) {
+	c := newCache(0, 2) // entry bound only
+	c.put(mkEntry("a", 1))
+	c.put(mkEntry("b", 1))
+	c.put(mkEntry("c", 1))
+	if st := c.stats(); st.Entries != 2 || st.Evictions != 1 {
+		t.Fatalf("stats: %+v, want 2 entries / 1 eviction", st)
+	}
+	if _, ok := c.peek("a"); ok {
+		t.Fatalf("oldest entry a not evicted")
+	}
+}
+
+func TestCacheOversizedEntryAdmitted(t *testing.T) {
+	// An entry larger than the whole byte budget is still admitted — it is
+	// the only handle the query endpoints can answer from — and evicts
+	// everything else.
+	c := newCache(100, 0)
+	c.put(mkEntry("small", 10))
+	c.put(mkEntry("huge", 500))
+	if _, ok := c.peek("huge"); !ok {
+		t.Fatalf("oversized entry was not admitted")
+	}
+	if _, ok := c.peek("small"); ok {
+		t.Fatalf("small entry survived an over-budget cache")
+	}
+}
+
+func TestCacheDuplicatePut(t *testing.T) {
+	c := newCache(100, 0)
+	c.put(mkEntry("a", 10))
+	c.put(mkEntry("a", 10)) // singleflight follower re-publishing
+	if st := c.stats(); st.Entries != 1 || st.Bytes != 10 {
+		t.Fatalf("duplicate put double-counted: %+v", st)
+	}
+}
+
+func TestCacheCounters(t *testing.T) {
+	c := newCache(0, 0) // unbounded
+	c.put(mkEntry("a", 1))
+	if _, ok := c.get("a"); !ok {
+		t.Fatalf("get(a) missed")
+	}
+	c.get("nope")
+	c.peek("a") // query-path lookups do not move the hit/miss counters
+	c.peek("nope")
+	st := c.stats()
+	if st.Hits != 1 || st.Misses != 1 {
+		t.Fatalf("counters: %+v, want 1 hit / 1 miss", st)
+	}
+	if got := st.HitRatio(); got != 0.5 {
+		t.Fatalf("hit ratio %g, want 0.5", got)
+	}
+	if (cacheStats{}).HitRatio() != 0 {
+		t.Fatalf("hit ratio of an unasked cache is not 0")
+	}
+}
+
+func TestCacheManyEntries(t *testing.T) {
+	c := newCache(0, 8)
+	for i := 0; i < 100; i++ {
+		c.put(mkEntry(fmt.Sprintf("e%03d", i), 1))
+	}
+	st := c.stats()
+	if st.Entries != 8 || st.Evictions != 92 || st.Bytes != 8 {
+		t.Fatalf("stats: %+v", st)
+	}
+	// The survivors are exactly the 8 newest.
+	for i := 92; i < 100; i++ {
+		if _, ok := c.peek(fmt.Sprintf("e%03d", i)); !ok {
+			t.Fatalf("entry e%03d missing", i)
+		}
+	}
+}

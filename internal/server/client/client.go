@@ -1,0 +1,168 @@
+// Package client is the Go client for the fsamd analysis service. It
+// shares the wire types with internal/server, so the CLIs (`fsam -server`,
+// `fsambench -server`) and the end-to-end tests speak exactly the schema
+// the daemon serves.
+package client
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strings"
+
+	"repro/internal/server"
+)
+
+// APIError is a non-2xx response decoded into the service's error schema.
+type APIError struct {
+	Status   int
+	Message  string
+	ExitCode int
+}
+
+func (e *APIError) Error() string {
+	return fmt.Sprintf("fsamd: HTTP %d: %s", e.Status, e.Message)
+}
+
+// Client talks to one fsamd instance.
+type Client struct {
+	// BaseURL is the server root, e.g. "http://127.0.0.1:8077".
+	BaseURL string
+	// HTTP is the transport (default http.DefaultClient).
+	HTTP *http.Client
+}
+
+// New returns a Client for the given base URL.
+func New(baseURL string) *Client {
+	return &Client{BaseURL: strings.TrimRight(baseURL, "/")}
+}
+
+func (c *Client) httpClient() *http.Client {
+	if c.HTTP != nil {
+		return c.HTTP
+	}
+	return http.DefaultClient
+}
+
+// do issues the request and decodes the response into out (unless out is
+// nil). Non-2xx responses become *APIError.
+func (c *Client) do(req *http.Request, out any) error {
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode < 200 || resp.StatusCode > 299 {
+		var apiErr server.ErrorResponse
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+		if json.Unmarshal(body, &apiErr) != nil || apiErr.Error == "" {
+			apiErr.Error = strings.TrimSpace(string(body))
+		}
+		return &APIError{Status: resp.StatusCode, Message: apiErr.Error, ExitCode: apiErr.ExitCode}
+	}
+	if out == nil {
+		return nil
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+func (c *Client) get(ctx context.Context, path string, q url.Values, out any) error {
+	u := c.BaseURL + path
+	if len(q) > 0 {
+		u += "?" + q.Encode()
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
+	if err != nil {
+		return err
+	}
+	return c.do(req, out)
+}
+
+// Analyze submits a source or benchmark for analysis. A degraded result is
+// a success: check resp.ExitCode / resp.Precision for the tier.
+func (c *Client) Analyze(ctx context.Context, areq server.AnalyzeRequest) (*server.AnalyzeResponse, error) {
+	body, err := json.Marshal(areq)
+	if err != nil {
+		return nil, err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+		c.BaseURL+"/v1/analyze", bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	var resp server.AnalyzeResponse
+	if err := c.do(req, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// PointsTo queries the points-to set of a global on a cached analysis.
+func (c *Client) PointsTo(ctx context.Context, id, global string) (*server.PointsToResponse, error) {
+	var resp server.PointsToResponse
+	q := url.Values{"id": {id}, "global": {global}}
+	if err := c.get(ctx, "/v1/pointsto", q, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// Races queries the race reports of a cached analysis.
+func (c *Client) Races(ctx context.Context, id string) (*server.RacesResponse, error) {
+	var resp server.RacesResponse
+	if err := c.get(ctx, "/v1/races", url.Values{"id": {id}}, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// Leaks queries the leak reports of a cached analysis.
+func (c *Client) Leaks(ctx context.Context, id string) (*server.LeaksResponse, error) {
+	var resp server.LeaksResponse
+	if err := c.get(ctx, "/v1/leaks", url.Values{"id": {id}}, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// Health fetches /healthz. A draining server answers 503; that still
+// decodes, so the status field is returned rather than an error.
+func (c *Client) Health(ctx context.Context) (*server.HealthResponse, error) {
+	var resp server.HealthResponse
+	err := c.get(ctx, "/healthz", nil, &resp)
+	var apiErr *APIError
+	if err != nil {
+		if errors.As(err, &apiErr) && apiErr.Status == http.StatusServiceUnavailable {
+			return &server.HealthResponse{Status: "draining"}, nil
+		}
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// Metrics fetches the raw Prometheus text exposition.
+func (c *Client) Metrics(ctx context.Context) (string, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+"/metrics", nil)
+	if err != nil {
+		return "", err
+	}
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return "", err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return "", &APIError{Status: resp.StatusCode, Message: strings.TrimSpace(string(body))}
+	}
+	return string(body), nil
+}

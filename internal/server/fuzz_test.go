@@ -1,0 +1,52 @@
+package server
+
+import (
+	"bytes"
+	"io"
+	"net/http"
+	"net/url"
+	"testing"
+)
+
+// FuzzAnalyzeRequest feeds arbitrary bytes (and query strings) through the
+// analyze request decoder: it must never panic, and whatever it accepts must
+// survive resolve() without panicking either. This is the service's public
+// attack surface — everything else is derived from an already-validated
+// request.
+func FuzzAnalyzeRequest(f *testing.F) {
+	f.Add([]byte(`{"source":"int x;"}`), "")
+	f.Add([]byte(`{"benchmark":"word_count","scale":2}`), "membudget=4096&steplimit=100&deadline=5s")
+	f.Add([]byte(`{"source":"int x;","benchmark":"kmeans"}`), "")
+	f.Add([]byte(`{"name":"a.mc","source":"","config":{"ctx_depth":-3,"membudget":1}}`), "steplimit=-5")
+	f.Add([]byte(`{`), "membudget=18446744073709551616")
+	f.Add([]byte(`null`), "deadline=-1s")
+	f.Add([]byte(`{"deadline_ms":-100,"scale":-1}`), "")
+
+	s := New(Options{MaxSourceBytes: 1 << 16})
+	f.Fuzz(func(t *testing.T, body []byte, query string) {
+		u, err := url.Parse("/v1/analyze?" + query)
+		if err != nil {
+			return // not a URL the router would ever deliver
+		}
+		r := &http.Request{Method: "POST", URL: u, Body: io.NopCloser(bytes.NewReader(body))}
+		req, _, err := decodeAnalyzeRequest(r, 1<<16)
+		if err != nil {
+			return
+		}
+		name, src, cfg, deadline, _, err := s.resolve(req)
+		if err != nil {
+			return
+		}
+		// Accepted requests must produce a well-formed content address and a
+		// positive deadline.
+		if name == "" {
+			t.Fatalf("accepted request with empty name: %+v", req)
+		}
+		if deadline <= 0 {
+			t.Fatalf("accepted request with non-positive deadline %s", deadline)
+		}
+		if k := Key(name, src, cfg); len(k) != len("sha256:")+64 {
+			t.Fatalf("malformed key %q", k)
+		}
+	})
+}

@@ -1,0 +1,487 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"runtime"
+	"strconv"
+	"sync/atomic"
+	"time"
+
+	fsam "repro"
+	"repro/internal/exitcode"
+	"repro/internal/harness"
+	"repro/internal/pipeline"
+	"repro/internal/workload"
+)
+
+// Options configures a Server. Zero values select the documented defaults.
+type Options struct {
+	// Workers bounds concurrent pipeline runs (default GOMAXPROCS).
+	Workers int
+	// Queue bounds analyze requests waiting for a worker beyond the
+	// workers themselves; an arrival past the bound is shed with 429
+	// (default 64; <0 admits no waiters beyond the workers).
+	Queue int
+	// CacheBytes and CacheEntries bound the result cache (defaults 256 MB
+	// and 128 entries; <0 disables the respective bound).
+	CacheBytes   int64
+	CacheEntries int
+	// DefaultDeadline applies to analyze requests that set none;
+	// MaxDeadline caps what a request may ask for (defaults 30s / 5m).
+	DefaultDeadline time.Duration
+	MaxDeadline     time.Duration
+	// MaxSourceBytes bounds the request body (default 4 MB); MaxScale
+	// caps the workload scale a request may ask for (default 16).
+	MaxSourceBytes int64
+	MaxScale       int
+	// Log receives one structured line per completed request (default:
+	// discard).
+	Log *log.Logger
+}
+
+func (o Options) withDefaults() Options {
+	if o.Workers <= 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
+	}
+	if o.Queue == 0 {
+		o.Queue = 64
+	}
+	if o.CacheBytes == 0 {
+		o.CacheBytes = 256 << 20
+	}
+	if o.CacheEntries == 0 {
+		o.CacheEntries = 128
+	}
+	if o.DefaultDeadline <= 0 {
+		o.DefaultDeadline = 30 * time.Second
+	}
+	if o.MaxDeadline <= 0 {
+		o.MaxDeadline = 5 * time.Minute
+	}
+	if o.MaxSourceBytes <= 0 {
+		o.MaxSourceBytes = 4 << 20
+	}
+	if o.MaxScale <= 0 {
+		o.MaxScale = 16
+	}
+	if o.Log == nil {
+		o.Log = log.New(io.Discard, "", 0)
+	}
+	return o
+}
+
+// Server is the fsamd HTTP service. Create with New, mount Handler on an
+// http.Server, and call BeginDrain before Shutdown for a graceful stop.
+type Server struct {
+	opt      Options
+	cache    *cache
+	adm      *admission
+	met      *metrics
+	flight   flightGroup
+	mux      *http.ServeMux
+	reqSeq   atomic.Uint64
+	draining atomic.Bool
+
+	// testAnalyzeStart, when non-nil, runs inside the worker slot before
+	// the pipeline; the drain test uses it to hold a request in flight.
+	testAnalyzeStart func()
+}
+
+// New builds a Server over the given options.
+func New(opt Options) *Server {
+	opt = opt.withDefaults()
+	cacheBytes := uint64(opt.CacheBytes)
+	if opt.CacheBytes < 0 {
+		cacheBytes = 0
+	}
+	cacheEntries := opt.CacheEntries
+	if cacheEntries < 0 {
+		cacheEntries = 0
+	}
+	s := &Server{
+		opt:   opt,
+		cache: newCache(cacheBytes, cacheEntries),
+		adm:   newAdmission(opt.Workers, opt.Queue),
+		met:   newMetrics(),
+		mux:   http.NewServeMux(),
+	}
+	s.mux.HandleFunc("/v1/analyze", s.handleAnalyze)
+	s.mux.HandleFunc("/v1/pointsto", s.handlePointsTo)
+	s.mux.HandleFunc("/v1/races", s.handleRaces)
+	s.mux.HandleFunc("/v1/leaks", s.handleLeaks)
+	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	s.mux.HandleFunc("/metrics", s.handleMetrics)
+	return s
+}
+
+// Handler returns the service's HTTP handler: the API mux wrapped in the
+// per-request observability layer (request IDs, structured logs, request
+// counters and the latency histogram).
+func (s *Server) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		id := s.reqSeq.Add(1)
+		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+		t0 := time.Now()
+		s.mux.ServeHTTP(rec, r)
+		d := time.Since(t0)
+		s.met.observeRequest(r.URL.Path, rec.status, d)
+		s.opt.Log.Printf("req=%d method=%s path=%s status=%d dur=%s cache=%s tier=%s",
+			id, r.Method, r.URL.Path, rec.status, d.Round(time.Microsecond),
+			orDash(rec.Header().Get("X-Fsamd-Cache")), orDash(rec.Header().Get("X-Fsamd-Precision")))
+	})
+}
+
+// BeginDrain flips the server into draining: /healthz turns 503 so load
+// balancers stop routing here, and new analyze requests are shed with 503
+// while in-flight ones run to completion (http.Server.Shutdown waits for
+// them).
+func (s *Server) BeginDrain() { s.draining.Store(true) }
+
+// Draining reports whether BeginDrain has been called.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// statusRecorder captures the response status for the logging layer.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	r.status = code
+	r.ResponseWriter.WriteHeader(code)
+}
+
+func orDash(s string) string {
+	if s == "" {
+		return "-"
+	}
+	return s
+}
+
+// writeJSON writes v with the given status.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+// writeError writes the uniform error body.
+func writeError(w http.ResponseWriter, status int, code int, format string, args ...any) {
+	writeJSON(w, status, ErrorResponse{Error: fmt.Sprintf(format, args...), ExitCode: code})
+}
+
+// handleAnalyze implements POST /v1/analyze: admission control, the
+// content-addressed cache, singleflight deduplication, and the pipeline
+// run with the request's deadline and budgets mapped onto the engine.
+func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, exitcode.Usage, "POST required")
+		return
+	}
+	if s.draining.Load() {
+		s.met.observeShed("draining")
+		writeError(w, http.StatusServiceUnavailable, 0, "server is draining")
+		return
+	}
+	req, errStatus, err := decodeAnalyzeRequest(r, s.opt.MaxSourceBytes)
+	if err != nil {
+		writeError(w, errStatus, exitcode.Usage, "%v", err)
+		return
+	}
+	name, src, cfg, deadline, errStatus, err := s.resolve(req)
+	if err != nil {
+		writeError(w, errStatus, exitcode.Usage, "%v", err)
+		return
+	}
+	key := Key(name, src, cfg)
+
+	// Fast path: a cache hit costs no admission and no pipeline run.
+	if ent, ok := s.cache.get(key); ok {
+		s.respondAnalyze(w, ent, true, false)
+		return
+	}
+
+	// fromCache marks the leader re-finding a published entry under the
+	// flight (set before the flight completes, read after — ordered by the
+	// flight's WaitGroup).
+	fromCache := false
+	ent, status, err, shared := s.flight.do(key, func() (*entry, int, error) {
+		// The admission wait is bounded by the client's patience: the
+		// request context dies when the client gives up, and we also cap
+		// the wait at the analysis deadline — queueing longer than the
+		// work itself may take is never useful.
+		actx, cancel := context.WithTimeout(r.Context(), deadline)
+		defer cancel()
+		if err := s.adm.acquire(actx); err != nil {
+			if errors.Is(err, errQueueFull) {
+				s.met.observeShed("queue_full")
+				return nil, http.StatusTooManyRequests, errors.New("saturated: admission queue full, retry later")
+			}
+			s.met.observeShed("queue_timeout")
+			return nil, http.StatusServiceUnavailable, errors.New("saturated: timed out waiting for a worker")
+		}
+		defer s.adm.release()
+		// Re-check under the flight: an earlier leader may have published
+		// the entry after our fast-path miss.
+		if ent, ok := s.cache.peek(key); ok {
+			fromCache = true
+			return ent, 0, nil
+		}
+		if s.testAnalyzeStart != nil {
+			s.testAnalyzeStart()
+		}
+		return s.runAnalysis(key, name, src, cfg, deadline)
+	})
+	if shared {
+		s.met.observeDedup()
+	}
+	if err != nil {
+		code := exitcode.Failure
+		if status == http.StatusTooManyRequests || status == http.StatusServiceUnavailable {
+			code = 0
+		}
+		writeError(w, status, code, "%v", err)
+		return
+	}
+	s.respondAnalyze(w, ent, fromCache, shared)
+}
+
+// runAnalysis executes one pipeline run (the singleflight leader path,
+// inside a worker slot) and publishes the entry.
+func (s *Server) runAnalysis(key, name, src string, cfg fsam.Config, deadline time.Duration) (*entry, int, error) {
+	// The analysis context is detached from the request: followers from
+	// the singleflight and future cache hits share this result, so one
+	// impatient client must not cancel it for everyone.
+	ctx, cancel := context.WithTimeout(context.Background(), deadline)
+	defer cancel()
+	t0 := time.Now()
+	a, err := fsam.AnalyzeSourceCtx(ctx, name, src, cfg)
+	elapsed := time.Since(t0)
+	if err != nil {
+		if a == nil && !pipeline.ErrCancelled(err) {
+			// Compile failure: the source itself is bad.
+			return nil, http.StatusUnprocessableEntity, err
+		}
+		if pipeline.ErrCancelled(err) {
+			// The deadline expired below the ladder (pre-analysis):
+			// nothing usable completed. The client's budget, not our
+			// fault — 504 mirrors the OOT exit-code convention.
+			return nil, http.StatusGatewayTimeout,
+				fmt.Errorf("deadline %s expired before any tier completed", deadline)
+		}
+		return nil, http.StatusUnprocessableEntity, err
+	}
+	s.met.observeAnalysis(a)
+	ent := &entry{
+		id: key,
+		a:  a,
+		// Accounted footprint: the analysis' own structures plus the
+		// retained source and a fixed overhead for the handle itself.
+		bytes: a.Stats.Bytes + uint64(len(src)) + 4096,
+		resp: AnalyzeResponse{
+			ID:           key,
+			Precision:    a.Precision.String(),
+			Degraded:     a.Stats.Degraded,
+			ExitCode:     exitcode.ForPrecision(a.Precision),
+			Stats:        harness.StatsOf(a, elapsed, false),
+			PhaseSeconds: phaseSeconds(a),
+		},
+	}
+	s.cache.put(ent)
+	return ent, 0, nil
+}
+
+// respondAnalyze replays an entry's response skeleton with the per-request
+// Cached/Shared flags.
+func (s *Server) respondAnalyze(w http.ResponseWriter, ent *entry, cached, shared bool) {
+	resp := ent.resp
+	resp.Cached = cached
+	resp.Shared = shared
+	w.Header().Set("X-Fsamd-Precision", resp.Precision)
+	if cached {
+		w.Header().Set("X-Fsamd-Cache", "hit")
+	} else {
+		w.Header().Set("X-Fsamd-Cache", "miss")
+	}
+	writeJSON(w, HTTPStatus(resp.ExitCode), resp)
+}
+
+// decodeAnalyzeRequest parses the body and applies the query-parameter
+// overrides (?membudget=, ?steplimit=, ?deadline=).
+func decodeAnalyzeRequest(r *http.Request, maxBody int64) (AnalyzeRequest, int, error) {
+	var req AnalyzeRequest
+	body := http.MaxBytesReader(nil, r.Body, maxBody)
+	if err := json.NewDecoder(body).Decode(&req); err != nil {
+		return req, http.StatusBadRequest, fmt.Errorf("malformed request body: %w", err)
+	}
+	q := r.URL.Query()
+	if v := q.Get("membudget"); v != "" {
+		n, err := strconv.ParseUint(v, 10, 64)
+		if err != nil {
+			return req, http.StatusBadRequest, fmt.Errorf("membudget: %w", err)
+		}
+		req.Config.MemBudgetBytes = n
+	}
+	if v := q.Get("steplimit"); v != "" {
+		n, err := strconv.ParseInt(v, 10, 64)
+		if err != nil {
+			return req, http.StatusBadRequest, fmt.Errorf("steplimit: %w", err)
+		}
+		req.Config.StepLimit = n
+	}
+	if v := q.Get("deadline"); v != "" {
+		d, err := time.ParseDuration(v)
+		if err != nil {
+			return req, http.StatusBadRequest, fmt.Errorf("deadline: %w", err)
+		}
+		req.DeadlineMS = d.Milliseconds()
+	}
+	return req, 0, nil
+}
+
+// resolve validates the request and produces the concrete analysis inputs.
+func (s *Server) resolve(req AnalyzeRequest) (name, src string, cfg fsam.Config, deadline time.Duration, errStatus int, err error) {
+	switch {
+	case req.Source != "" && req.Benchmark != "":
+		return "", "", cfg, 0, http.StatusBadRequest, errors.New("source and benchmark are mutually exclusive")
+	case req.Source == "" && req.Benchmark == "":
+		return "", "", cfg, 0, http.StatusBadRequest, errors.New("one of source or benchmark is required")
+	case req.Benchmark != "":
+		scale := req.Scale
+		if scale <= 0 {
+			scale = 1
+		}
+		if scale > s.opt.MaxScale {
+			return "", "", cfg, 0, http.StatusBadRequest,
+				fmt.Errorf("scale %d exceeds the server cap %d", scale, s.opt.MaxScale)
+		}
+		src, err = workload.Generate(req.Benchmark, scale)
+		if err != nil {
+			// The workload package's unknown-name error, surfaced verbatim.
+			return "", "", cfg, 0, http.StatusNotFound, err
+		}
+		name = req.Benchmark + ".mc"
+	default:
+		src = req.Source
+		name = req.Name
+		if name == "" {
+			name = "request.mc"
+		}
+	}
+	deadline = s.opt.DefaultDeadline
+	if req.DeadlineMS > 0 {
+		deadline = time.Duration(req.DeadlineMS) * time.Millisecond
+	}
+	if deadline > s.opt.MaxDeadline {
+		deadline = s.opt.MaxDeadline
+	}
+	return name, src, req.Config.Config(), deadline, 0, nil
+}
+
+// lookup resolves ?id= against the cache for the query endpoints.
+func (s *Server) lookup(w http.ResponseWriter, r *http.Request) (*entry, bool) {
+	id := r.URL.Query().Get("id")
+	if id == "" {
+		writeError(w, http.StatusBadRequest, exitcode.Usage, "missing id parameter")
+		return nil, false
+	}
+	ent, ok := s.cache.peek(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, 0,
+			"unknown or evicted analysis id %s; re-POST /v1/analyze", id)
+		return nil, false
+	}
+	w.Header().Set("X-Fsamd-Precision", ent.resp.Precision)
+	w.Header().Set("X-Fsamd-Cache", "hit")
+	return ent, true
+}
+
+// handlePointsTo implements GET /v1/pointsto?id=...&global=NAME.
+func (s *Server) handlePointsTo(w http.ResponseWriter, r *http.Request) {
+	ent, ok := s.lookup(w, r)
+	if !ok {
+		return
+	}
+	global := r.URL.Query().Get("global")
+	if global == "" {
+		writeError(w, http.StatusBadRequest, exitcode.Usage, "missing global parameter")
+		return
+	}
+	pt, err := ent.a.PointsToGlobal(global)
+	if err != nil {
+		writeError(w, http.StatusNotFound, 0, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, PointsToResponse{
+		ID:        ent.id,
+		Global:    global,
+		PointsTo:  pt,
+		Precision: ent.resp.Precision,
+	})
+}
+
+// handleRaces implements GET /v1/races?id=... . On a degraded analysis the
+// race client cannot run; that is a conflict with the cached result's
+// tier, not a server error.
+func (s *Server) handleRaces(w http.ResponseWriter, r *http.Request) {
+	ent, ok := s.lookup(w, r)
+	if !ok {
+		return
+	}
+	reports, err := ent.a.Races()
+	if err != nil {
+		writeError(w, http.StatusConflict, ent.resp.ExitCode, "%v", err)
+		return
+	}
+	resp := RacesResponse{ID: ent.id, Count: len(reports), Precision: ent.resp.Precision}
+	for _, rep := range reports {
+		resp.Reports = append(resp.Reports, rep.String())
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleLeaks implements GET /v1/leaks?id=... .
+func (s *Server) handleLeaks(w http.ResponseWriter, r *http.Request) {
+	ent, ok := s.lookup(w, r)
+	if !ok {
+		return
+	}
+	reports := ent.a.Leaks()
+	resp := LeaksResponse{ID: ent.id, Count: len(reports), Precision: ent.resp.Precision}
+	for _, rep := range reports {
+		resp.Reports = append(resp.Reports, rep.String())
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleHealthz implements GET /healthz.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	st := s.cache.stats()
+	resp := HealthResponse{
+		Status:        "ok",
+		Inflight:      s.adm.inflight(),
+		Queued:        s.adm.queued(),
+		CacheEntries:  st.Entries,
+		UptimeSeconds: time.Since(s.met.started).Seconds(),
+	}
+	status := http.StatusOK
+	if s.draining.Load() {
+		resp.Status = "draining"
+		status = http.StatusServiceUnavailable
+	}
+	writeJSON(w, status, resp)
+}
+
+// handleMetrics implements GET /metrics (Prometheus text exposition).
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	s.met.write(w, s.cache.stats(), s.adm.inflight(), s.adm.queued(), s.draining.Load())
+}

@@ -1,0 +1,48 @@
+package server
+
+import "sync"
+
+// flightCall is one in-flight analysis computation.
+type flightCall struct {
+	wg     sync.WaitGroup
+	ent    *entry
+	status int
+	err    error
+}
+
+// flightGroup deduplicates concurrent identical submissions: the first
+// request for a key becomes the leader and runs fn; every request that
+// arrives for the same key while the leader is running waits and shares
+// the leader's outcome (including its error and HTTP status). One solve,
+// many responses — the admission pool is only charged once.
+type flightGroup struct {
+	mu sync.Mutex
+	m  map[string]*flightCall
+}
+
+// do runs fn for key unless an identical call is already in flight, in
+// which case it waits for and shares that call's result. shared reports
+// whether this caller piggybacked on another's computation.
+func (g *flightGroup) do(key string, fn func() (*entry, int, error)) (ent *entry, status int, err error, shared bool) {
+	g.mu.Lock()
+	if g.m == nil {
+		g.m = map[string]*flightCall{}
+	}
+	if c, ok := g.m[key]; ok {
+		g.mu.Unlock()
+		c.wg.Wait()
+		return c.ent, c.status, c.err, true
+	}
+	c := &flightCall{}
+	c.wg.Add(1)
+	g.m[key] = c
+	g.mu.Unlock()
+
+	c.ent, c.status, c.err = fn()
+	c.wg.Done()
+
+	g.mu.Lock()
+	delete(g.m, key)
+	g.mu.Unlock()
+	return c.ent, c.status, c.err, false
+}

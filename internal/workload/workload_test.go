@@ -1,6 +1,7 @@
 package workload_test
 
 import (
+	"strings"
 	"testing"
 	"time"
 
@@ -67,10 +68,20 @@ func TestScaleGrows(t *testing.T) {
 	}
 }
 
-// TestUnknownBenchmark checks the error path.
+// TestUnknownBenchmark pins the error path: fsamd surfaces this message
+// verbatim as its 404 body, so both the wording and the quoted name are
+// part of the contract.
 func TestUnknownBenchmark(t *testing.T) {
-	if _, err := workload.Generate("nope", 1); err == nil {
-		t.Error("expected error for unknown benchmark")
+	_, err := workload.Generate("nope", 1)
+	if err == nil {
+		t.Fatal("expected error for unknown benchmark")
+	}
+	if got := err.Error(); !strings.Contains(got, `unknown benchmark "nope"`) {
+		t.Errorf("error %q does not name the unknown benchmark", got)
+	}
+	// A known name at any positive scale must not error.
+	if _, err := workload.Generate("word_count", 1); err != nil {
+		t.Errorf("known benchmark errored: %v", err)
 	}
 }
 
