@@ -1,0 +1,311 @@
+// Command fsamcheck runs the FSAM diagnostic checker suite over MiniC
+// programs and reports the findings: data races, lock-order deadlock
+// cycles, memory leaks, use-after-free, double free, and pthread API
+// misuse, all derived from the sparse flow-sensitive thread-aware
+// points-to results.
+//
+// Usage:
+//
+//	fsamcheck [flags] prog.mc [prog2.mc ...]
+//
+//	-checkers a,b      run only the named checkers (default: all; see
+//	                   -list for IDs)
+//	-format FMT        output format: text (default), json, or sarif
+//	                   (SARIF 2.1.0, for code-scanning upload)
+//	-baseline MODE     "write" records current findings to the baseline
+//	                   file and exits 0; "check" reports only findings
+//	                   not in the baseline
+//	-baseline-file F   baseline path (default .fsamcheck.baseline)
+//	-list              print the registered checkers and exit
+//	-timeout D         analysis deadline per file (default 2h)
+//	-membudget N       soft heap budget in bytes (0 = unlimited)
+//	-steplimit N       per-phase worklist-pop limit (0 = unlimited)
+//	-server URL        analyze via a running fsamd instead of in-process
+//
+// Findings suppressed by inline `// fsam:ignore[checker]` comments are
+// dropped (counted on stderr). When the engine's degradation ladder lands
+// below full precision, checkers that need the unavailable analyses are
+// skipped with a note on stderr — skipping never fails the run.
+//
+// Exit codes: 0 no findings, 1 findings reported or hard failure
+// (distinguished on stderr), 2 usage.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	fsam "repro"
+	"repro/internal/checkers"
+	"repro/internal/diag"
+	"repro/internal/exitcode"
+	"repro/internal/pipeline"
+	"repro/internal/server"
+	"repro/internal/server/client"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// options is the parsed flag set; factored out so tests can drive run().
+type options struct {
+	checkerIDs []string
+	format     string
+	baseline   string
+	baseFile   string
+	timeout    time.Duration
+	memBudget  uint64
+	stepLimit  int64
+	serverURL  string
+	files      []string
+}
+
+func run(argv []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("fsamcheck", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		checkersFlag = fs.String("checkers", "", "comma-separated checker IDs to run (default: all)")
+		format       = fs.String("format", "text", "output format: text, json, or sarif")
+		baseMode     = fs.String("baseline", "", `baseline mode: "write" or "check"`)
+		baseFile     = fs.String("baseline-file", ".fsamcheck.baseline", "baseline file path")
+		list         = fs.Bool("list", false, "print the registered checkers and exit")
+		timeout      = fs.Duration("timeout", 2*time.Hour, "analysis deadline per file")
+		memBud       = fs.Uint64("membudget", 0, "soft heap budget in bytes, 0 = unlimited")
+		stepLim      = fs.Int64("steplimit", 0, "per-phase worklist-pop limit, 0 = unlimited")
+		srvURL       = fs.String("server", "", "analyze via a running fsamd at this base URL")
+	)
+	if err := fs.Parse(argv); err != nil {
+		return exitcode.Usage
+	}
+	if *list {
+		for _, c := range checkers.All() {
+			fmt.Fprintf(stdout, "%-12s %s (%s): %s\n", c.ID, c.Name, c.Severity, c.Doc)
+		}
+		return exitcode.OK
+	}
+	opt := options{
+		format: *format, baseline: *baseMode, baseFile: *baseFile,
+		timeout: *timeout, memBudget: *memBud, stepLimit: *stepLim,
+		serverURL: *srvURL, files: fs.Args(),
+	}
+	if *checkersFlag != "" {
+		for _, id := range strings.Split(*checkersFlag, ",") {
+			if id = strings.TrimSpace(id); id != "" {
+				opt.checkerIDs = append(opt.checkerIDs, id)
+			}
+		}
+	}
+	switch opt.format {
+	case "text", "json", "sarif":
+	default:
+		fmt.Fprintf(stderr, "fsamcheck: unknown -format %q (want text, json, or sarif)\n", opt.format)
+		return exitcode.Usage
+	}
+	switch opt.baseline {
+	case "", "write", "check":
+	default:
+		fmt.Fprintf(stderr, "fsamcheck: unknown -baseline %q (want write or check)\n", opt.baseline)
+		return exitcode.Usage
+	}
+	for _, id := range opt.checkerIDs {
+		if checkers.ByID(id) == nil {
+			fmt.Fprintf(stderr, "fsamcheck: unknown checker %q (known: %s)\n",
+				id, strings.Join(checkers.IDs(), ", "))
+			return exitcode.Usage
+		}
+	}
+	if len(opt.files) == 0 {
+		fmt.Fprintln(stderr, "usage: fsamcheck [flags] prog.mc [prog2.mc ...]")
+		fs.Usage()
+		return exitcode.Usage
+	}
+	return check(opt, stdout, stderr)
+}
+
+// check analyzes every file, merges the diagnostics, applies the baseline,
+// and renders. The merged list is re-sorted under the canonical order so
+// multi-file output is deterministic regardless of argument order effects
+// within a file (fingerprints are per-file and unaffected by the merge).
+func check(opt options, stdout, stderr io.Writer) int {
+	var (
+		all        []diag.Diagnostic
+		skipped    = map[string]string{}
+		suppressed int
+	)
+	for _, path := range opt.files {
+		srcBytes, err := os.ReadFile(path)
+		if err != nil {
+			fmt.Fprintln(stderr, "fsamcheck:", err)
+			return exitcode.Failure
+		}
+		res, code := analyzeOne(opt, path, string(srcBytes), stderr)
+		if res == nil {
+			return code
+		}
+		all = append(all, res.Diags...)
+		for id, reason := range res.Skipped {
+			skipped[id] = reason
+		}
+		suppressed += res.Suppressed
+	}
+	diag.Sort(all)
+
+	if len(skipped) > 0 {
+		ids := make([]string, 0, len(skipped))
+		for id := range skipped {
+			ids = append(ids, id)
+		}
+		sort.Strings(ids)
+		for _, id := range ids {
+			fmt.Fprintf(stderr, "fsamcheck: checker %s skipped: %s\n", id, skipped[id])
+		}
+	}
+	if suppressed > 0 {
+		fmt.Fprintf(stderr, "fsamcheck: %d finding(s) suppressed by fsam:ignore comments\n", suppressed)
+	}
+
+	switch opt.baseline {
+	case "write":
+		f, err := os.Create(opt.baseFile)
+		if err == nil {
+			err = diag.WriteBaseline(f, all)
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+		}
+		if err != nil {
+			fmt.Fprintln(stderr, "fsamcheck:", err)
+			return exitcode.Failure
+		}
+		fmt.Fprintf(stdout, "fsamcheck: wrote %d finding(s) to %s\n", len(all), opt.baseFile)
+		return exitcode.OK
+	case "check":
+		f, err := os.Open(opt.baseFile)
+		if err != nil {
+			fmt.Fprintln(stderr, "fsamcheck:", err)
+			return exitcode.Failure
+		}
+		base, err := diag.ReadBaseline(f)
+		f.Close()
+		if err != nil {
+			fmt.Fprintln(stderr, "fsamcheck:", err)
+			return exitcode.Failure
+		}
+		var known int
+		all, known = base.Filter(all)
+		if known > 0 {
+			fmt.Fprintf(stderr, "fsamcheck: %d known finding(s) hidden by baseline %s\n", known, opt.baseFile)
+		}
+	}
+
+	if err := render(stdout, opt, all); err != nil {
+		fmt.Fprintln(stderr, "fsamcheck:", err)
+		return exitcode.Failure
+	}
+	if len(all) > 0 {
+		fmt.Fprintf(stderr, "fsamcheck: %d finding(s)\n", len(all))
+		return exitcode.FindingsReported
+	}
+	return exitcode.OK
+}
+
+// render writes the findings in the selected format. SARIF carries the
+// rule metadata of exactly the checkers that ran (or all, by default).
+func render(w io.Writer, opt options, diags []diag.Diagnostic) error {
+	switch opt.format {
+	case "json":
+		return diag.WriteJSON(w, diags)
+	case "sarif":
+		return diag.WriteSARIF(w, diags, checkers.Rules(opt.checkerIDs...))
+	default:
+		return diag.WriteText(w, diags)
+	}
+}
+
+// analyzeOne produces the diagnostics of one file, in-process or via a
+// served fsamd. A nil result means a terminal error; the int is the exit
+// code to return.
+func analyzeOne(opt options, path, src string, stderr io.Writer) (*fsam.DiagnosticsResult, int) {
+	ctx := context.Background()
+	if opt.timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, opt.timeout)
+		defer cancel()
+	}
+	if opt.serverURL != "" {
+		return analyzeServed(ctx, opt, path, src, stderr)
+	}
+	cfg := fsam.Config{MemBudgetBytes: opt.memBudget, StepLimit: opt.stepLimit}.Normalize()
+	a, err := fsam.AnalyzeSourceCtx(ctx, path, src, cfg)
+	if err != nil {
+		if pipeline.ErrCancelled(err) {
+			fmt.Fprintf(stderr, "fsamcheck: %s: out of time after %s\n", path, opt.timeout)
+			return nil, exitcode.Failure
+		}
+		fmt.Fprintln(stderr, "fsamcheck:", err)
+		return nil, exitcode.Failure
+	}
+	if a.Precision != fsam.PrecisionSparseFS {
+		fmt.Fprintf(stderr, "fsamcheck: %s: precision degraded to %s (%s)\n",
+			path, a.Precision, a.Stats.Degraded)
+	}
+	res, err := a.Diagnostics(opt.checkerIDs...)
+	if err != nil {
+		fmt.Fprintln(stderr, "fsamcheck:", err)
+		if errors.Is(err, checkers.ErrUnknownChecker) {
+			return nil, exitcode.Usage
+		}
+		return nil, exitcode.Failure
+	}
+	return res, exitcode.OK
+}
+
+// analyzeServed is the -server path: POST the source, then query
+// /v1/diagnostics on the cached result.
+func analyzeServed(ctx context.Context, opt options, path, src string, stderr io.Writer) (*fsam.DiagnosticsResult, int) {
+	c := client.New(opt.serverURL)
+	areq := server.AnalyzeRequest{
+		Name:   path,
+		Source: src,
+		Config: server.ConfigRequest{MemBudgetBytes: opt.memBudget, StepLimit: opt.stepLimit},
+	}
+	if opt.timeout > 0 {
+		areq.DeadlineMS = opt.timeout.Milliseconds()
+	}
+	resp, err := c.Analyze(ctx, areq)
+	if err != nil {
+		var apiErr *client.APIError
+		if errors.As(err, &apiErr) && apiErr.ExitCode == exitcode.Usage {
+			fmt.Fprintln(stderr, "fsamcheck:", apiErr.Message)
+			return nil, exitcode.Usage
+		}
+		fmt.Fprintln(stderr, "fsamcheck:", err)
+		return nil, exitcode.Failure
+	}
+	if resp.Precision != fsam.PrecisionSparseFS.String() {
+		fmt.Fprintf(stderr, "fsamcheck: %s: precision degraded to %s (%s)\n",
+			path, resp.Precision, resp.Degraded)
+	}
+	dr, err := c.Diagnostics(ctx, resp.ID, opt.checkerIDs)
+	if err != nil {
+		var apiErr *client.APIError
+		fmt.Fprintln(stderr, "fsamcheck:", err)
+		if errors.As(err, &apiErr) && apiErr.ExitCode == exitcode.Usage {
+			return nil, exitcode.Usage
+		}
+		return nil, exitcode.Failure
+	}
+	return &fsam.DiagnosticsResult{
+		Diags:      dr.Diagnostics,
+		Skipped:    dr.Skipped,
+		Suppressed: dr.Suppressed,
+	}, exitcode.OK
+}

@@ -1,0 +1,187 @@
+package fsam_test
+
+// Golden-file tests for the diagnostics engine: every corpus program's
+// checker-suite output is pinned as testdata/diag/<name>.txt, and the
+// merged corpus SARIF as testdata/diag/corpus.sarif (the same document CI
+// regenerates with cmd/fsamcheck and diffs). Regenerate after an
+// intentional checker change with:
+//
+//	go test . -run TestDiagnosticsGolden -update-golden
+//
+// The determinism test re-analyzes the corpus from scratch and demands
+// byte-identical output — map-iteration order anywhere in the checker
+// stack shows up here as a flake.
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+
+	fsam "repro"
+	"repro/internal/checkers"
+	"repro/internal/diag"
+)
+
+var updateGolden = flag.Bool("update-golden", false, "rewrite testdata/diag golden files")
+
+// corpusDiagnostics analyzes every testdata/*.mc and returns the per-file
+// results plus the merged, canonically sorted list.
+func corpusDiagnostics(t *testing.T) (map[string][]diag.Diagnostic, []diag.Diagnostic) {
+	t.Helper()
+	paths, err := filepath.Glob(filepath.Join("testdata", "*.mc"))
+	if err != nil || len(paths) == 0 {
+		t.Fatalf("corpus glob: %v (%d files)", err, len(paths))
+	}
+	sort.Strings(paths)
+	perFile := map[string][]diag.Diagnostic{}
+	var all []diag.Diagnostic
+	for _, path := range paths {
+		src, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatalf("read %s: %v", path, err)
+		}
+		// Slash-normalized names keep goldens portable across platforms.
+		name := filepath.ToSlash(path)
+		a, err := fsam.AnalyzeSource(name, string(src), fsam.Config{})
+		if err != nil {
+			t.Fatalf("analyze %s: %v", path, err)
+		}
+		res, err := a.Diagnostics()
+		if err != nil {
+			t.Fatalf("diagnostics %s: %v", path, err)
+		}
+		if len(res.Skipped) > 0 {
+			t.Fatalf("%s: checkers skipped at full precision: %v", path, res.Skipped)
+		}
+		perFile[name] = res.Diags
+		all = append(all, res.Diags...)
+	}
+	diag.Sort(all)
+	return perFile, all
+}
+
+func checkGolden(t *testing.T, path string, got []byte) {
+	t.Helper()
+	if *updateGolden {
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatalf("write %s: %v", path, err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read golden %s (rerun with -update-golden?): %v", path, err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("%s differs from golden (rerun with -update-golden if intended)\n--- got ---\n%s--- want ---\n%s",
+			path, got, want)
+	}
+}
+
+func TestDiagnosticsGolden(t *testing.T) {
+	perFile, all := corpusDiagnostics(t)
+	if *updateGolden {
+		if err := os.MkdirAll(filepath.Join("testdata", "diag"), 0o755); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for name, diags := range perFile {
+		base := strings.TrimSuffix(filepath.Base(name), ".mc")
+		var buf bytes.Buffer
+		if err := diag.WriteText(&buf, diags); err != nil {
+			t.Fatalf("render %s: %v", name, err)
+		}
+		checkGolden(t, filepath.Join("testdata", "diag", base+".txt"), buf.Bytes())
+	}
+	var sarif bytes.Buffer
+	if err := diag.WriteSARIF(&sarif, all, checkers.Rules()); err != nil {
+		t.Fatalf("render SARIF: %v", err)
+	}
+	checkGolden(t, filepath.Join("testdata", "diag", "corpus.sarif"), sarif.Bytes())
+}
+
+// TestDiagnosticsDeterministic runs the whole corpus twice from scratch
+// and demands byte-identical SARIF (order, fingerprints, witnesses).
+func TestDiagnosticsDeterministic(t *testing.T) {
+	render := func() []byte {
+		_, all := corpusDiagnostics(t)
+		var buf bytes.Buffer
+		if err := diag.WriteSARIF(&buf, all, checkers.Rules()); err != nil {
+			t.Fatalf("render: %v", err)
+		}
+		return buf.Bytes()
+	}
+	first, second := render(), render()
+	if !bytes.Equal(first, second) {
+		t.Fatalf("repeated corpus runs diverged:\n--- first ---\n%s--- second ---\n%s", first, second)
+	}
+}
+
+// TestDiagnosticsSuppression: an inline fsam:ignore comment drops the
+// finding on its line and is counted, without re-finalizing the rest.
+func TestDiagnosticsSuppression(t *testing.T) {
+	src := `
+int main() {
+	int *p;
+	p = malloc(4);
+	free(p);
+	*p = 2; // fsam:ignore[uaf]
+	return 0;
+}
+`
+	a, err := fsam.AnalyzeSource("supp.mc", src, fsam.Config{})
+	if err != nil {
+		t.Fatalf("analyze: %v", err)
+	}
+	res, err := a.Diagnostics()
+	if err != nil {
+		t.Fatalf("diagnostics: %v", err)
+	}
+	if res.Suppressed != 1 {
+		t.Fatalf("suppressed = %d, want 1", res.Suppressed)
+	}
+	for _, d := range res.Diags {
+		if d.Checker == "uaf" {
+			t.Fatalf("suppressed uaf finding still reported: %+v", d)
+		}
+	}
+
+	// The same source without the ignore comment reports the finding.
+	b, err := fsam.AnalyzeSource("supp.mc", strings.Replace(src, " // fsam:ignore[uaf]", "", 1), fsam.Config{})
+	if err != nil {
+		t.Fatalf("analyze: %v", err)
+	}
+	bres, err := b.Diagnostics("uaf")
+	if err != nil {
+		t.Fatalf("diagnostics: %v", err)
+	}
+	if len(bres.Diags) != 1 {
+		t.Fatalf("unsuppressed run: %d uaf findings, want 1", len(bres.Diags))
+	}
+}
+
+// TestDiagnosticsBaselineRoundTrip: a baseline written from the corpus
+// findings filters all of them out on the next run (the fsamcheck
+// `-baseline write` then `-baseline check` contract).
+func TestDiagnosticsBaselineRoundTrip(t *testing.T) {
+	_, all := corpusDiagnostics(t)
+	if len(all) == 0 {
+		t.Skip("corpus produced no findings")
+	}
+	var buf bytes.Buffer
+	if err := diag.WriteBaseline(&buf, all); err != nil {
+		t.Fatalf("write baseline: %v", err)
+	}
+	base, err := diag.ReadBaseline(&buf)
+	if err != nil {
+		t.Fatalf("read baseline: %v", err)
+	}
+	remaining, known := base.Filter(all)
+	if len(remaining) != 0 || known != len(all) {
+		t.Fatalf("baseline left %d of %d findings (known %d)", len(remaining), len(all), known)
+	}
+}

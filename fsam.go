@@ -27,8 +27,10 @@ import (
 	"time"
 
 	"repro/internal/callgraph"
+	"repro/internal/checkers"
 	"repro/internal/core"
 	"repro/internal/deadlock"
+	"repro/internal/diag"
 	"repro/internal/engine"
 	"repro/internal/ir"
 	"repro/internal/leak"
@@ -222,6 +224,14 @@ type Analysis struct {
 	Precision Precision
 	Stats     Stats
 
+	// SourceName is the file name diagnostics are attributed to (set by
+	// AnalyzeSource; empty for pre-built programs, where Diagnostics falls
+	// back to "program").
+	SourceName string
+	// Suppress carries the source's inline fsam:ignore comments (nil when
+	// the source had none, or for pre-built programs).
+	Suppress *diag.Suppressions
+
 	// Detection clients are memoized: a completed Analysis is an immutable
 	// value served to many concurrent readers (the fsamd service keeps one
 	// per cache entry), so Races/Deadlocks/Leaks/LeakAudit compute once
@@ -241,6 +251,10 @@ type Analysis struct {
 
 	leakAuditOnce sync.Once
 	leakAudit     []*leak.Report
+
+	diagsOnce sync.Once
+	diags     *checkers.Result
+	diagsErr  error
 }
 
 // AnalyzeSource parses, compiles and analyzes MiniC source.
@@ -258,6 +272,10 @@ func AnalyzeSourceCtx(ctx context.Context, name, src string, cfg Config) (*Analy
 	var pe *pipeline.PhaseError
 	if errors.As(err, &pe) && pe.Phase == phaseCompile {
 		return nil, pe.Err // a source error, not an analysis failure
+	}
+	if a != nil {
+		a.SourceName = name
+		a.Suppress = diag.ParseSuppressions(src)
 	}
 	return a, err
 }
@@ -602,6 +620,94 @@ func (a *Analysis) LeakAudit() []*leak.Report {
 		a.leakAudit = a.leakDetector().Audit()
 	})
 	return a.leakAudit
+}
+
+// DiagnosticsResult is the outcome of running the checker suite over one
+// Analysis: finalized diagnostics (canonically sorted, with fingerprints),
+// the skip reason of every requested checker that could not run at this
+// precision tier, and the number of findings removed by inline
+// fsam:ignore suppressions.
+type DiagnosticsResult struct {
+	Diags      []diag.Diagnostic
+	Skipped    map[string]string
+	Suppressed int
+}
+
+// checkerFacts assembles the Facts bundle the checker registry consumes
+// from this analysis' completed phases.
+func (a *Analysis) checkerFacts() *checkers.Facts {
+	f := &checkers.Facts{
+		File:          a.SourceName,
+		Prog:          a.Prog,
+		MHP:           a.MHP,
+		Locks:         a.Locks,
+		Points:        a.Result,
+		FullPrecision: a.Precision == PrecisionSparseFS,
+		PrecisionNote: a.Precision.String(),
+	}
+	if f.File == "" {
+		f.File = "program"
+	}
+	if a.Stats.Degraded != "" {
+		f.PrecisionNote += ": " + a.Stats.Degraded
+	}
+	if a.Base != nil {
+		f.Model = a.Base.Model
+		f.Pre = a.Base.Pre
+		if a.Base.CG != nil {
+			f.Reachable = a.Base.CG.Reachable
+		}
+	}
+	return f
+}
+
+// Diagnostics runs the diagnostic checker suite (all registered checkers
+// when ids is empty) over this analysis and returns the findings in
+// canonical order. The full suite runs once per Analysis — repeated and
+// concurrent calls share the memoized result, and subset requests filter
+// it, so fingerprints (including occurrence suffixes) are identical
+// regardless of which checkers a caller selects. Checkers whose required
+// analyses are unavailable at this precision tier are reported in Skipped,
+// not errors; unknown checker IDs error with checkers.ErrUnknownChecker.
+func (a *Analysis) Diagnostics(ids ...string) (*DiagnosticsResult, error) {
+	for _, id := range ids {
+		if checkers.ByID(id) == nil {
+			return nil, fmt.Errorf("%w: %q (known: %v)", checkers.ErrUnknownChecker, id, checkers.IDs())
+		}
+	}
+	a.diagsOnce.Do(func() {
+		if a.Prog == nil || a.Base == nil || a.Base.Pre == nil {
+			a.diagsErr = fmt.Errorf("diagnostics require a compiled program (precision %s)", a.Precision)
+			return
+		}
+		a.diags, a.diagsErr = checkers.Run(a.checkerFacts())
+	})
+	if a.diagsErr != nil {
+		return nil, a.diagsErr
+	}
+
+	want := func(id string) bool { return true }
+	if len(ids) > 0 {
+		set := map[string]bool{}
+		for _, id := range ids {
+			set[id] = true
+		}
+		want = func(id string) bool { return set[id] }
+	}
+	res := &DiagnosticsResult{Skipped: map[string]string{}}
+	for id, reason := range a.diags.Skipped {
+		if want(id) {
+			res.Skipped[id] = reason
+		}
+	}
+	var selected []diag.Diagnostic
+	for _, d := range a.diags.Diags {
+		if want(d.Checker) {
+			selected = append(selected, d)
+		}
+	}
+	res.Diags, res.Suppressed = a.Suppress.Filter(selected)
+	return res, nil
 }
 
 // AndersenPointsToGlobal returns the pre-analysis (flow-insensitive) result

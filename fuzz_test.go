@@ -2,12 +2,15 @@ package fsam_test
 
 import (
 	"context"
+	"io"
 	"os"
 	"path/filepath"
 	"testing"
 	"time"
 
 	fsam "repro"
+	"repro/internal/checkers"
+	"repro/internal/diag"
 )
 
 // FuzzAnalyzeSource: the full pipeline is panic-free on arbitrary input.
@@ -42,6 +45,43 @@ func FuzzAnalyzeSource(f *testing.F) {
 			for _, o := range a.Prog.Objects {
 				_, _ = a.PointsToGlobal(o.Name)
 			}
+		}
+	})
+}
+
+// FuzzDiagnostics: the checker suite and every renderer are panic-free on
+// whatever tier the ladder lands on, including degraded analyses where
+// most checkers skip. Rendering goes to io.Discard — the property under
+// test is "no panic, no error", not output content.
+func FuzzDiagnostics(f *testing.F) {
+	f.Add("int main() { int *p; p = malloc(4); free(p); *p = 1; return 0; }")
+	f.Add("lock_t m; int main() { lock(&m); lock(&m); unlock(&m); return 0; }")
+	f.Add("int *g; void w(void *a) { free(g); } int main() { thread_t t; g = malloc(4); t = spawn(w, NULL); free(g); join(t); return 0; }")
+	paths, _ := filepath.Glob(filepath.Join("testdata", "*.mc"))
+	for _, p := range paths {
+		if src, err := os.ReadFile(p); err == nil {
+			f.Add(string(src))
+		}
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		a, err := fsam.AnalyzeSourceCtx(ctx, "fuzz.mc", src, fsam.Config{StepLimit: 200000})
+		if err != nil {
+			return
+		}
+		res, err := a.Diagnostics()
+		if err != nil {
+			t.Fatalf("Diagnostics on a successful analysis: %v", err)
+		}
+		if err := diag.WriteText(io.Discard, res.Diags); err != nil {
+			t.Fatalf("WriteText: %v", err)
+		}
+		if err := diag.WriteJSON(io.Discard, res.Diags); err != nil {
+			t.Fatalf("WriteJSON: %v", err)
+		}
+		if err := diag.WriteSARIF(io.Discard, res.Diags, checkers.Rules()); err != nil {
+			t.Fatalf("WriteSARIF: %v", err)
 		}
 	})
 }

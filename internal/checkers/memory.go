@@ -1,0 +1,263 @@
+package checkers
+
+// Use-after-free and double-free: the two new memory checkers built on the
+// flow-sensitive points-to of free() arguments. A freed heap object is
+// matched against later accesses two ways: sequentially, via intraprocedural
+// CFG reachability from the free site, and cross-thread, via the
+// interleaving analysis (an access that may-happen-in-parallel with the
+// free). The cross-thread direction is what the paper's thread-aware
+// analyses enable: without MHP facts a free in one thread and a use in
+// another look unrelated.
+
+import (
+	"fmt"
+
+	"repro/internal/diag"
+	"repro/internal/ir"
+	"repro/internal/pts"
+)
+
+// cfgReach memoizes intraprocedural block-level reachability (through
+// successor edges, so a block reaches itself only via a cycle).
+type cfgReach struct {
+	memo map[*ir.Block]map[*ir.Block]bool
+}
+
+func newCFGReach() *cfgReach { return &cfgReach{memo: map[*ir.Block]map[*ir.Block]bool{}} }
+
+func (r *cfgReach) reachable(from, to *ir.Block) bool {
+	set := r.memo[from]
+	if set == nil {
+		set = map[*ir.Block]bool{}
+		stack := append([]*ir.Block(nil), from.Succs...)
+		for len(stack) > 0 {
+			b := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			if set[b] {
+				continue
+			}
+			set[b] = true
+			stack = append(stack, b.Succs...)
+		}
+		r.memo[from] = set
+	}
+	return set[to]
+}
+
+// stmtIdx returns s's position within its block.
+func stmtIdx(s ir.Stmt) int {
+	for i, t := range s.Parent().Stmts {
+		if t == s {
+			return i
+		}
+	}
+	return -1
+}
+
+// seqAfter reports whether b may execute strictly after a on some
+// intraprocedural path (same function only; cross-function sequencing is
+// out of scope for these heuristic checkers).
+func seqAfter(reach *cfgReach, a, b ir.Stmt) bool {
+	ba, bb := a.Parent(), b.Parent()
+	if ba == nil || bb == nil || ba.Func != bb.Func {
+		return false
+	}
+	if ba == bb {
+		if stmtIdx(b) > stmtIdx(a) {
+			return true
+		}
+		return reach.reachable(ba, ba) // earlier in the block, via a cycle
+	}
+	return reach.reachable(ba, bb)
+}
+
+// heapOnly filters a points-to set down to heap objects.
+func heapOnly(prog *ir.Program, set *pts.Set) *pts.Set {
+	out := &pts.Set{}
+	set.ForEach(func(id uint32) {
+		if prog.Objects[id].Kind == ir.ObjHeap {
+			out.Add(id)
+		}
+	})
+	return out
+}
+
+// freeSites returns the program's Free statements in statement order,
+// restricted to reachable functions.
+func freeSites(f *Facts) []*ir.Free {
+	var out []*ir.Free
+	for _, s := range f.Prog.Stmts {
+		fr, ok := s.(*ir.Free)
+		if !ok {
+			continue
+		}
+		if fn := ir.StmtFunc(fr); fn != nil && f.Reachable != nil && !f.Reachable[fn] {
+			continue
+		}
+		out = append(out, fr)
+	}
+	return out
+}
+
+// freeText names a free site in user terms.
+func freeText(fr *ir.Free) string {
+	if fr.ArgText != "" {
+		return "free(" + fr.ArgText + ")"
+	}
+	return "free"
+}
+
+// mhpWitness returns the thread names of one MHP instance pair of s1/s2.
+func mhpWitness(f *Facts, s1, s2 ir.Stmt) []string {
+	pairs := f.MHP.MHPInstances(s1, s2)
+	if len(pairs) == 0 {
+		return nil
+	}
+	return []string{pairs[0][0].Thread.String(), pairs[0][1].Thread.String()}
+}
+
+func memAvailable(f *Facts) string {
+	if f.Prog == nil || f.Pre == nil {
+		return "requires a compiled program"
+	}
+	return ""
+}
+
+var uafChecker = &Checker{
+	ID:        "uaf",
+	Name:      "UseAfterFree",
+	Doc:       "a load or store that may access a heap object after it was freed, sequentially or concurrently",
+	Severity:  diag.SevError,
+	available: memAvailable,
+	run: func(f *Facts) []diag.Diagnostic {
+		reach := newCFGReach()
+		frees := freeSites(f)
+		if len(frees) == 0 {
+			return nil
+		}
+		type accSite struct {
+			stmt ir.Stmt
+			addr *ir.Var
+		}
+		var accesses []accSite
+		for _, s := range f.Prog.Stmts {
+			switch s := s.(type) {
+			case *ir.Load:
+				accesses = append(accesses, accSite{s, s.Addr})
+			case *ir.Store:
+				accesses = append(accesses, accSite{s, s.Addr})
+			}
+		}
+		type key struct {
+			acc ir.StmtID
+			obj ir.ObjID
+		}
+		seen := map[key]bool{}
+		var out []diag.Diagnostic
+		for _, fr := range frees {
+			freed := heapOnly(f.Prog, f.pointsTo(fr.Ptr))
+			if freed.IsEmpty() {
+				continue
+			}
+			for _, acc := range accesses {
+				common := heapOnly(f.Prog, freed.Intersect(f.pointsTo(acc.addr)))
+				if common.IsEmpty() {
+					continue
+				}
+				seq := seqAfter(reach, fr, acc.stmt)
+				conc := !seq && f.MHP != nil && f.MHP.MHPStmts(fr, acc.stmt)
+				if !seq && !conc {
+					continue
+				}
+				common.ForEach(func(id uint32) {
+					k := key{acc.stmt.ID(), ir.ObjID(id)}
+					if seen[k] {
+						return
+					}
+					seen[k] = true
+					obj := f.Prog.Objects[id]
+					d := diag.Diagnostic{
+						Line:   ir.LineOf(acc.stmt),
+						Object: obj.Name,
+						Related: []diag.Related{{
+							Line:    ir.LineOf(fr),
+							Message: "freed here by " + freeText(fr),
+						}},
+					}
+					if seq {
+						d.Message = fmt.Sprintf("use after free: %s of %s after %s",
+							accessKind(acc.stmt), obj, freeText(fr))
+					} else {
+						d.Message = fmt.Sprintf("use after free: %s of %s may run concurrently with %s in another thread",
+							accessKind(acc.stmt), obj, freeText(fr))
+						d.Threads = mhpWitness(f, fr, acc.stmt)
+					}
+					out = append(out, d)
+				})
+			}
+		}
+		return out
+	},
+}
+
+var doubleFreeChecker = &Checker{
+	ID:        "doublefree",
+	Name:      "DoubleFree",
+	Doc:       "two free() calls that may release the same heap object, sequentially or concurrently",
+	Severity:  diag.SevError,
+	available: memAvailable,
+	run: func(f *Facts) []diag.Diagnostic {
+		reach := newCFGReach()
+		frees := freeSites(f)
+		if len(frees) < 2 {
+			return nil
+		}
+		freed := make([]*pts.Set, len(frees))
+		for i, fr := range frees {
+			freed[i] = heapOnly(f.Prog, f.pointsTo(fr.Ptr))
+		}
+		var out []diag.Diagnostic
+		for i, fr1 := range frees {
+			for j := i + 1; j < len(frees); j++ {
+				fr2 := frees[j]
+				common := freed[i].Intersect(freed[j])
+				if common.IsEmpty() {
+					continue
+				}
+				seq12 := seqAfter(reach, fr1, fr2)
+				seq21 := !seq12 && seqAfter(reach, fr2, fr1)
+				conc := !seq12 && !seq21 && f.MHP != nil && f.MHP.MHPStmts(fr1, fr2)
+				if !seq12 && !seq21 && !conc {
+					continue
+				}
+				// first frees, second double-frees (for concurrent pairs the
+				// order is arbitrary; keep statement order for determinism).
+				first, second := fr1, fr2
+				if seq21 {
+					first, second = fr2, fr1
+				}
+				common.ForEach(func(id uint32) {
+					obj := f.Prog.Objects[id]
+					d := diag.Diagnostic{
+						Line:   ir.LineOf(second),
+						Object: obj.Name,
+						Related: []diag.Related{{
+							Line:    ir.LineOf(first),
+							Message: "first freed here by " + freeText(first),
+						}},
+					}
+					if conc {
+						d.Message = fmt.Sprintf("double free of %s: %s may run concurrently with %s in another thread",
+							obj, freeText(second), freeText(first))
+						d.Threads = mhpWitness(f, first, second)
+					} else {
+						d.Message = fmt.Sprintf("double free of %s: %s may run after %s",
+							obj, freeText(second), freeText(first))
+					}
+					out = append(out, d)
+				})
+			}
+		}
+		return out
+	},
+}

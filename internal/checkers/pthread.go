@@ -1,0 +1,182 @@
+package checkers
+
+// pthread-API misuse: double lock, unlock-without-lock and self-join,
+// derived from the lock-span analysis and the thread model. A lock
+// acquisition that sits inside an existing span of the same lock object is
+// a double lock (self-deadlock on non-recursive mutexes); an unlock whose
+// instance lies in no span of the unlocked object releases a mutex the
+// thread does not hold; a join whose handle may name the joining thread's
+// own handle is a self-join (EDEADLK).
+
+import (
+	"fmt"
+
+	"repro/internal/diag"
+	"repro/internal/ir"
+	"repro/internal/locks"
+)
+
+var pthreadChecker = &Checker{
+	ID:       "pthread",
+	Name:     "PthreadMisuse",
+	Doc:      "pthread API misuse: double lock, unlock without a held lock, self-join",
+	Severity: diag.SevWarning,
+	available: func(f *Facts) string {
+		if f.Model == nil {
+			return "requires the thread model (" + f.PrecisionNote + ")"
+		}
+		return ""
+	},
+	run: func(f *Facts) []diag.Diagnostic {
+		var out []diag.Diagnostic
+		if f.Locks != nil {
+			out = append(out, doubleLocks(f)...)
+			out = append(out, unpairedUnlocks(f)...)
+		}
+		out = append(out, selfJoins(f)...)
+		return out
+	},
+}
+
+// doubleLocks flags acquisitions lying inside a span of the same lock
+// object. A Lock statement is excluded from its own span, so membership
+// means an enclosing earlier acquisition of that lock is still held.
+func doubleLocks(f *Facts) []diag.Diagnostic {
+	type key struct {
+		lock ir.StmtID
+		obj  ir.ObjID
+	}
+	seen := map[key]bool{}
+	var out []diag.Diagnostic
+	for _, t := range f.Model.Threads {
+		for _, fc := range sortedFuncs(f.Model, t) {
+			for _, blk := range fc.Func.Blocks {
+				for _, s := range blk.Stmts {
+					l, ok := s.(*ir.Lock)
+					if !ok {
+						continue
+					}
+					inst := locks.Inst{Thread: t, Ctx: fc.Ctx, Stmt: l}
+					acquired := f.Pre.PointsToVar(l.Ptr)
+					for _, sp := range f.Locks.SpansOf(inst) {
+						if sp.Thread != t || !acquired.Has(uint32(sp.LockObj.ID)) {
+							continue
+						}
+						k := key{l.ID(), sp.LockObj.ID}
+						if seen[k] {
+							continue
+						}
+						seen[k] = true
+						out = append(out, diag.Diagnostic{
+							Line: ir.LineOf(l),
+							Message: fmt.Sprintf("double lock of %s by %s: already held at this acquisition",
+								sp.LockObj, t),
+							Object:  sp.LockObj.Name,
+							Threads: []string{t.String()},
+							Related: []diag.Related{{
+								Line:    ir.LineOf(sp.Lock),
+								Message: fmt.Sprintf("%s first acquired here", sp.LockObj),
+							}},
+						})
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// unpairedUnlocks flags unlocks whose instance lies in no span of the
+// unlocked object: the thread releases a mutex it did not acquire (which
+// includes cross-thread lock handoff, undefined for pthread mutexes).
+func unpairedUnlocks(f *Facts) []diag.Diagnostic {
+	type key struct {
+		unlock ir.StmtID
+		obj    ir.ObjID
+	}
+	seen := map[key]bool{}
+	var out []diag.Diagnostic
+	for _, t := range f.Model.Threads {
+		for _, fc := range sortedFuncs(f.Model, t) {
+			for _, blk := range fc.Func.Blocks {
+				for _, s := range blk.Stmts {
+					u, ok := s.(*ir.Unlock)
+					if !ok {
+						continue
+					}
+					inst := locks.Inst{Thread: t, Ctx: fc.Ctx, Stmt: u}
+					spans := f.Locks.SpansOf(inst)
+					f.Pre.PointsToVar(u.Ptr).ForEach(func(id uint32) {
+						obj := f.Prog.Objects[id]
+						for _, sp := range spans {
+							if sp.Thread == t && sp.LockObj == obj {
+								return // paired with an acquisition
+							}
+						}
+						k := key{u.ID(), obj.ID}
+						if seen[k] {
+							return
+						}
+						seen[k] = true
+						out = append(out, diag.Diagnostic{
+							Line: ir.LineOf(u),
+							Message: fmt.Sprintf("unlock of %s by %s without a matching lock acquisition in this thread",
+								obj, t),
+							Object:  obj.Name,
+							Threads: []string{t.String()},
+						})
+					})
+				}
+			}
+		}
+	}
+	return out
+}
+
+// selfJoins flags joins whose handle may name the joining thread's own
+// fork handle.
+func selfJoins(f *Facts) []diag.Diagnostic {
+	handleFork := map[*ir.Object]*ir.Fork{}
+	for _, s := range f.Prog.Stmts {
+		if fk, ok := s.(*ir.Fork); ok && fk.Handle != nil {
+			handleFork[fk.Handle] = fk
+		}
+	}
+	type key struct {
+		join   ir.StmtID
+		thread int
+	}
+	seen := map[key]bool{}
+	var out []diag.Diagnostic
+	for _, t := range f.Model.Threads {
+		for _, sc := range f.Model.JoinSites(t) {
+			j, ok := sc.Stmt.(*ir.Join)
+			if !ok {
+				continue
+			}
+			f.Pre.PointsToVar(j.Handle).ForEach(func(id uint32) {
+				fk := handleFork[f.Prog.Objects[id]]
+				if fk == nil {
+					return
+				}
+				for _, tt := range f.Model.ThreadsAtFork[fk] {
+					if tt != t {
+						continue
+					}
+					k := key{j.ID(), t.ID}
+					if seen[k] {
+						continue
+					}
+					seen[k] = true
+					out = append(out, diag.Diagnostic{
+						Line:    ir.LineOf(j),
+						Message: fmt.Sprintf("%s may join itself: the joined handle can name the joining thread", t),
+						Object:  fk.Handle.Name,
+						Threads: []string{t.String()},
+					})
+				}
+			})
+		}
+	}
+	return out
+}

@@ -98,6 +98,34 @@ func (d *Detector) edges() []Acquisition {
 			}
 		}
 	}
+	// Model.Funcs iterates a map, so edge discovery order varies between
+	// runs; sort so witness selection in tryReport (first viable
+	// assignment wins) is deterministic.
+	sort.Slice(out, func(i, j int) bool {
+		a, b := &out[i], &out[j]
+		if a.From.ID != b.From.ID {
+			return a.From.ID < b.From.ID
+		}
+		if a.To.ID != b.To.ID {
+			return a.To.ID < b.To.ID
+		}
+		if a.Site.Stmt.ID() != b.Site.Stmt.ID() {
+			return a.Site.Stmt.ID() < b.Site.Stmt.ID()
+		}
+		if a.Site.Thread.ID != b.Site.Thread.ID {
+			return a.Site.Thread.ID < b.Site.Thread.ID
+		}
+		if a.Site.Ctx != b.Site.Ctx {
+			return a.Site.Ctx < b.Site.Ctx
+		}
+		if a.Held.Stmt.ID() != b.Held.Stmt.ID() {
+			return a.Held.Stmt.ID() < b.Held.Stmt.ID()
+		}
+		if a.Held.Thread.ID != b.Held.Thread.ID {
+			return a.Held.Thread.ID < b.Held.Thread.ID
+		}
+		return a.Held.Ctx < b.Held.Ctx
+	})
 	return out
 }
 

@@ -1,0 +1,90 @@
+package diag
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// A Baseline is a set of known-finding fingerprints. "fsamcheck -baseline
+// write" records every current finding; "-baseline check" then filters
+// those out, so the suite can gate CI on new findings only while existing
+// debt is paid down incrementally.
+type Baseline struct {
+	fps map[string]bool
+}
+
+// baselineHeader is the first line of every baseline file; ReadBaseline
+// rejects files without it, so a stray file cannot silently suppress
+// everything.
+const baselineHeader = "# fsamcheck baseline v1"
+
+// WriteBaseline renders diags as a baseline file: one line per finding,
+// fingerprint first, with the checker, position and message following as
+// human-readable context (ignored on read). diags should already be
+// finalized; the output inherits their canonical order.
+func WriteBaseline(w io.Writer, diags []Diagnostic) error {
+	if _, err := fmt.Fprintln(w, baselineHeader); err != nil {
+		return err
+	}
+	for _, d := range diags {
+		fp := d.Fingerprint
+		if fp == "" {
+			fp = d.contentHash()
+		}
+		if _, err := fmt.Fprintf(w, "%s %s %s:%d %s\n", fp, d.Checker, d.File, d.Line, d.Message); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ReadBaseline parses a baseline file written by WriteBaseline. Blank
+// lines and additional comment lines are ignored; only the leading
+// fingerprint field of each line matters.
+func ReadBaseline(r io.Reader) (*Baseline, error) {
+	sc := bufio.NewScanner(r)
+	if !sc.Scan() {
+		if err := sc.Err(); err != nil {
+			return nil, err
+		}
+		return nil, fmt.Errorf("empty baseline file (expected %q header)", baselineHeader)
+	}
+	if strings.TrimSpace(sc.Text()) != baselineHeader {
+		return nil, fmt.Errorf("not a baseline file (expected %q header, got %q)", baselineHeader, sc.Text())
+	}
+	b := &Baseline{fps: map[string]bool{}}
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fp, _, _ := strings.Cut(line, " ")
+		b.fps[fp] = true
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return b, nil
+}
+
+// Has reports whether the baseline contains the fingerprint.
+func (b *Baseline) Has(fp string) bool { return b != nil && b.fps[fp] }
+
+// Filter removes baselined diagnostics (matched by fingerprint), returning
+// the kept slice and the number removed. diags must be finalized so every
+// entry carries its fingerprint.
+func (b *Baseline) Filter(diags []Diagnostic) ([]Diagnostic, int) {
+	if b == nil {
+		return diags, 0
+	}
+	kept := diags[:0]
+	for _, d := range diags {
+		if b.Has(d.Fingerprint) {
+			continue
+		}
+		kept = append(kept, d)
+	}
+	return kept, len(diags) - len(kept)
+}

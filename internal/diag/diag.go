@@ -1,0 +1,146 @@
+// Package diag defines the unified diagnostics model shared by every
+// checker in the suite (race, deadlock, leak, use-after-free, double-free,
+// pthread misuse): one Diagnostic schema with severity, positions,
+// witnessing evidence and a stable content fingerprint, plus the rendering
+// (text, JSON, SARIF 2.1.0), inline-suppression and baseline machinery the
+// fsamcheck CLI and the fsamd /v1/diagnostics endpoint are built on.
+//
+// The paper motivates FSAM by the client analyses it enables (Section 1:
+// data-race detection and memory-bug finding on top of precise points-to);
+// this package is what turns those clients from ad-hoc report structs into
+// a CI-gateable analysis suite.
+package diag
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"sort"
+)
+
+// Severity classifies a diagnostic. The values are SARIF 2.1.0 levels, so
+// the SARIF renderer emits them verbatim.
+type Severity string
+
+const (
+	SevError   Severity = "error"
+	SevWarning Severity = "warning"
+	SevNote    Severity = "note"
+)
+
+// Related is a secondary source position participating in a finding (the
+// second access of a race, the acquisitions of a deadlock cycle, the free
+// site of a use-after-free).
+type Related struct {
+	Line    int    `json:"line"`
+	Message string `json:"message"`
+}
+
+// Diagnostic is one finding of one checker. Messages deliberately avoid
+// embedding raw line numbers — positions live in Line and Related — so the
+// fingerprint survives unrelated edits that only shift lines.
+type Diagnostic struct {
+	// Checker is the registry ID of the checker that produced the finding
+	// (e.g. "race", "uaf").
+	Checker string `json:"checker"`
+	// Severity is the SARIF level of the finding.
+	Severity Severity `json:"severity"`
+	// File and Line are the primary position.
+	File string `json:"file"`
+	Line int    `json:"line"`
+	// Message is the human-readable statement of the finding.
+	Message string `json:"message"`
+	// Object names the witnessing abstract memory object, when one exists
+	// (the raced-on object, the freed heap object, the lock).
+	Object string `json:"object,omitempty"`
+	// Threads names the witnessing thread instance(s).
+	Threads []string `json:"threads,omitempty"`
+	// Related lists the secondary positions of the finding.
+	Related []Related `json:"related,omitempty"`
+	// Fingerprint is the stable content address of the finding, assigned by
+	// Finalize; baselines suppress by it.
+	Fingerprint string `json:"fingerprint,omitempty"`
+}
+
+// contentHash is the fingerprint core: checker, file, object and messages,
+// with no line numbers, so renumbering-only edits keep baselines valid.
+func (d *Diagnostic) contentHash() string {
+	h := sha256.New()
+	sep := []byte{0}
+	h.Write([]byte(d.Checker))
+	h.Write(sep)
+	h.Write([]byte(d.File))
+	h.Write(sep)
+	h.Write([]byte(d.Object))
+	h.Write(sep)
+	h.Write([]byte(d.Message))
+	for _, r := range d.Related {
+		h.Write(sep)
+		h.Write([]byte(r.Message))
+	}
+	return hex.EncodeToString(h.Sum(nil))[:16]
+}
+
+// Sort orders diagnostics in the suite's canonical order: file, then
+// file-order line, then checker ID, then fingerprint (content hash when
+// Fingerprint is not yet assigned), then message as a final total-order
+// tie-break. Golden tests, baselines and the CLI all rely on this order
+// being identical across runs.
+func Sort(diags []Diagnostic) {
+	sort.SliceStable(diags, func(i, j int) bool {
+		a, b := &diags[i], &diags[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Checker != b.Checker {
+			return a.Checker < b.Checker
+		}
+		fa, fb := a.Fingerprint, b.Fingerprint
+		if fa == "" {
+			fa = a.contentHash()
+		}
+		if fb == "" {
+			fb = b.contentHash()
+		}
+		if fa != fb {
+			return fa < fb
+		}
+		return a.Message < b.Message
+	})
+}
+
+// Finalize sorts diags canonically and assigns fingerprints. Identical
+// findings (same checker, file, object and messages — e.g. the same bug
+// repeated on two lines) get a deterministic "/2", "/3"... occurrence
+// suffix in sorted order, so every finding has a distinct fingerprint and
+// baselining one occurrence does not hide the others.
+func Finalize(diags []Diagnostic) {
+	Sort(diags)
+	seen := map[string]int{}
+	for i := range diags {
+		base := diags[i].contentHash()
+		seen[base]++
+		if n := seen[base]; n > 1 {
+			diags[i].Fingerprint = base + "/" + itoa(n)
+		} else {
+			diags[i].Fingerprint = base
+		}
+	}
+}
+
+// itoa avoids strconv for the tiny occurrence counter.
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var buf [8]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(buf[i:])
+}

@@ -1,0 +1,222 @@
+package diag
+
+import (
+	"bytes"
+	"encoding/json"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func sample() []Diagnostic {
+	return []Diagnostic{
+		{Checker: "race", Severity: SevWarning, File: "a.mc", Line: 12, Message: "data race on obj#3", Object: "obj#3",
+			Related: []Related{{Line: 20, Message: "second access"}}},
+		{Checker: "leak", Severity: SevWarning, File: "a.mc", Line: 4, Message: "obj#1 may leak", Object: "obj#1"},
+		{Checker: "uaf", Severity: SevError, File: "b.mc", Line: 7, Message: "use of freed obj#2", Object: "obj#2"},
+		{Checker: "deadlock", Severity: SevWarning, File: "a.mc", Line: 12, Message: "lock cycle", Object: "lock#1"},
+	}
+}
+
+func TestFinalizeOrderAndFingerprints(t *testing.T) {
+	diags := sample()
+	Finalize(diags)
+	// Canonical order: file, line, checker.
+	wantOrder := []string{"leak", "deadlock", "race", "uaf"}
+	for i, w := range wantOrder {
+		if diags[i].Checker != w {
+			t.Fatalf("position %d: got checker %q, want %q (order %v)", i, diags[i].Checker, w, diags)
+		}
+	}
+	for _, d := range diags {
+		if d.Fingerprint == "" {
+			t.Fatalf("missing fingerprint on %+v", d)
+		}
+	}
+	// Finalize is deterministic under input permutation.
+	perm := sample()
+	rand.New(rand.NewSource(1)).Shuffle(len(perm), func(i, j int) { perm[i], perm[j] = perm[j], perm[i] })
+	Finalize(perm)
+	for i := range diags {
+		if diags[i].Fingerprint != perm[i].Fingerprint || diags[i].Checker != perm[i].Checker {
+			t.Fatalf("permuted input diverged at %d: %+v vs %+v", i, diags[i], perm[i])
+		}
+	}
+}
+
+func TestFingerprintStableUnderLineShift(t *testing.T) {
+	a := Diagnostic{Checker: "uaf", File: "x.mc", Line: 10, Message: "use of freed obj#2", Object: "obj#2"}
+	b := a
+	b.Line = 99
+	b.Related = []Related{} // empty vs nil must not matter
+	if a.contentHash() != b.contentHash() {
+		t.Fatalf("fingerprint changed with line shift: %s vs %s", a.contentHash(), b.contentHash())
+	}
+}
+
+func TestFinalizeCollisionSuffixes(t *testing.T) {
+	diags := []Diagnostic{
+		{Checker: "doublefree", File: "x.mc", Line: 5, Message: "double free of obj#1", Object: "obj#1"},
+		{Checker: "doublefree", File: "x.mc", Line: 9, Message: "double free of obj#1", Object: "obj#1"},
+		{Checker: "doublefree", File: "x.mc", Line: 13, Message: "double free of obj#1", Object: "obj#1"},
+	}
+	Finalize(diags)
+	if diags[0].Fingerprint == diags[1].Fingerprint || diags[1].Fingerprint == diags[2].Fingerprint {
+		t.Fatalf("collision suffixes missing: %q %q %q", diags[0].Fingerprint, diags[1].Fingerprint, diags[2].Fingerprint)
+	}
+	if !strings.HasSuffix(diags[1].Fingerprint, "/2") || !strings.HasSuffix(diags[2].Fingerprint, "/3") {
+		t.Fatalf("want /2 and /3 suffixes, got %q %q", diags[1].Fingerprint, diags[2].Fingerprint)
+	}
+	if !strings.HasPrefix(diags[1].Fingerprint, diags[0].Fingerprint) {
+		t.Fatalf("suffix not derived from base: %q vs %q", diags[1].Fingerprint, diags[0].Fingerprint)
+	}
+}
+
+func TestParseSuppressions(t *testing.T) {
+	src := strings.Join([]string{
+		"int g;",                         // 1
+		"x = y; // fsam:ignore[race]",    // 2
+		"// fsam:ignore[uaf,doublefree]", // 3: whole line -> applies to 4
+		"*p = q;",                        // 4
+		"free(p); // fsam:ignore",        // 5: all checkers
+		"z = w; // plain comment",        // 6
+	}, "\n")
+	s := ParseSuppressions(src)
+	if s == nil {
+		t.Fatal("expected suppressions")
+	}
+	cases := []struct {
+		line    int
+		checker string
+		want    bool
+	}{
+		{2, "race", true},
+		{2, "uaf", false},
+		{3, "uaf", false}, // whole-line comment targets the next line
+		{4, "uaf", true},
+		{4, "doublefree", true},
+		{4, "race", false},
+		{5, "race", true}, // bare marker suppresses everything
+		{5, "leak", true},
+		{6, "race", false},
+	}
+	for _, c := range cases {
+		if got := s.Suppressed(c.line, c.checker); got != c.want {
+			t.Errorf("Suppressed(%d, %q) = %v, want %v", c.line, c.checker, got, c.want)
+		}
+	}
+	diags := []Diagnostic{
+		{Checker: "race", File: "x.mc", Line: 2, Message: "race"},
+		{Checker: "race", File: "x.mc", Line: 4, Message: "race"},
+	}
+	kept, n := s.Filter(diags)
+	if n != 1 || len(kept) != 1 || kept[0].Line != 4 {
+		t.Fatalf("Filter: kept=%v removed=%d", kept, n)
+	}
+	if ParseSuppressions("int g;\nx = y;\n") != nil {
+		t.Fatal("source without markers should parse to nil")
+	}
+	var nilS *Suppressions
+	if nilS.Suppressed(1, "race") {
+		t.Fatal("nil Suppressions must suppress nothing")
+	}
+}
+
+func TestBaselineRoundTrip(t *testing.T) {
+	diags := sample()
+	Finalize(diags)
+	var buf bytes.Buffer
+	if err := WriteBaseline(&buf, diags); err != nil {
+		t.Fatal(err)
+	}
+	bl, err := ReadBaseline(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	kept, removed := bl.Filter(append([]Diagnostic(nil), diags...))
+	if len(kept) != 0 || removed != len(diags) {
+		t.Fatalf("baseline should swallow all its own findings: kept=%v removed=%d", kept, removed)
+	}
+	// A new finding survives.
+	novel := []Diagnostic{{Checker: "race", File: "new.mc", Line: 1, Message: "fresh"}}
+	Finalize(novel)
+	kept, removed = bl.Filter(novel)
+	if len(kept) != 1 || removed != 0 {
+		t.Fatalf("novel finding filtered: kept=%v removed=%d", kept, removed)
+	}
+	if _, err := ReadBaseline(strings.NewReader("not a baseline\n")); err == nil {
+		t.Fatal("expected header-validation error")
+	}
+	var nilBL *Baseline
+	if nilBL.Has("x") {
+		t.Fatal("nil baseline must contain nothing")
+	}
+}
+
+func TestWriteText(t *testing.T) {
+	diags := sample()
+	Finalize(diags)
+	var buf bytes.Buffer
+	if err := WriteText(&buf, diags); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "a.mc:12: warning: [race] data race on obj#3\n    a.mc:20: second access\n") {
+		t.Fatalf("text output missing expected lines:\n%s", out)
+	}
+}
+
+func TestWriteJSONEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	if strings.TrimSpace(buf.String()) != "[]" {
+		t.Fatalf("nil diags should render as [], got %q", buf.String())
+	}
+}
+
+func TestWriteSARIF(t *testing.T) {
+	diags := sample()
+	Finalize(diags)
+	rules := []Rule{{ID: "race", Name: "DataRace", Doc: "reports data races"}, {ID: "uaf", Name: "UseAfterFree"}}
+	var buf bytes.Buffer
+	if err := WriteSARIF(&buf, diags, rules); err != nil {
+		t.Fatal(err)
+	}
+	var log map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &log); err != nil {
+		t.Fatalf("SARIF output is not valid JSON: %v", err)
+	}
+	if log["version"] != "2.1.0" {
+		t.Fatalf("version = %v", log["version"])
+	}
+	runs := log["runs"].([]any)
+	run := runs[0].(map[string]any)
+	driver := run["tool"].(map[string]any)["driver"].(map[string]any)
+	if driver["name"] != "fsamcheck" {
+		t.Fatalf("driver name = %v", driver["name"])
+	}
+	if n := len(driver["rules"].([]any)); n != 2 {
+		t.Fatalf("rules = %d, want 2", n)
+	}
+	results := run["results"].([]any)
+	if len(results) != len(diags) {
+		t.Fatalf("results = %d, want %d", len(results), len(diags))
+	}
+	r0 := results[0].(map[string]any)
+	if r0["ruleId"] != "leak" || r0["level"] != "warning" {
+		t.Fatalf("first result = %v", r0)
+	}
+	if _, ok := r0["partialFingerprints"].(map[string]any)["fsamcheck/v1"]; !ok {
+		t.Fatalf("missing partialFingerprints: %v", r0)
+	}
+	// An empty run still has a results array (SARIF requires it).
+	buf.Reset()
+	if err := WriteSARIF(&buf, nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `"results": []`) {
+		t.Fatalf("empty run must serialize results as []:\n%s", buf.String())
+	}
+}

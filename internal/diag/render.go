@@ -1,0 +1,162 @@
+package diag
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Rule is the checker metadata the SARIF renderer embeds as
+// tool.driver.rules. The checkers registry provides these; diag stays
+// independent of it (checkers imports diag, not the reverse).
+type Rule struct {
+	ID   string
+	Name string
+	Doc  string
+}
+
+// WriteText renders diagnostics in the compiler-style one-line-per-finding
+// format, with related positions indented beneath:
+//
+//	file.mc:12: warning: [race] data race on obj#3 ...
+//	    file.mc:20: second access by thread t1
+func WriteText(w io.Writer, diags []Diagnostic) error {
+	for _, d := range diags {
+		if _, err := fmt.Fprintf(w, "%s:%d: %s: [%s] %s\n", d.File, d.Line, d.Severity, d.Checker, d.Message); err != nil {
+			return err
+		}
+		for _, r := range d.Related {
+			if _, err := fmt.Fprintf(w, "    %s:%d: %s\n", d.File, r.Line, r.Message); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// WriteJSON renders diagnostics as an indented JSON array (the raw
+// Diagnostic schema, fingerprints included).
+func WriteJSON(w io.Writer, diags []Diagnostic) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if diags == nil {
+		diags = []Diagnostic{}
+	}
+	return enc.Encode(diags)
+}
+
+// SARIF 2.1.0 document structure, restricted to the slice of the schema
+// fsamcheck emits. Field order follows the spec's presentation order so the
+// serialized form is conventional.
+type sarifLog struct {
+	Schema  string     `json:"$schema"`
+	Version string     `json:"version"`
+	Runs    []sarifRun `json:"runs"`
+}
+
+type sarifRun struct {
+	Tool    sarifTool     `json:"tool"`
+	Results []sarifResult `json:"results"`
+}
+
+type sarifTool struct {
+	Driver sarifDriver `json:"driver"`
+}
+
+type sarifDriver struct {
+	Name           string      `json:"name"`
+	InformationURI string      `json:"informationUri,omitempty"`
+	Rules          []sarifRule `json:"rules,omitempty"`
+}
+
+type sarifRule struct {
+	ID               string            `json:"id"`
+	Name             string            `json:"name,omitempty"`
+	ShortDescription *sarifMessage     `json:"shortDescription,omitempty"`
+	FullDescription  *sarifMessage     `json:"fullDescription,omitempty"`
+	Properties       map[string]string `json:"properties,omitempty"`
+}
+
+type sarifResult struct {
+	RuleID              string            `json:"ruleId"`
+	Level               string            `json:"level"`
+	Message             sarifMessage      `json:"message"`
+	Locations           []sarifLocation   `json:"locations,omitempty"`
+	RelatedLocations    []sarifLocation   `json:"relatedLocations,omitempty"`
+	PartialFingerprints map[string]string `json:"partialFingerprints,omitempty"`
+}
+
+type sarifMessage struct {
+	Text string `json:"text"`
+}
+
+type sarifLocation struct {
+	PhysicalLocation sarifPhysicalLocation `json:"physicalLocation"`
+	Message          *sarifMessage         `json:"message,omitempty"`
+}
+
+type sarifPhysicalLocation struct {
+	ArtifactLocation sarifArtifactLocation `json:"artifactLocation"`
+	Region           sarifRegion           `json:"region"`
+}
+
+type sarifArtifactLocation struct {
+	URI string `json:"uri"`
+}
+
+type sarifRegion struct {
+	StartLine int `json:"startLine"`
+}
+
+// WriteSARIF renders diagnostics as a SARIF 2.1.0 log with one run. rules
+// is the registry metadata for the checkers that ran (order preserved);
+// diag Severity values are SARIF levels, so they pass through verbatim.
+func WriteSARIF(w io.Writer, diags []Diagnostic, rules []Rule) error {
+	var srules []sarifRule
+	for _, r := range rules {
+		sr := sarifRule{ID: r.ID, Name: r.Name}
+		if r.Doc != "" {
+			sr.ShortDescription = &sarifMessage{Text: r.Doc}
+		}
+		srules = append(srules, sr)
+	}
+	results := []sarifResult{}
+	for _, d := range diags {
+		res := sarifResult{
+			RuleID:  d.Checker,
+			Level:   string(d.Severity),
+			Message: sarifMessage{Text: d.Message},
+			Locations: []sarifLocation{{
+				PhysicalLocation: sarifPhysicalLocation{
+					ArtifactLocation: sarifArtifactLocation{URI: d.File},
+					Region:           sarifRegion{StartLine: d.Line},
+				},
+			}},
+		}
+		for _, r := range d.Related {
+			msg := r.Message
+			res.RelatedLocations = append(res.RelatedLocations, sarifLocation{
+				PhysicalLocation: sarifPhysicalLocation{
+					ArtifactLocation: sarifArtifactLocation{URI: d.File},
+					Region:           sarifRegion{StartLine: r.Line},
+				},
+				Message: &sarifMessage{Text: msg},
+			})
+		}
+		if d.Fingerprint != "" {
+			res.PartialFingerprints = map[string]string{"fsamcheck/v1": d.Fingerprint}
+		}
+		results = append(results, res)
+	}
+	log := sarifLog{
+		Schema:  "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/Schemata/sarif-schema-2.1.0.json",
+		Version: "2.1.0",
+		Runs: []sarifRun{{
+			Tool:    sarifTool{Driver: sarifDriver{Name: "fsamcheck", Rules: srules}},
+			Results: results,
+		}},
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(log)
+}

@@ -1,0 +1,103 @@
+package diag
+
+import (
+	"strings"
+)
+
+// Suppressions is the parsed set of inline "// fsam:ignore" comments of one
+// source file. Two placements are honored:
+//
+//	x = y; // fsam:ignore[race]      suppresses race findings on this line
+//	// fsam:ignore[uaf,doublefree]   a whole-line comment suppresses the
+//	*p = q;                          next line
+//	free(p); // fsam:ignore          no [...] filter suppresses every checker
+//
+// A nil *Suppressions suppresses nothing, so callers without source text
+// (AnalyzeProgram) can pass it through unconditionally.
+type Suppressions struct {
+	// byLine maps a source line to the checker IDs suppressed on it; the
+	// empty string entry means "all checkers".
+	byLine map[int][]string
+}
+
+const ignoreMarker = "fsam:ignore"
+
+// ParseSuppressions scans src for fsam:ignore comments. It works on raw
+// lines rather than lexer tokens so it sees comments the frontend discards,
+// and tolerates any amount of surrounding text inside the comment.
+func ParseSuppressions(src string) *Suppressions {
+	s := &Suppressions{byLine: map[int][]string{}}
+	for i, line := range strings.Split(src, "\n") {
+		ci := strings.Index(line, "//")
+		if ci < 0 {
+			continue
+		}
+		comment := line[ci:]
+		mi := strings.Index(comment, ignoreMarker)
+		if mi < 0 {
+			continue
+		}
+		checkers := parseIgnoreList(comment[mi+len(ignoreMarker):])
+		target := i + 1 // 1-based line of the comment itself
+		if strings.TrimSpace(line[:ci]) == "" {
+			// Whole-line comment: applies to the following line.
+			target++
+		}
+		s.byLine[target] = append(s.byLine[target], checkers...)
+	}
+	if len(s.byLine) == 0 {
+		return nil
+	}
+	return s
+}
+
+// parseIgnoreList parses the optional "[a,b,c]" checker filter directly
+// after the marker. No filter (or a malformed one) means "all checkers".
+func parseIgnoreList(rest string) []string {
+	if !strings.HasPrefix(rest, "[") {
+		return []string{""}
+	}
+	end := strings.Index(rest, "]")
+	if end < 0 {
+		return []string{""}
+	}
+	var ids []string
+	for _, part := range strings.Split(rest[1:end], ",") {
+		if p := strings.TrimSpace(part); p != "" {
+			ids = append(ids, p)
+		}
+	}
+	if len(ids) == 0 {
+		return []string{""}
+	}
+	return ids
+}
+
+// Suppressed reports whether a finding of checker at line is suppressed.
+func (s *Suppressions) Suppressed(line int, checker string) bool {
+	if s == nil {
+		return false
+	}
+	for _, id := range s.byLine[line] {
+		if id == "" || id == checker {
+			return true
+		}
+	}
+	return false
+}
+
+// Filter removes suppressed diagnostics, returning the kept slice and the
+// number removed.
+func (s *Suppressions) Filter(diags []Diagnostic) ([]Diagnostic, int) {
+	if s == nil {
+		return diags, 0
+	}
+	kept := diags[:0]
+	for _, d := range diags {
+		if s.Suppressed(d.Line, d.Checker) {
+			continue
+		}
+		kept = append(kept, d)
+	}
+	return kept, len(diags) - len(kept)
+}

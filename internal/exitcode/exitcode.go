@@ -16,6 +16,12 @@ const (
 	Failure = 1
 	// Usage: bad flags or arguments.
 	Usage = 2
+	// FindingsReported: fsamcheck ran cleanly and reported at least one
+	// diagnostic. It deliberately shares the numeric slot with Failure —
+	// both must gate CI, and the convention (clean=0, findings=1, usage=2)
+	// matches grep and the mainstream linters; fsamcheck's stderr
+	// distinguishes the two for humans.
+	FindingsReported = 1
 	// DegradedThreadOblivious: the run completed, but the degradation
 	// ladder fell back to the thread-oblivious flow-sensitive tier.
 	DegradedThreadOblivious = 3

@@ -346,10 +346,14 @@ func (s *Join) String() string { return fmt.Sprintf("join(%s)", s.Handle) }
 
 // Free models free(Ptr): deallocation of heap objects. It does not change
 // points-to information (dangling pointers are out of scope) but is the
-// sink statement of the memory-leak client.
+// sink statement of the memory-leak, use-after-free and double-free clients.
 type Free struct {
 	stmt
 	Ptr *Var
+	// ArgText is the source text of the freed expression (e.g. "p",
+	// "s->buf"), recorded by the builder so diagnostics can name the free
+	// site in user terms instead of SSA temporaries.
+	ArgText string
 }
 
 func (s *Free) String() string { return fmt.Sprintf("free(%s)", s.Ptr) }

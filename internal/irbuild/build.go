@@ -190,6 +190,9 @@ func (b *builder) buildFunc(fd *ast.FuncDecl, pre []ast.Stmt) error {
 	b.fn = b.prog.FuncByName[fd.Name]
 	b.blk = b.fn.NewBlock("entry")
 	b.tmpCount = 0
+	// Parameter spills below are emitted before any statement calls setPos,
+	// so stamp them with the declaration's own line.
+	b.setPos(fd.P)
 	b.pushScope()
 	defer b.popScope()
 
@@ -455,7 +458,7 @@ func (b *builder) lowerStmt(s ast.Stmt) error {
 			return err
 		}
 		b.setPos(s.Pos())
-		b.emit(&ir.Free{Ptr: v})
+		b.emit(&ir.Free{Ptr: v, ArgText: exprText(s.X)})
 		return nil
 
 	case *ast.LockStmt:
@@ -753,6 +756,38 @@ func (b *builder) lowerAddr(e ast.Expr, escaping bool) (*ir.Var, error) {
 		return dst, nil
 	}
 	return nil, fmt.Errorf("%s: expression is not an lvalue (%T)", e.Pos(), e)
+}
+
+// exprText renders e approximately as source text; used for free-site
+// metadata so diagnostics can name the freed expression in user terms.
+// It covers the lvalue-ish shapes free arguments take.
+func exprText(e ast.Expr) string {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.Unary:
+		switch e.Op {
+		case token.STAR:
+			return "*" + exprText(e.X)
+		case token.AMP:
+			return "&" + exprText(e.X)
+		}
+	case *ast.FieldSel:
+		sep := "."
+		if e.Arrow {
+			sep = "->"
+		}
+		return exprText(e.X) + sep + e.Name
+	case *ast.Index:
+		return exprText(e.X) + "[" + exprText(e.I) + "]"
+	case *ast.IntLit:
+		return fmt.Sprintf("%d", e.Value)
+	case *ast.CallExpr:
+		return exprText(e.Fun) + "(...)"
+	case *ast.MallocExpr:
+		return "malloc()"
+	}
+	return "<expr>"
 }
 
 // markEscaped records that obj's address escapes, disabling promotion.

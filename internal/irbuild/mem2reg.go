@@ -123,6 +123,39 @@ func (b *builder) promoteFunc(f *ir.Function) {
 		}
 	}
 
+	// Phis have no source statement of their own; stamp each with the first
+	// positioned statement of its block (falling back to the function's first
+	// positioned statement) so no statement carries Line()==0.
+	fnLine := 0
+	for _, blk := range f.Blocks {
+		for _, s := range blk.Stmts {
+			if l := ir.LineOf(s); l > 0 {
+				fnLine = l
+				break
+			}
+		}
+		if fnLine > 0 {
+			break
+		}
+	}
+	for _, blk := range f.Blocks {
+		blkLine := fnLine
+		for _, s := range blk.Stmts {
+			if _, isPhi := s.(*ir.Phi); isPhi {
+				continue
+			}
+			if l := ir.LineOf(s); l > 0 {
+				blkLine = l
+				break
+			}
+		}
+		for _, s := range blk.Stmts {
+			if phi, ok := s.(*ir.Phi); ok && ir.LineOf(phi) == 0 {
+				ir.SetLine(phi, blkLine)
+			}
+		}
+	}
+
 	// Renaming over the dominator tree.
 	replaced := map[*ir.Var]*ir.Var{} // load-result -> current value
 	resolve := func(v *ir.Var) *ir.Var {

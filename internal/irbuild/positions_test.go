@@ -1,0 +1,110 @@
+package irbuild_test
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/frontend/parser"
+	"repro/internal/ir"
+	"repro/internal/irbuild"
+)
+
+// TestCorpusPositions walks every example program and asserts that lowering
+// stamps a nonzero source line on every statement diagnostics can point at:
+// stores, loads, calls, frees, locks/unlocks, forks and joins. (Phis are
+// checked too — they borrow their block's position.) A Line()==0 here would
+// surface as a "file:0" diagnostic in fsamcheck.
+func TestCorpusPositions(t *testing.T) {
+	files, err := filepath.Glob(filepath.Join("..", "..", "testdata", "*.mc"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) == 0 {
+		t.Fatal("no corpus files found")
+	}
+	for _, path := range files {
+		path := path
+		t.Run(filepath.Base(path), func(t *testing.T) {
+			src, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			file, err := parser.ParseChecked(filepath.Base(path), string(src))
+			if err != nil {
+				t.Fatal(err)
+			}
+			prog, err := irbuild.BuildChecked(file)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, s := range prog.Stmts {
+				var kind string
+				switch s.(type) {
+				case *ir.Store:
+					kind = "store"
+				case *ir.Load:
+					kind = "load"
+				case *ir.Call:
+					kind = "call"
+				case *ir.Free:
+					kind = "free"
+				case *ir.Lock:
+					kind = "lock"
+				case *ir.Unlock:
+					kind = "unlock"
+				case *ir.Fork:
+					kind = "fork"
+				case *ir.Join:
+					kind = "join"
+				case *ir.AddrOf:
+					kind = "addrof"
+				case *ir.Phi:
+					kind = "phi"
+				default:
+					continue
+				}
+				if ir.LineOf(s) == 0 {
+					t.Errorf("%s with zero line in %s: %s",
+						kind, ir.StmtFunc(s), s)
+				}
+			}
+			// Free sites must also carry their argument's source text.
+			for _, s := range prog.Stmts {
+				if fr, ok := s.(*ir.Free); ok && fr.ArgText == "" {
+					t.Errorf("free without ArgText in %s: %s", ir.StmtFunc(fr), fr)
+				}
+			}
+		})
+	}
+}
+
+// TestParamSpillPosition pins the regression where the entry block's
+// parameter spills (emitted before any statement set a position) carried
+// line 0 in the first lowered function.
+func TestParamSpillPosition(t *testing.T) {
+	// p's address is taken, so its entry-block spill store survives mem2reg.
+	src := "void writer(int *p) {\n  int **pp;\n  pp = &p;\n  **pp = 1;\n}\nint main() {\n  int x;\n  writer(&x);\n  return 0;\n}\n"
+	file, err := parser.ParseChecked("param.mc", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := irbuild.BuildChecked(file)
+	if err != nil {
+		t.Fatal(err)
+	}
+	writer := prog.FuncByName["writer"]
+	if writer == nil {
+		t.Fatal("no writer function")
+	}
+	for _, s := range writer.Entry.Stmts {
+		if l := ir.LineOf(s); l == 0 {
+			t.Fatalf("entry statement %s has line 0", s)
+		}
+	}
+	if got := ir.LineOf(writer.Entry.Stmts[0]); got != 1 {
+		t.Fatalf("param spill line = %d, want 1 (declaration line): %s",
+			got, fmt.Sprint(writer.Entry.Stmts[0]))
+	}
+}

@@ -19,6 +19,7 @@ import (
 	"time"
 
 	fsam "repro"
+	"repro/internal/diag"
 	"repro/internal/exitcode"
 	"repro/internal/harness"
 )
@@ -122,6 +123,20 @@ type LeaksResponse struct {
 	Count     int      `json:"count"`
 	Reports   []string `json:"reports,omitempty"`
 	Precision string   `json:"precision"`
+}
+
+// DiagnosticsResponse answers GET /v1/diagnostics: the checker suite's
+// finalized findings over a cached analysis. Checkers unavailable at the
+// result's precision tier appear in Skipped rather than failing the
+// request; Suppressed counts findings removed by inline fsam:ignore
+// comments in the analyzed source.
+type DiagnosticsResponse struct {
+	ID          string            `json:"id"`
+	Count       int               `json:"count"`
+	Diagnostics []diag.Diagnostic `json:"diagnostics"`
+	Skipped     map[string]string `json:"skipped,omitempty"`
+	Suppressed  int               `json:"suppressed,omitempty"`
+	Precision   string            `json:"precision"`
 }
 
 // HealthResponse answers GET /healthz.

@@ -122,6 +122,21 @@ func (c *Client) Races(ctx context.Context, id string) (*server.RacesResponse, e
 	return &resp, nil
 }
 
+// Diagnostics runs the checker suite over a cached analysis. An empty
+// checkers list runs every registered checker; naming a subset filters the
+// (server-memoized) full run, so fingerprints match across selections.
+func (c *Client) Diagnostics(ctx context.Context, id string, checkers []string) (*server.DiagnosticsResponse, error) {
+	q := url.Values{"id": {id}}
+	if len(checkers) > 0 {
+		q.Set("checkers", strings.Join(checkers, ","))
+	}
+	var resp server.DiagnosticsResponse
+	if err := c.get(ctx, "/v1/diagnostics", q, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
 // Leaks queries the leak reports of a cached analysis.
 func (c *Client) Leaks(ctx context.Context, id string) (*server.LeaksResponse, error) {
 	var resp server.LeaksResponse

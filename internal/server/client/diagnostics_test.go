@@ -1,0 +1,159 @@
+package client_test
+
+// End-to-end tests for GET /v1/diagnostics: the checker suite served off
+// the content-addressed cache, subset filtering with stable fingerprints,
+// and the per-checker metrics. They live in the client's test package so
+// they can drive both the server and the typed client without a test-only
+// import cycle.
+
+import (
+	"context"
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/exitcode"
+	"repro/internal/server"
+	"repro/internal/server/client"
+)
+
+// uafSrc frees a shared buffer without joining the reader first: one
+// cross-thread use-after-free plus the race the same overlap implies.
+const uafSrc = `
+int *buf;
+int sink;
+void worker(void *arg) {
+	sink = *buf;
+}
+int main() {
+	thread_t t;
+	buf = malloc(4);
+	t = spawn(worker, NULL);
+	free(buf);
+	join(t);
+	return 0;
+}
+`
+
+// getRaw issues a GET and returns status, headers and body.
+func getRaw(t *testing.T, url string) (int, http.Header, []byte) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("read body: %v", err)
+	}
+	return resp.StatusCode, resp.Header, body
+}
+
+func TestDiagnosticsEndpoint(t *testing.T) {
+	svc := server.New(server.Options{})
+	ts := httptest.NewServer(svc.Handler())
+	defer ts.Close()
+	ctx := context.Background()
+	c := client.New(ts.URL)
+
+	resp, err := c.Analyze(ctx, server.AnalyzeRequest{Name: "uaf.mc", Source: uafSrc})
+	if err != nil {
+		t.Fatalf("analyze: %v", err)
+	}
+	if resp.ExitCode != exitcode.OK {
+		t.Fatalf("analyze exit code %d, want full precision", resp.ExitCode)
+	}
+
+	dr, err := c.Diagnostics(ctx, resp.ID, nil)
+	if err != nil {
+		t.Fatalf("diagnostics: %v", err)
+	}
+	if dr.Count == 0 || len(dr.Diagnostics) != dr.Count {
+		t.Fatalf("count = %d with %d diagnostics", dr.Count, len(dr.Diagnostics))
+	}
+	var sawUAF bool
+	for _, d := range dr.Diagnostics {
+		if d.Checker == "uaf" {
+			sawUAF = true
+		}
+		if d.Fingerprint == "" {
+			t.Fatalf("diagnostic without fingerprint: %+v", d)
+		}
+	}
+	if !sawUAF {
+		t.Fatalf("no uaf finding in %+v", dr.Diagnostics)
+	}
+
+	// The query endpoint answers from the cached analysis: the cache-hit
+	// header is set, and a repeated GET is byte-identical (the suite runs
+	// once per entry; rendering is deterministic).
+	st1, hdr, body1 := getRaw(t, ts.URL+"/v1/diagnostics?id="+resp.ID)
+	if st1 != http.StatusOK {
+		t.Fatalf("GET status %d: %s", st1, body1)
+	}
+	if hdr.Get("X-Fsamd-Cache") != "hit" {
+		t.Fatalf("X-Fsamd-Cache = %q, want hit", hdr.Get("X-Fsamd-Cache"))
+	}
+	st2, _, body2 := getRaw(t, ts.URL+"/v1/diagnostics?id="+resp.ID)
+	if st2 != http.StatusOK || string(body1) != string(body2) {
+		t.Fatalf("repeated GET diverged:\n%s\nvs\n%s", body1, body2)
+	}
+
+	// Subset selection filters the memoized run, so fingerprints match the
+	// full suite's.
+	sub, err := c.Diagnostics(ctx, resp.ID, []string{"uaf"})
+	if err != nil {
+		t.Fatalf("subset diagnostics: %v", err)
+	}
+	fullFPs := map[string]bool{}
+	for _, d := range dr.Diagnostics {
+		if d.Checker == "uaf" {
+			fullFPs[d.Fingerprint] = true
+		}
+	}
+	if len(sub.Diagnostics) != len(fullFPs) {
+		t.Fatalf("subset returned %d uaf diags, full run had %d", len(sub.Diagnostics), len(fullFPs))
+	}
+	for _, d := range sub.Diagnostics {
+		if !fullFPs[d.Fingerprint] {
+			t.Fatalf("subset fingerprint %q not in full run", d.Fingerprint)
+		}
+	}
+
+	// Unknown checker IDs are usage errors, not conflicts.
+	var apiErr *client.APIError
+	if _, err := c.Diagnostics(ctx, resp.ID, []string{"bogus"}); !errors.As(err, &apiErr) ||
+		apiErr.Status != http.StatusBadRequest || apiErr.ExitCode != exitcode.Usage {
+		t.Fatalf("unknown checker: %v", err)
+	}
+
+	// Missing and unknown ids follow the query-endpoint convention.
+	if st, _, _ := getRaw(t, ts.URL+"/v1/diagnostics"); st != http.StatusBadRequest {
+		t.Fatalf("missing id: status %d, want 400", st)
+	}
+	if st, _, _ := getRaw(t, ts.URL+"/v1/diagnostics?id=sha256:unknown"); st != http.StatusNotFound {
+		t.Fatalf("unknown id: status %d, want 404", st)
+	}
+
+	// Metrics: requests counted, findings labeled by checker.
+	text, err := c.Metrics(ctx)
+	if err != nil {
+		t.Fatalf("metrics: %v", err)
+	}
+	if !strings.Contains(text, "fsamd_diagnostics_requests_total") {
+		t.Fatalf("metrics missing diagnostics request counter:\n%s", text)
+	}
+	var sawFindings bool
+	for _, line := range strings.Split(text, "\n") {
+		if strings.HasPrefix(line, `fsamd_diagnostics_findings_total{checker="uaf"}`) {
+			sawFindings = true
+		}
+	}
+	if !sawFindings {
+		t.Fatalf("metrics missing per-checker findings counter:\n%s", text)
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	fsam "repro"
+	"repro/internal/diag"
 )
 
 // latencyBuckets are the request-duration histogram bounds in seconds.
@@ -40,6 +41,12 @@ type metrics struct {
 	// Admission outcomes.
 	shed  map[string]uint64 // reason -> count
 	dedup uint64            // singleflight followers
+
+	// Diagnostics endpoint: requests served and findings returned per
+	// checker (cached suite runs count every time they are served, so the
+	// series tracks what clients saw, not pipeline work).
+	diagRequests uint64
+	diagFindings map[string]uint64
 }
 
 func newMetrics() *metrics {
@@ -50,6 +57,7 @@ func newMetrics() *metrics {
 		phaseSeconds: map[string]float64{},
 		tiers:        map[string]uint64{},
 		shed:         map[string]uint64{},
+		diagFindings: map[string]uint64{},
 	}
 }
 
@@ -99,6 +107,17 @@ func (m *metrics) observeDedup() {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	m.dedup++
+}
+
+// observeDiagnostics records one served diagnostics request and its
+// findings by checker.
+func (m *metrics) observeDiagnostics(diags []diag.Diagnostic) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.diagRequests++
+	for _, d := range diags {
+		m.diagFindings[d.Checker]++
+	}
 }
 
 // write emits the Prometheus text exposition. The gauges that live
@@ -168,6 +187,16 @@ func (m *metrics) write(w io.Writer, cs cacheStats, inflight, queued int64, drai
 	fmt.Fprintf(w, "# TYPE fsamd_shed_total counter\n")
 	for _, reason := range sortedKeys(m.shed) {
 		fmt.Fprintf(w, "fsamd_shed_total{reason=%q} %d\n", reason, m.shed[reason])
+	}
+
+	fmt.Fprintf(w, "# HELP fsamd_diagnostics_requests_total Diagnostics requests served.\n")
+	fmt.Fprintf(w, "# TYPE fsamd_diagnostics_requests_total counter\n")
+	fmt.Fprintf(w, "fsamd_diagnostics_requests_total %d\n", m.diagRequests)
+
+	fmt.Fprintf(w, "# HELP fsamd_diagnostics_findings_total Findings returned by the diagnostics endpoint, by checker.\n")
+	fmt.Fprintf(w, "# TYPE fsamd_diagnostics_findings_total counter\n")
+	for _, checker := range sortedKeys(m.diagFindings) {
+		fmt.Fprintf(w, "fsamd_diagnostics_findings_total{checker=%q} %d\n", checker, m.diagFindings[checker])
 	}
 
 	fmt.Fprintf(w, "# HELP fsamd_dedup_total Analyze requests deduplicated onto an in-flight identical solve.\n")

@@ -10,10 +10,13 @@ import (
 	"net/http"
 	"runtime"
 	"strconv"
+	"strings"
 	"sync/atomic"
 	"time"
 
 	fsam "repro"
+	"repro/internal/checkers"
+	"repro/internal/diag"
 	"repro/internal/exitcode"
 	"repro/internal/harness"
 	"repro/internal/pipeline"
@@ -115,6 +118,7 @@ func New(opt Options) *Server {
 	s.mux.HandleFunc("/v1/pointsto", s.handlePointsTo)
 	s.mux.HandleFunc("/v1/races", s.handleRaces)
 	s.mux.HandleFunc("/v1/leaks", s.handleLeaks)
+	s.mux.HandleFunc("/v1/diagnostics", s.handleDiagnostics)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
 	return s
@@ -460,6 +464,49 @@ func (s *Server) handleLeaks(w http.ResponseWriter, r *http.Request) {
 		resp.Reports = append(resp.Reports, rep.String())
 	}
 	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleDiagnostics implements GET /v1/diagnostics?id=...[&checkers=a,b].
+// The checker suite runs once per cached analysis (memoized on the entry's
+// *fsam.Analysis); repeated requests — and requests selecting different
+// checker subsets — answer from that one run, so fingerprints are stable
+// across queries. An unknown checker ID is a usage error; an analysis the
+// suite cannot run on at all conflicts with the cached result's tier.
+func (s *Server) handleDiagnostics(w http.ResponseWriter, r *http.Request) {
+	ent, ok := s.lookup(w, r)
+	if !ok {
+		return
+	}
+	var ids []string
+	if q := r.URL.Query().Get("checkers"); q != "" {
+		for _, id := range strings.Split(q, ",") {
+			if id = strings.TrimSpace(id); id != "" {
+				ids = append(ids, id)
+			}
+		}
+	}
+	res, err := ent.a.Diagnostics(ids...)
+	if err != nil {
+		if errors.Is(err, checkers.ErrUnknownChecker) {
+			writeError(w, http.StatusBadRequest, exitcode.Usage, "%v", err)
+			return
+		}
+		writeError(w, http.StatusConflict, ent.resp.ExitCode, "%v", err)
+		return
+	}
+	s.met.observeDiagnostics(res.Diags)
+	diags := res.Diags
+	if diags == nil {
+		diags = []diag.Diagnostic{}
+	}
+	writeJSON(w, http.StatusOK, DiagnosticsResponse{
+		ID:          ent.id,
+		Count:       len(res.Diags),
+		Diagnostics: diags,
+		Skipped:     res.Skipped,
+		Suppressed:  res.Suppressed,
+		Precision:   ent.resp.Precision,
+	})
 }
 
 // handleHealthz implements GET /healthz.
