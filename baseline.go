@@ -9,6 +9,7 @@ import (
 	"repro/internal/ir"
 	"repro/internal/nonsparse"
 	"repro/internal/pipeline"
+	"repro/internal/solver"
 )
 
 // Baseline is a completed NONSPARSE run (the paper's comparison analysis).
@@ -25,41 +26,12 @@ type Baseline struct {
 	Err error
 }
 
-// nonSparsePhase runs the iterative whole-program data-flow solve. An
-// expired deadline is a partial result (Result.OOT), not a phase failure —
-// Table 2 reports OOT rows, it doesn't abort them.
-func nonSparsePhase() pipeline.Phase {
-	return pipeline.Phase{
-		Name:     phaseNonSparse,
-		Needs:    []string{slotBase, slotModel},
-		Provides: []string{slotNSResult},
-		Run: func(ctx context.Context, st *pipeline.State) error {
-			base := pipeline.Get[*pipeline.Base](st, slotBase)
-			st.Put(slotNSResult, nonsparse.AnalyzeCtx(ctx, base))
-			return nil
-		},
-		Bytes: func(st *pipeline.State) uint64 {
-			return pipeline.Get[*nonsparse.Result](st, slotNSResult).Bytes()
-		},
-	}
-}
-
-// nonSparsePhases assembles the NONSPARSE DAG; withCompile prepends the
-// compile phase, otherwise the prog slot must be seeded.
-func nonSparsePhases(name, src string, withCompile bool) []pipeline.Phase {
-	var ps []pipeline.Phase
-	if withCompile {
-		ps = append(ps, compilePhase(name, src))
-	}
-	return append(ps, preAnalysisPhase(0), threadModelPhase(), nonSparsePhase())
-}
-
 // AnalyzeSourceNonSparse parses and analyzes src with the NONSPARSE
 // baseline. timeout <= 0 disables the deadline.
 func AnalyzeSourceNonSparse(name, src string, timeout time.Duration) (*Baseline, error) {
 	ctx, cancel := deadlineCtx(timeout)
 	defer cancel()
-	b, err := runNonSparse(ctx, nonSparsePhases(name, src, true), pipeline.NewState())
+	b, err := runNonSparse(ctx, solver.NonSparsePhases(name, src, true), pipeline.NewState())
 	var pe *pipeline.PhaseError
 	if errors.As(err, &pe) && pe.Phase == phaseCompile {
 		return nil, pe.Err // a source error, not an analysis failure
@@ -98,7 +70,7 @@ func AnalyzeProgramNonSparse(prog *ir.Program, timeout time.Duration) *Baseline 
 func AnalyzeProgramNonSparseCtx(ctx context.Context, prog *ir.Program) (*Baseline, error) {
 	st := pipeline.NewState()
 	st.Put(slotProg, prog)
-	return runNonSparse(ctx, nonSparsePhases("", "", false), st)
+	return runNonSparse(ctx, solver.NonSparsePhases("", "", false), st)
 }
 
 // deadlineCtx maps the legacy timeout parameter onto a context.
@@ -111,7 +83,7 @@ func deadlineCtx(timeout time.Duration) (context.Context, context.CancelFunc) {
 
 // runNonSparse schedules the baseline DAG and assembles the facade view.
 func runNonSparse(ctx context.Context, phases []pipeline.Phase, st *pipeline.State) (*Baseline, error) {
-	mgr, err := newManager(Config{}, phases)
+	mgr, err := newManager(Config{}, "nonsparse", phases)
 	if err != nil {
 		return nil, err
 	}

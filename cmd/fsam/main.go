@@ -6,6 +6,8 @@
 //
 //	fsam [flags] prog.mc
 //
+//	-engine NAME       analysis engine: fsam (default), oblivious, cfgfree,
+//	                   andersen, or nonsparse
 //	-baseline          run the NONSPARSE baseline instead of FSAM
 //	-races             report candidate data races (FSAM only)
 //	-globals           print the points-to set of every global at exit
@@ -22,9 +24,10 @@
 //	                   in-process (-query/-races/-stats work; the exit
 //	                   code carries the served result's tier)
 //
-// Exit codes: 0 full-precision result, 1 hard failure (I/O, compile
-// error, pre-analysis deadline), 2 usage, 3 result degraded to
-// thread-oblivious flow-sensitive, 4 result degraded to Andersen-only.
+// Exit codes: 0 result at the requested engine's tier, 1 hard failure
+// (I/O, compile error, pre-analysis deadline), 2 usage, 3 result degraded
+// to thread-oblivious flow-sensitive, 4 result degraded to Andersen-only,
+// 5 result degraded to CFG-free flow-sensitive.
 package main
 
 import (
@@ -46,6 +49,7 @@ import (
 
 func main() {
 	var (
+		engine   = flag.String("engine", fsam.DefaultEngine, "analysis engine ("+strings.Join(fsam.Engines(), ", ")+")")
 		baseline = flag.Bool("baseline", false, "run the NonSparse baseline")
 		races    = flag.Bool("races", false, "report candidate data races")
 		globals  = flag.Bool("globals", false, "print points-to of every global at exit")
@@ -68,6 +72,10 @@ func main() {
 		flag.Usage()
 		os.Exit(exitcode.Usage)
 	}
+	if !fsam.KnownEngine(*engine) {
+		fmt.Fprintf(os.Stderr, "fsam: unknown engine %q (known: %s)\n", *engine, strings.Join(fsam.Engines(), ", "))
+		os.Exit(exitcode.Usage)
+	}
 	srcBytes, err := os.ReadFile(flag.Arg(0))
 	if err != nil {
 		fatal(err)
@@ -82,6 +90,7 @@ func main() {
 		os.Exit(runServed(*srvURL, flag.Arg(0), src, servedOpts{
 			query: *query, races: *races, stats: *stats,
 			cfg: server.ConfigRequest{
+				Engine:         *engine,
 				NoInterleaving: *noIL, NoValueFlow: *noVF, NoLock: *noLK,
 				MemBudgetBytes: *memBud, StepLimit: *stepLim,
 			},
@@ -122,6 +131,7 @@ func main() {
 	// Normalize keeps the CLI on the same canonical configuration the
 	// fsamd cache keys on, so a local run and a served run can't diverge.
 	cfg := fsam.Config{
+		Engine:         *engine,
 		NoInterleaving: *noIL, NoValueFlow: *noVF, NoLock: *noLK,
 		MemBudgetBytes: *memBud, StepLimit: *stepLim,
 	}.Normalize()
@@ -139,7 +149,7 @@ func main() {
 		}
 		fatal(err)
 	}
-	if a.Precision != fsam.PrecisionSparseFS {
+	if a.Stats.Degraded != "" {
 		fmt.Fprintf(os.Stderr, "fsam: precision degraded to %s (%s)\n",
 			a.Precision, a.Stats.Degraded)
 	}
@@ -151,17 +161,18 @@ func main() {
 		if err := a.Graph.WriteDot(os.Stdout); err != nil {
 			fatal(err)
 		}
-		os.Exit(exitcode.ForPrecision(a.Precision))
+		os.Exit(exitcode.ForAnalysis(a))
 	}
 	if *dotICFG {
 		if err := a.Base.G.WriteDot(os.Stdout); err != nil {
 			fatal(err)
 		}
-		os.Exit(exitcode.ForPrecision(a.Precision))
+		os.Exit(exitcode.ForAnalysis(a))
 	}
 
 	if *stats {
 		st := a.Stats
+		fmt.Printf("engine:            %s\n", a.Engine)
 		fmt.Printf("precision:         %s\n", a.Precision)
 		if st.Degraded != "" {
 			fmt.Printf("degraded:          %s\n", st.Degraded)
@@ -176,9 +187,9 @@ func main() {
 		fmt.Printf("memory:            %.2f MB\n", float64(st.Bytes)/1e6)
 		fmt.Printf("interned sets:     %d unique / %d refs (dedup %.2fx)\n",
 			st.UniqueSets, st.SetRefs, st.DedupRatio)
-		fmt.Printf("time: pre=%s threads=%s interleave=%s locks=%s defuse=%s sparse=%s\n",
+		fmt.Printf("time: pre=%s threads=%s interleave=%s locks=%s defuse=%s sparse=%s cfgfree=%s\n",
 			st.Times.PreAnalysis, st.Times.ThreadModel, st.Times.Interleave,
-			st.Times.LockSpans, st.Times.DefUse, st.Times.Sparse)
+			st.Times.LockSpans, st.Times.DefUse, st.Times.Sparse, st.Times.CFGFree)
 	}
 
 	if *query != "" {
@@ -217,7 +228,7 @@ func main() {
 		}
 	}
 
-	os.Exit(exitcode.ForPrecision(a.Precision))
+	os.Exit(exitcode.ForAnalysis(a))
 }
 
 func fatal(err error) {
@@ -260,7 +271,7 @@ func runServed(baseURL, name, src string, opts servedOpts) int {
 		fmt.Fprintln(os.Stderr, "fsam:", err)
 		return exitcode.Failure
 	}
-	if resp.Precision != fsam.PrecisionSparseFS.String() {
+	if resp.Degraded != "" {
 		fmt.Fprintf(os.Stderr, "fsam: precision degraded to %s (%s)\n", resp.Precision, resp.Degraded)
 	}
 
@@ -268,6 +279,7 @@ func runServed(baseURL, name, src string, opts servedOpts) int {
 		fmt.Printf("server:            %s\n", baseURL)
 		fmt.Printf("id:                %s\n", resp.ID)
 		fmt.Printf("cached:            %v (shared %v)\n", resp.Cached, resp.Shared)
+		fmt.Printf("engine:            %s\n", resp.Engine)
 		fmt.Printf("precision:         %s\n", resp.Precision)
 		if resp.Degraded != "" {
 			fmt.Printf("degraded:          %s\n", resp.Degraded)

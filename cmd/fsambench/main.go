@@ -3,10 +3,16 @@
 //
 //	fsambench -table1              benchmark statistics (Table 1)
 //	fsambench -table2              FSAM vs NONSPARSE time/memory (Table 2)
+//	                               plus the per-engine comparison matrix
 //	fsambench -figure12            ablation slowdowns (Figure 12)
 //	fsambench -all                 everything
 //	fsambench -table1 -json        Table 1 rows as JSON (machine-readable)
 //	fsambench -table2 -json        Table 2 rows as JSON (machine-readable)
+//	fsambench -engines -json       engine matrix rows as JSON
+//	fsambench -scales 1,4,16 -json multi-scale seed object (see BENCH_seed.json)
+//	fsambench -perfdiff FILE       re-run the smallest scale recorded in a
+//	                               -scales seed file and fail (exit 1) on a
+//	                               >25% total wall-time regression
 //	fsambench -server URL          drive a running fsamd instead: N requests
 //	                               per benchmark (-requests), reporting
 //	                               client-observed latency percentiles and
@@ -14,14 +20,16 @@
 //
 // Flags -scale and -timeout control workload size and the per-analysis
 // budget (the stand-in for the paper's two-hour limit); the budget applies
-// to FSAM and NONSPARSE alike, so either analysis can appear as an OOT
-// row. -membudget and -steplimit impose the degradation ladder's resource
-// budgets on the FSAM runs; a tripped row reports its tier in the
+// to every engine alike, so any analysis can appear as an OOT row.
+// -engine selects the backend of the Table 2 FSAM column (default fsam);
+// -membudget and -steplimit impose the degradation ladder's resource
+// budgets on those runs; a tripped row reports its tier in the
 // fsam_precision / fsam_degraded columns rather than failing.
 //
-// Exit codes: 0 every FSAM row at full precision, 1 a benchmark failed to
-// compile or analyze, 2 usage, 3/4 at least one FSAM row degraded (3 if
-// the lowest tier reached was thread-oblivious, 4 if Andersen-only).
+// Exit codes: 0 every row at its requested engine's tier, 1 a benchmark
+// failed to compile or analyze (or the perf diff regressed), 2 usage,
+// 3/4/5 at least one row degraded (the worst tier reached:
+// thread-oblivious / Andersen-only / CFG-free).
 package main
 
 import (
@@ -30,6 +38,9 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
+	"strconv"
+	"strings"
 	"time"
 
 	fsam "repro"
@@ -51,37 +62,56 @@ func main() {
 
 func run() (int, error) {
 	var (
-		table1   = flag.Bool("table1", false, "print Table 1 (program statistics)")
-		table2   = flag.Bool("table2", false, "print Table 2 (time and memory, FSAM vs NonSparse)")
-		figure12 = flag.Bool("figure12", false, "print Figure 12 (phase-ablation slowdowns)")
-		all      = flag.Bool("all", false, "print every artifact")
-		scale    = flag.Int("scale", harness.DefaultScale, "workload scale factor")
-		timeout  = flag.Duration("timeout", harness.DefaultTimeout, "per-analysis deadline (stand-in for the paper's 2h)")
-		memBud   = flag.Uint64("membudget", 0, "soft heap budget in bytes for each FSAM run, 0 = unlimited")
-		stepLim  = flag.Int64("steplimit", 0, "per-phase worklist-pop limit for each FSAM run, 0 = unlimited")
-		asJSON   = flag.Bool("json", false, "emit the selected tables as JSON instead of text (alone, implies -table2)")
-		srvURL   = flag.String("server", "", "drive a running fsamd at this base URL instead of analyzing in-process")
-		requests = flag.Int("requests", 5, "requests per benchmark in -server mode")
+		table1    = flag.Bool("table1", false, "print Table 1 (program statistics)")
+		table2    = flag.Bool("table2", false, "print Table 2 (time and memory, FSAM vs NonSparse) and the engine matrix")
+		engines   = flag.Bool("engines", false, "print the per-engine comparison matrix only")
+		figure12  = flag.Bool("figure12", false, "print Figure 12 (phase-ablation slowdowns)")
+		all       = flag.Bool("all", false, "print every artifact")
+		engine    = flag.String("engine", fsam.DefaultEngine, "engine of the Table 2 FSAM column ("+strings.Join(fsam.Engines(), ", ")+")")
+		scale     = flag.Int("scale", harness.DefaultScale, "workload scale factor")
+		scalesCSV = flag.String("scales", "", "comma-separated scales: run Table 2 at each (with -json, emit the seed-file object)")
+		perfdiff  = flag.String("perfdiff", "", "seed JSON file to diff wall times against (exit 1 on >25% total regression)")
+		timeout   = flag.Duration("timeout", harness.DefaultTimeout, "per-analysis deadline (stand-in for the paper's 2h)")
+		memBud    = flag.Uint64("membudget", 0, "soft heap budget in bytes for each FSAM run, 0 = unlimited")
+		stepLim   = flag.Int64("steplimit", 0, "per-phase worklist-pop limit for each FSAM run, 0 = unlimited")
+		asJSON    = flag.Bool("json", false, "emit the selected tables as JSON instead of text (alone, implies -table2)")
+		srvURL    = flag.String("server", "", "drive a running fsamd at this base URL instead of analyzing in-process")
+		requests  = flag.Int("requests", 5, "requests per benchmark in -server mode")
 	)
 	flag.Parse()
 
-	if *srvURL != "" {
-		return runServer(*srvURL, *requests, *scale, *timeout, *memBud, *stepLim)
+	if !fsam.KnownEngine(*engine) {
+		fmt.Fprintf(os.Stderr, "fsambench: unknown engine %q (known: %s)\n", *engine, strings.Join(fsam.Engines(), ", "))
+		os.Exit(exitcode.Usage)
 	}
-	if *asJSON && !*table1 && !*figure12 && !*all {
+	if *srvURL != "" {
+		return runServer(*srvURL, *requests, *scale, *timeout, *engine, *memBud, *stepLim)
+	}
+	cfg := fsam.Config{Engine: *engine, MemBudgetBytes: *memBud, StepLimit: *stepLim}
+	if *perfdiff != "" {
+		return runPerfDiff(*perfdiff, *timeout, cfg)
+	}
+	if *scalesCSV != "" {
+		scales, err := parseScales(*scalesCSV)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "fsambench:", err)
+			os.Exit(exitcode.Usage)
+		}
+		return runScales(scales, *timeout, cfg, *asJSON)
+	}
+	if *asJSON && !*table1 && !*figure12 && !*all && !*engines {
 		*table2 = true
 	}
-	if !*table1 && !*table2 && !*figure12 && !*all {
+	if !*table1 && !*table2 && !*figure12 && !*all && !*engines {
 		flag.Usage()
 		os.Exit(exitcode.Usage)
 	}
 	if *all {
 		*table1, *table2, *figure12 = true, true, true
 	}
-	cfg := fsam.Config{MemBudgetBytes: *memBud, StepLimit: *stepLim}
 
 	if *asJSON {
-		return emitJSON(*table1, *table2, *scale, *timeout, cfg)
+		return emitJSON(*table1, *table2, *engines, *scale, *timeout, cfg)
 	}
 
 	code := exitcode.OK
@@ -97,8 +127,16 @@ func run() (int, error) {
 		}
 		code = worstTier(rows)
 		harness.PrintTable2(os.Stdout, rows)
-		fmt.Printf("(total harness time %.1fs, scale %d, timeout %s)\n\n",
-			time.Since(start).Seconds(), *scale, *timeout)
+		fmt.Printf("(total harness time %.1fs, scale %d, timeout %s, engine %s)\n\n",
+			time.Since(start).Seconds(), *scale, *timeout, *engine)
+	}
+	if *table2 || *engines {
+		mrows, err := harness.RunEngineMatrix(*scale, *timeout, nil)
+		if err != nil {
+			return exitcode.Failure, err
+		}
+		harness.PrintEngineMatrix(os.Stdout, mrows)
+		fmt.Println()
 	}
 	if *figure12 {
 		rows, err := harness.RunFigure12(*scale)
@@ -115,15 +153,15 @@ func run() (int, error) {
 // queueing, caching, and transport included) alongside how many were served
 // from the daemon's cache. The exit code folds the worst served tier, same
 // as the in-process harness.
-func runServer(baseURL string, requests, scale int, timeout time.Duration, memBud uint64, stepLim int64) (int, error) {
+func runServer(baseURL string, requests, scale int, timeout time.Duration, engine string, memBud uint64, stepLim int64) (int, error) {
 	if requests < 1 {
 		requests = 1
 	}
 	ctx := context.Background()
 	c := client.New(baseURL)
-	cfg := server.ConfigRequest{MemBudgetBytes: memBud, StepLimit: stepLim}
+	cfg := server.ConfigRequest{Engine: engine, MemBudgetBytes: memBud, StepLimit: stepLim}
 
-	fmt.Printf("fsamd at %s: %d request(s) per benchmark, scale %d\n\n", baseURL, requests, scale)
+	fmt.Printf("fsamd at %s: %d request(s) per benchmark, scale %d, engine %s\n\n", baseURL, requests, scale, engine)
 	fmt.Printf("%-14s %8s %6s %6s  %10s %10s %10s  %s\n",
 		"benchmark", "requests", "hits", "dedup", "p50", "p90", "p99", "precision")
 	code := exitcode.OK
@@ -159,45 +197,54 @@ func runServer(baseURL string, requests, scale int, timeout time.Duration, memBu
 	return code, nil
 }
 
-// worstTier folds the FSAM precision column into the exit-code convention.
+// worstTier folds degraded rows into the exit-code convention. A row that
+// completed at its requested engine's tier (FSAMDegraded empty) is OK even
+// when that tier is below sparse FS — selecting `-engine andersen` and
+// getting Andersen's result is success.
 func worstTier(rows []harness.Table2Row) int {
 	code := exitcode.OK
 	for _, r := range rows {
-		switch r.FSAMPrecision {
-		case fsam.PrecisionThreadObliviousFS.String():
-			code = exitcode.Worst(code, exitcode.DegradedThreadOblivious)
-		case fsam.PrecisionAndersenOnly.String():
-			code = exitcode.Worst(code, exitcode.DegradedAndersen)
+		if r.FSAMDegraded == "" {
+			continue
+		}
+		if p, ok := fsam.ParsePrecision(r.FSAMPrecision); ok {
+			code = exitcode.Worst(code, exitcode.ForPrecision(p))
 		}
 	}
 	return code
 }
 
 // emitJSON writes the selected tables as JSON. A single table keeps the
-// historical bare-array schema; both tables nest under "table1"/"table2".
-func emitJSON(table1, table2 bool, scale int, timeout time.Duration, cfg fsam.Config) (int, error) {
-	var payload any
+// historical bare-array schema; multiple tables nest under
+// "table1"/"table2"/"engines".
+func emitJSON(table1, table2, engines bool, scale int, timeout time.Duration, cfg fsam.Config) (int, error) {
 	code := exitcode.OK
-	switch {
-	case table1 && table2:
+	parts := map[string]any{}
+	var selected []string
+	if table1 {
+		parts["table1"] = harness.RunTable1(scale)
+		selected = append(selected, "table1")
+	}
+	if table2 {
 		t2, err := harness.RunTable2(scale, timeout, cfg)
 		if err != nil {
 			return exitcode.Failure, err
 		}
 		code = worstTier(t2)
-		payload = map[string]any{
-			"table1": harness.RunTable1(scale),
-			"table2": t2,
-		}
-	case table1:
-		payload = harness.RunTable1(scale)
-	default:
-		t2, err := harness.RunTable2(scale, timeout, cfg)
+		parts["table2"] = t2
+		selected = append(selected, "table2")
+	}
+	if engines {
+		m, err := harness.RunEngineMatrix(scale, timeout, nil)
 		if err != nil {
 			return exitcode.Failure, err
 		}
-		code = worstTier(t2)
-		payload = t2
+		parts["engines"] = m
+		selected = append(selected, "engines")
+	}
+	var payload any = parts
+	if len(selected) == 1 {
+		payload = parts[selected[0]]
 	}
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")
@@ -205,4 +252,128 @@ func emitJSON(table1, table2 bool, scale int, timeout time.Duration, cfg fsam.Co
 		return exitcode.Failure, err
 	}
 	return code, nil
+}
+
+// seedFile is the schema of `fsambench -scales ... -json`, the committed
+// BENCH_seed.json: Table 2 rows per scale plus the engine matrix at the
+// smallest scale. Scales are kept as strings in the map (JSON object keys).
+type seedFile struct {
+	Scales  []int                          `json:"scales"`
+	Table2  map[string][]harness.Table2Row `json:"table2"`
+	Engines []harness.EngineRow            `json:"engines"`
+}
+
+func parseScales(csv string) ([]int, error) {
+	var scales []int
+	for _, f := range strings.Split(csv, ",") {
+		f = strings.TrimSpace(f)
+		if f == "" {
+			continue
+		}
+		n, err := strconv.Atoi(f)
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("bad -scales entry %q (want positive integers)", f)
+		}
+		scales = append(scales, n)
+	}
+	if len(scales) == 0 {
+		return nil, fmt.Errorf("-scales is empty")
+	}
+	sort.Ints(scales)
+	return scales, nil
+}
+
+// runScales measures Table 2 at each scale (plus the engine matrix at the
+// smallest), emitting the seed object with -json or per-scale text tables
+// without.
+func runScales(scales []int, timeout time.Duration, cfg fsam.Config, asJSON bool) (int, error) {
+	seed := seedFile{Scales: scales, Table2: map[string][]harness.Table2Row{}}
+	code := exitcode.OK
+	for _, sc := range scales {
+		rows, err := harness.RunTable2(sc, timeout, cfg)
+		if err != nil {
+			return exitcode.Failure, err
+		}
+		code = exitcode.Worst(code, worstTier(rows))
+		seed.Table2[strconv.Itoa(sc)] = rows
+		if !asJSON {
+			fmt.Printf("== scale %d ==\n", sc)
+			harness.PrintTable2(os.Stdout, rows)
+			fmt.Println()
+		}
+	}
+	m, err := harness.RunEngineMatrix(scales[0], timeout, nil)
+	if err != nil {
+		return exitcode.Failure, err
+	}
+	seed.Engines = m
+	if !asJSON {
+		fmt.Printf("== engine matrix, scale %d ==\n", scales[0])
+		harness.PrintEngineMatrix(os.Stdout, m)
+		return code, nil
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(seed); err != nil {
+		return exitcode.Failure, err
+	}
+	return code, nil
+}
+
+// perfDiffThreshold is the tolerated total wall-time growth over the seed.
+const perfDiffThreshold = 1.25
+
+// runPerfDiff re-runs Table 2 at the smallest scale recorded in the seed
+// file and compares total FSAM wall time. Per-benchmark times at small
+// scales are milliseconds-noisy, so the gate is on the suite total; the
+// per-benchmark deltas are printed for diagnosis. Exits 1 when the total
+// regresses by more than 25%.
+func runPerfDiff(path string, timeout time.Duration, cfg fsam.Config) (int, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return exitcode.Failure, err
+	}
+	var seed seedFile
+	if err := json.Unmarshal(data, &seed); err != nil {
+		return exitcode.Failure, fmt.Errorf("%s: %w", path, err)
+	}
+	if len(seed.Scales) == 0 {
+		return exitcode.Failure, fmt.Errorf("%s: no scales recorded", path)
+	}
+	sc := seed.Scales[0]
+	base := seed.Table2[strconv.Itoa(sc)]
+	if len(base) == 0 {
+		return exitcode.Failure, fmt.Errorf("%s: no table2 rows at scale %d", path, sc)
+	}
+	rows, err := harness.RunTable2(sc, timeout, cfg)
+	if err != nil {
+		return exitcode.Failure, err
+	}
+	baseBy := map[string]time.Duration{}
+	var baseTotal time.Duration
+	for _, r := range base {
+		baseBy[r.Name] = r.FSAMTime
+		baseTotal += r.FSAMTime
+	}
+	var nowTotal time.Duration
+	fmt.Printf("perf diff vs %s (scale %d, engine %s)\n", path, sc, cfg.Normalize().Engine)
+	fmt.Printf("%-14s %12s %12s %8s\n", "benchmark", "seed(s)", "now(s)", "ratio")
+	for _, r := range rows {
+		nowTotal += r.FSAMTime
+		b, ok := baseBy[r.Name]
+		if !ok || b <= 0 {
+			fmt.Printf("%-14s %12s %12.3f %8s\n", r.Name, "-", r.FSAMTime.Seconds(), "new")
+			continue
+		}
+		fmt.Printf("%-14s %12.3f %12.3f %7.2fx\n",
+			r.Name, b.Seconds(), r.FSAMTime.Seconds(), float64(r.FSAMTime)/float64(b))
+	}
+	ratio := float64(nowTotal) / float64(baseTotal)
+	fmt.Printf("%-14s %12.3f %12.3f %7.2fx (threshold %.2fx)\n",
+		"TOTAL", baseTotal.Seconds(), nowTotal.Seconds(), ratio, perfDiffThreshold)
+	if ratio > perfDiffThreshold {
+		return exitcode.Failure, fmt.Errorf("total wall time regressed %.2fx over seed (threshold %.2fx)", ratio, perfDiffThreshold)
+	}
+	fmt.Println("perf diff ok")
+	return exitcode.OK, nil
 }

@@ -8,6 +8,8 @@
 //
 //	fsamcheck [flags] prog.mc [prog2.mc ...]
 //
+//	-engine NAME       analysis engine (default fsam; precision-gated
+//	                   checkers are skipped on coarser engines)
 //	-checkers a,b      run only the named checkers (default: all; see
 //	                   -list for IDs)
 //	-format FMT        output format: text (default), json, or sarif
@@ -57,6 +59,7 @@ func main() {
 
 // options is the parsed flag set; factored out so tests can drive run().
 type options struct {
+	engine     string
 	checkerIDs []string
 	format     string
 	baseline   string
@@ -72,6 +75,7 @@ func run(argv []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("fsamcheck", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
+		engine       = fs.String("engine", fsam.DefaultEngine, "analysis engine ("+strings.Join(fsam.Engines(), ", ")+")")
 		checkersFlag = fs.String("checkers", "", "comma-separated checker IDs to run (default: all)")
 		format       = fs.String("format", "text", "output format: text, json, or sarif")
 		baseMode     = fs.String("baseline", "", `baseline mode: "write" or "check"`)
@@ -92,9 +96,15 @@ func run(argv []string, stdout, stderr io.Writer) int {
 		return exitcode.OK
 	}
 	opt := options{
+		engine: *engine,
 		format: *format, baseline: *baseMode, baseFile: *baseFile,
 		timeout: *timeout, memBudget: *memBud, stepLimit: *stepLim,
 		serverURL: *srvURL, files: fs.Args(),
+	}
+	if !fsam.KnownEngine(opt.engine) {
+		fmt.Fprintf(stderr, "fsamcheck: unknown engine %q (known: %s)\n",
+			opt.engine, strings.Join(fsam.Engines(), ", "))
+		return exitcode.Usage
 	}
 	if *checkersFlag != "" {
 		for _, id := range strings.Split(*checkersFlag, ",") {
@@ -243,7 +253,7 @@ func analyzeOne(opt options, path, src string, stderr io.Writer) (*fsam.Diagnost
 	if opt.serverURL != "" {
 		return analyzeServed(ctx, opt, path, src, stderr)
 	}
-	cfg := fsam.Config{MemBudgetBytes: opt.memBudget, StepLimit: opt.stepLimit}.Normalize()
+	cfg := fsam.Config{Engine: opt.engine, MemBudgetBytes: opt.memBudget, StepLimit: opt.stepLimit}.Normalize()
 	a, err := fsam.AnalyzeSourceCtx(ctx, path, src, cfg)
 	if err != nil {
 		if pipeline.ErrCancelled(err) {
@@ -253,7 +263,7 @@ func analyzeOne(opt options, path, src string, stderr io.Writer) (*fsam.Diagnost
 		fmt.Fprintln(stderr, "fsamcheck:", err)
 		return nil, exitcode.Failure
 	}
-	if a.Precision != fsam.PrecisionSparseFS {
+	if a.Stats.Degraded != "" {
 		fmt.Fprintf(stderr, "fsamcheck: %s: precision degraded to %s (%s)\n",
 			path, a.Precision, a.Stats.Degraded)
 	}
@@ -275,7 +285,7 @@ func analyzeServed(ctx context.Context, opt options, path, src string, stderr io
 	areq := server.AnalyzeRequest{
 		Name:   path,
 		Source: src,
-		Config: server.ConfigRequest{MemBudgetBytes: opt.memBudget, StepLimit: opt.stepLimit},
+		Config: server.ConfigRequest{Engine: opt.engine, MemBudgetBytes: opt.memBudget, StepLimit: opt.stepLimit},
 	}
 	if opt.timeout > 0 {
 		areq.DeadlineMS = opt.timeout.Milliseconds()
@@ -290,7 +300,7 @@ func analyzeServed(ctx context.Context, opt options, path, src string, stderr io
 		fmt.Fprintln(stderr, "fsamcheck:", err)
 		return nil, exitcode.Failure
 	}
-	if resp.Precision != fsam.PrecisionSparseFS.String() {
+	if resp.Degraded != "" {
 		fmt.Fprintf(stderr, "fsamcheck: %s: precision degraded to %s (%s)\n",
 			path, resp.Precision, resp.Degraded)
 	}

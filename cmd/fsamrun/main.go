@@ -5,18 +5,23 @@
 //
 // Usage:
 //
-//	fsamrun [-schedules N] [-fuel N] [-membudget N] [-verbose] prog.mc
+//	fsamrun [-engine NAME] [-schedules N] [-fuel N] [-membudget N] [-verbose] prog.mc
 //
-// Exit codes: 0 all observations covered at full precision, 1 hard
-// failure or a coverage violation, 2 usage, 3/4 the analysis degraded
-// (thread-oblivious / Andersen-only) so the flow-sensitive cross-check
-// could not run.
+// Every registered engine is sound, so the cross-check applies to all of
+// them: a load observation outside the selected engine's points-to set is
+// a soundness violation regardless of tier.
+//
+// Exit codes: 0 all observations covered at the requested engine's tier,
+// 1 hard failure or a coverage violation, 2 usage, 3/4/5 the analysis
+// degraded (thread-oblivious / Andersen-only / CFG-free) so the
+// cross-check ran below the requested tier.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	fsam "repro"
 	"repro/internal/exitcode"
@@ -26,6 +31,7 @@ import (
 
 func main() {
 	var (
+		engine    = flag.String("engine", fsam.DefaultEngine, "analysis engine ("+strings.Join(fsam.Engines(), ", ")+")")
 		schedules = flag.Int("schedules", 16, "number of seeded schedules to run")
 		fuel      = flag.Int("fuel", 0, "statement budget per run (0 = default)")
 		verbose   = flag.Bool("verbose", false, "print every load observation")
@@ -36,6 +42,10 @@ func main() {
 		fmt.Fprintln(os.Stderr, "usage: fsamrun [flags] prog.mc")
 		os.Exit(exitcode.Usage)
 	}
+	if !fsam.KnownEngine(*engine) {
+		fmt.Fprintf(os.Stderr, "fsamrun: unknown engine %q (known: %s)\n", *engine, strings.Join(fsam.Engines(), ", "))
+		os.Exit(exitcode.Usage)
+	}
 	srcBytes, err := os.ReadFile(flag.Arg(0))
 	if err != nil {
 		fatal(err)
@@ -43,18 +53,14 @@ func main() {
 
 	// Normalize keeps the CLI on the same canonical configuration the
 	// fsamd cache keys on, so a local run and a served run can't diverge.
-	a, err := fsam.AnalyzeSource(flag.Arg(0), string(srcBytes), fsam.Config{MemBudgetBytes: *memBud}.Normalize())
+	a, err := fsam.AnalyzeSource(flag.Arg(0), string(srcBytes),
+		fsam.Config{Engine: *engine, MemBudgetBytes: *memBud}.Normalize())
 	if err != nil {
 		fatal(err)
 	}
-	if a.Precision != fsam.PrecisionSparseFS {
-		// The cross-check compares concrete loads against the full
-		// thread-aware result; a degraded tier would report spurious
-		// violations (thread-oblivious) or has no per-statement sets at
-		// all (Andersen-only).
-		fmt.Fprintf(os.Stderr, "fsamrun: analysis degraded to %s (%s); skipping cross-check\n",
+	if a.Stats.Degraded != "" {
+		fmt.Fprintf(os.Stderr, "fsamrun: analysis degraded to %s (%s)\n",
 			a.Precision, a.Stats.Degraded)
-		os.Exit(exitcode.ForPrecision(a.Precision))
 	}
 
 	completed, deadlocked, aborted, violations, observations := 0, 0, 0, 0, 0
@@ -73,7 +79,7 @@ func main() {
 			if obs.Value.Obj == nil {
 				continue
 			}
-			pt := a.Result.PointsToVar(obs.Load.Dst)
+			pt := a.PointsToVar(obs.Load.Dst)
 			ok := pt.Has(uint32(obs.Value.Obj.ID))
 			if *verbose {
 				mark := "ok"
@@ -98,7 +104,8 @@ func main() {
 	if violations > 0 {
 		os.Exit(exitcode.Failure)
 	}
-	fmt.Println("all concrete observations covered by the FSAM points-to results")
+	fmt.Printf("all concrete observations covered by the %s points-to results\n", a.Engine)
+	os.Exit(exitcode.ForAnalysis(a))
 }
 
 func fatal(err error) {

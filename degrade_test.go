@@ -29,12 +29,17 @@ int main() {
 }
 `
 
-// wrapSparse installs a test wrapper around the sparse phase only (both
-// the tier-1 and the fallback tier-2 instance) and removes it on cleanup.
-func wrapSparse(t *testing.T, run func(orig pipeline.Phase, ctx context.Context, st *pipeline.State) error) {
+// wrapPhases installs a test wrapper around the named phases (every
+// instance the ladder schedules, including fallback rungs) and removes it
+// on cleanup.
+func wrapPhases(t *testing.T, names []string, run func(orig pipeline.Phase, ctx context.Context, st *pipeline.State) error) {
 	t.Helper()
+	want := map[string]bool{}
+	for _, n := range names {
+		want[n] = true
+	}
 	fsam.SetTestPhaseWrap(func(p pipeline.Phase) pipeline.Phase {
-		if p.Name != fsam.PhaseSparse {
+		if !want[p.Name] {
 			return p
 		}
 		orig := p
@@ -44,6 +49,13 @@ func wrapSparse(t *testing.T, run func(orig pipeline.Phase, ctx context.Context,
 		return p
 	})
 	t.Cleanup(func() { fsam.SetTestPhaseWrap(nil) })
+}
+
+// wrapSparse wraps the sparse phase only (the tier-1 instance and the
+// thread-oblivious fallback rung's instance).
+func wrapSparse(t *testing.T, run func(orig pipeline.Phase, ctx context.Context, st *pipeline.State) error) {
+	t.Helper()
+	wrapPhases(t, []string{fsam.PhaseSparse}, run)
 }
 
 // checkSubsetOfAndersen: whatever tier the ladder landed on, points-to
@@ -102,11 +114,10 @@ func TestSparsePanicDegradesToThreadOblivious(t *testing.T) {
 	}
 }
 
-// TestPersistentSparseFailureDegradesToAndersen: when even the fallback
-// solve fails, queries answer from the pre-analysis — with the full
-// failure history in Stats.Degraded — and the precision-gated clients
-// refuse cleanly instead of crashing.
-func TestPersistentSparseFailureDegradesToAndersen(t *testing.T) {
+// TestPersistentSparseFailureDegradesToCFGFree: when the thread-oblivious
+// fallback's sparse solve fails too, the ladder lands on the CFG-free
+// rung, which shares no sparse machinery with the failed tiers.
+func TestPersistentSparseFailureDegradesToCFGFree(t *testing.T) {
 	for _, seq := range []bool{false, true} {
 		wrapSparse(t, func(orig pipeline.Phase, ctx context.Context, st *pipeline.State) error {
 			panic("injected persistent fault")
@@ -115,12 +126,50 @@ func TestPersistentSparseFailureDegradesToAndersen(t *testing.T) {
 		if err != nil {
 			t.Fatalf("Sequential=%v: degraded run errored: %v", seq, err)
 		}
-		if a.Precision != fsam.PrecisionAndersenOnly {
-			t.Fatalf("Sequential=%v: precision = %s, want %s", seq, a.Precision, fsam.PrecisionAndersenOnly)
+		if a.Precision != fsam.PrecisionCFGFreeFS {
+			t.Fatalf("Sequential=%v: precision = %s, want %s (degraded: %q)",
+				seq, a.Precision, fsam.PrecisionCFGFreeFS, a.Stats.Degraded)
+		}
+		if a.Engine != "cfgfree" || a.CFGFree == nil {
+			t.Fatalf("Sequential=%v: engine = %q, CFGFree = %v, want landed cfgfree rung", seq, a.Engine, a.CFGFree)
 		}
 		if !strings.Contains(a.Stats.Degraded, "panicked") ||
-			!strings.Contains(a.Stats.Degraded, "thread-oblivious fallback") {
+			!strings.Contains(a.Stats.Degraded, "oblivious fallback") {
 			t.Errorf("Degraded = %q, want original fault and fallback failure", a.Stats.Degraded)
+		}
+		if _, err := a.Races(); err == nil || !strings.Contains(err.Error(), "cfgfree-fs") {
+			t.Errorf("Races on degraded tier: err = %v, want precision-gated refusal", err)
+		}
+		if reports := a.Leaks(); reports != nil {
+			t.Errorf("Leaks on cfgfree tier = %v, want nil", reports)
+		}
+		checkSubsetOfAndersen(t, a, "p", "q", "r", "c")
+		fsam.SetTestPhaseWrap(nil)
+	}
+}
+
+// TestPersistentFailureDegradesToAndersen: when every phase-running rung
+// fails — sparse solves and the CFG-free solve alike — queries answer from
+// the pre-analysis, with the full failure history in Stats.Degraded, and
+// the precision-gated clients refuse cleanly instead of crashing.
+func TestPersistentFailureDegradesToAndersen(t *testing.T) {
+	for _, seq := range []bool{false, true} {
+		wrapPhases(t, []string{fsam.PhaseSparse, fsam.PhaseCFGFree},
+			func(orig pipeline.Phase, ctx context.Context, st *pipeline.State) error {
+				panic("injected persistent fault")
+			})
+		a, err := fsam.AnalyzeSource("test.mc", ladderSrc, fsam.Config{Sequential: seq})
+		if err != nil {
+			t.Fatalf("Sequential=%v: degraded run errored: %v", seq, err)
+		}
+		if a.Precision != fsam.PrecisionAndersenOnly {
+			t.Fatalf("Sequential=%v: precision = %s, want %s (degraded: %q)",
+				seq, a.Precision, fsam.PrecisionAndersenOnly, a.Stats.Degraded)
+		}
+		if !strings.Contains(a.Stats.Degraded, "panicked") ||
+			!strings.Contains(a.Stats.Degraded, "oblivious fallback") ||
+			!strings.Contains(a.Stats.Degraded, "cfgfree fallback") {
+			t.Errorf("Degraded = %q, want original fault and both fallback failures", a.Stats.Degraded)
 		}
 		// Andersen answers are the Andersen sets exactly.
 		pt, err := a.PointsToGlobal("c")

@@ -10,7 +10,8 @@ func SetTestPhaseWrap(f func(pipeline.Phase) pipeline.Phase) { testPhaseWrap = f
 
 // Phase names re-exported for the fault-injection tests.
 const (
-	PhaseSparse = phaseSparse
-	PhaseDefUse = phaseDefUse
-	PhaseIL     = phaseIL
+	PhaseSparse  = phaseSparse
+	PhaseDefUse  = phaseDefUse
+	PhaseIL      = phaseIL
+	PhaseCFGFree = phaseCFGFree
 )

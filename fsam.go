@@ -1,9 +1,10 @@
 // Package fsam is the public API of this repository: a reproduction of
 // FSAM, the sparse flow-sensitive pointer analysis for multithreaded C
-// programs of Sui, Di and Xue (CGO 2016), together with the NonSparse
-// baseline (an RR-style iterative data-flow analysis over parallel regions
-// discovered by a PCG-style procedure-level MHP analysis) the paper
-// compares against.
+// programs of Sui, Di and Xue (CGO 2016), together with the other
+// registered analysis engines it is compared against — the NonSparse
+// baseline (an RR-style iterative data-flow analysis), the CFG-free
+// flow-sensitive analysis (arXiv:2508.01974), and the Andersen
+// pre-analysis exposed as an engine of its own.
 //
 // Programs are written in MiniC, a C subset with Pthreads-like primitives
 // (spawn/join/lock/unlock); see the examples directory for the dialect. A
@@ -13,8 +14,10 @@
 //	if err != nil { ... }
 //	pts, _ := res.PointsToGlobal("c")   // e.g. ["y", "z"]
 //
-// The Config ablation switches correspond to the paper's Figure 12
-// configurations (No-Interleaving, No-Value-Flow, No-Lock).
+// Config.Engine selects the analysis backend ("fsam" by default; see
+// Engines for the registry). The Config ablation switches correspond to
+// the paper's Figure 12 configurations (No-Interleaving, No-Value-Flow,
+// No-Lock).
 package fsam
 
 import (
@@ -26,7 +29,7 @@ import (
 	"sync"
 	"time"
 
-	"repro/internal/callgraph"
+	"repro/internal/cfgfree"
 	"repro/internal/checkers"
 	"repro/internal/core"
 	"repro/internal/deadlock"
@@ -36,114 +39,55 @@ import (
 	"repro/internal/leak"
 	"repro/internal/locks"
 	"repro/internal/mhp"
+	"repro/internal/nonsparse"
 	"repro/internal/pcg"
 	"repro/internal/pipeline"
 	"repro/internal/pts"
 	"repro/internal/race"
+	"repro/internal/solver"
 	"repro/internal/vfg"
 )
 
-// Config selects analysis variants.
-type Config struct {
-	// NoInterleaving replaces the flow- and context-sensitive interleaving
-	// analysis with the coarse procedure-level PCG MHP (Figure 12).
-	NoInterleaving bool
-	// NoValueFlow disables the aliasing premise of [THREAD-VF] (Figure 12).
-	NoValueFlow bool
-	// NoLock disables non-interference filtering (Figure 12).
-	NoLock bool
-	// CtxDepth bounds call-string contexts (<=0 uses the default).
-	CtxDepth int
-	// Sequential forces the pass manager to run phases one at a time in
-	// topological order instead of overlapping independent phases
-	// (interleaving ∥ locks). Results are identical either way; the switch
-	// exists for determinism tests and scheduling diagnostics.
-	Sequential bool
-	// MemBudgetBytes is a soft budget on the live process heap, polled by
-	// every post-pre-analysis fixpoint loop (the pre-analysis is exempt:
-	// it is the degradation ladder's safety net). A trip degrades the
-	// result down the ladder instead of failing; 0 means unlimited.
-	MemBudgetBytes uint64
-	// StepLimit bounds the worklist pops of each post-pre-analysis
-	// fixpoint loop independently; a trip degrades like a memory trip.
-	// 0 means unlimited.
-	StepLimit int64
-	// NoDegrade disables the precision-degradation ladder: any phase
-	// failure (panic, deadline, budget) surfaces as an error alongside
-	// the partial Analysis, as in the pre-ladder API.
-	NoDegrade bool
-}
-
-// Normalize returns cfg with implementation defaults made explicit and
-// out-of-range values clamped, so two Configs that would drive identical
-// analyses compare (and render) identically. It is the shared
-// canonicalization used by the CLIs and by the analysis service's
-// content-addressed cache key — keeping them on one helper is what stops
-// CLI behavior and cache identity from drifting apart.
-func (c Config) Normalize() Config {
-	if c.CtxDepth <= 0 {
-		c.CtxDepth = callgraph.DefaultMaxDepth
-	}
-	if c.StepLimit < 0 {
-		c.StepLimit = 0
-	}
-	return c
-}
-
-// Canonical renders the normalized Config as a stable, human-readable
-// key fragment. Every field that can change analysis results or resource
-// behavior appears; adding a Config field without extending Canonical
-// would silently alias distinct configurations in a content-addressed
-// cache, so keep the two in lockstep.
-func (c Config) Canonical() string {
-	n := c.Normalize()
-	b2i := func(b bool) int {
-		if b {
-			return 1
-		}
-		return 0
-	}
-	return fmt.Sprintf("il=%d vf=%d lk=%d ctx=%d seq=%d mem=%d steps=%d nodeg=%d",
-		b2i(n.NoInterleaving), b2i(n.NoValueFlow), b2i(n.NoLock),
-		n.CtxDepth, b2i(n.Sequential), n.MemBudgetBytes, n.StepLimit, b2i(n.NoDegrade))
-}
+// Config selects the analysis engine, its variants, and resource budgets.
+// It is an alias of the solver package's Config, which is where the
+// engine registry keys off it; Normalize and Canonical are documented
+// there.
+type Config = solver.Config
 
 // Precision labels the tier of the result an Analysis carries, in
-// ascending precision. The degradation ladder guarantees every analysis
-// of a compilable program lands on at least PrecisionAndersenOnly: FSAM
-// is staged so the cheap, sound Andersen pre-analysis always has run
-// before anything expensive can fail.
-type Precision int
+// ascending precision (see the solver package for the tier semantics).
+type Precision = solver.Precision
 
+// The precision tiers, re-exported for the public API.
 const (
-	// PrecisionNone: no usable result (the program did not compile or the
-	// pre-analysis itself failed).
-	PrecisionNone Precision = iota
-	// PrecisionAndersenOnly: only the flow-insensitive pre-analysis
-	// completed; points-to queries answer from it.
-	PrecisionAndersenOnly
-	// PrecisionThreadObliviousFS: sparse flow-sensitive solve over the
-	// thread-oblivious def-use graph only (interference phases skipped).
-	// Sound for sequential flows; cross-thread value flows are missing.
-	PrecisionThreadObliviousFS
-	// PrecisionSparseFS: the full FSAM result (under whatever ablations
-	// Config selected).
-	PrecisionSparseFS
+	PrecisionNone              = solver.PrecisionNone
+	PrecisionAndersenOnly      = solver.PrecisionAndersenOnly
+	PrecisionCFGFreeFS         = solver.PrecisionCFGFreeFS
+	PrecisionThreadObliviousFS = solver.PrecisionThreadObliviousFS
+	PrecisionSparseFS          = solver.PrecisionSparseFS
 )
 
-func (p Precision) String() string {
-	switch p {
-	case PrecisionNone:
-		return "none"
-	case PrecisionAndersenOnly:
-		return "andersen-only"
-	case PrecisionThreadObliviousFS:
-		return "thread-oblivious-fs"
-	case PrecisionSparseFS:
-		return "sparse-fs"
+// DefaultEngine is the backend an empty Config.Engine selects.
+const DefaultEngine = solver.DefaultEngine
+
+// ParsePrecision maps a Precision.String() rendering back onto the tier.
+func ParsePrecision(s string) (Precision, bool) { return solver.ParsePrecision(s) }
+
+// Engines lists the registered analysis backends in registry order.
+func Engines() []string { return solver.Names() }
+
+// LadderEngines lists the degradation ladder's rungs, most precise first
+// (the on-ladder subset of Engines).
+func LadderEngines() []string {
+	var out []string
+	for _, s := range solver.Ladder() {
+		out = append(out, s.Name())
 	}
-	return fmt.Sprintf("Precision(%d)", int(p))
+	return out
 }
+
+// KnownEngine reports whether name is a registered analysis backend.
+func KnownEngine(name string) bool { return solver.Known(name) }
 
 // PhaseTimes records wall-clock duration of each pipeline stage.
 type PhaseTimes struct {
@@ -154,12 +98,15 @@ type PhaseTimes struct {
 	LockSpans   time.Duration
 	DefUse      time.Duration
 	Sparse      time.Duration
+	// CFGFree is the CFG-free engine's solve time (its analogue of the
+	// Sparse slot).
+	CFGFree time.Duration
 }
 
 // Total sums all phases.
 func (p PhaseTimes) Total() time.Duration {
 	return p.Compile + p.PreAnalysis + p.ThreadModel + p.Interleave +
-		p.LockSpans + p.DefUse + p.Sparse
+		p.LockSpans + p.DefUse + p.Sparse + p.CFGFree
 }
 
 // Each visits every phase with its stable name (the pipeline phase names),
@@ -174,6 +121,31 @@ func (p PhaseTimes) Each(f func(phase string, d time.Duration)) {
 	f("locks", p.LockSpans)
 	f("defuse", p.DefUse)
 	f("sparse", p.Sparse)
+	f("cfgfree", p.CFGFree)
+}
+
+// setPhase records one pipeline phase's duration by its stable name (the
+// NONSPARSE solve lands in the Sparse slot so FSAM and NONSPARSE rows line
+// up, as the baseline API always reported it).
+func (p *PhaseTimes) setPhase(name string, d time.Duration) {
+	switch name {
+	case phaseCompile:
+		p.Compile = d
+	case phasePre:
+		p.PreAnalysis = d
+	case phaseModel:
+		p.ThreadModel = d
+	case phaseIL:
+		p.Interleave = d
+	case phaseLocks:
+		p.LockSpans = d
+	case phaseDefUse:
+		p.DefUse = d
+	case phaseSparse, phaseNonSparse:
+		p.Sparse = d
+	case phaseCFGFree:
+		p.CFGFree = d
+	}
 }
 
 // Stats summarizes an analysis run.
@@ -191,7 +163,7 @@ type Stats struct {
 	SetRefs    int
 	DedupRatio float64
 	// PrePops and SolvePops count priority-worklist pops in the
-	// pre-analysis and the main (sparse or baseline) solver.
+	// pre-analysis and the main engine solver.
 	PrePops   int
 	SolvePops int
 	// Threads is the number of abstract threads (including main).
@@ -203,26 +175,34 @@ type Stats struct {
 	LockSpans      int
 	Iterations     int
 	Stmts          int
-	// Degraded records why the result is below full precision (empty for
-	// a PrecisionSparseFS result): the failing phase and its panic,
-	// deadline, or budget reason, plus any fallback tier that also failed.
+	// Degraded records why the result is below the requested engine's tier
+	// (empty when the requested engine completed): the failing phase and
+	// its panic, deadline, or budget reason, plus any fallback rung that
+	// also failed.
 	Degraded string
 }
 
-// Analysis is a completed FSAM run. Precision labels the tier the
-// degradation ladder landed on; below PrecisionSparseFS, Result and Graph
-// may be the thread-oblivious fallback's (PrecisionThreadObliviousFS) or
-// nil (PrecisionAndersenOnly, where queries answer from Base.Pre).
+// Analysis is a completed analysis run. Engine names the backend that
+// produced the result — after degradation, the ladder rung that landed —
+// and Precision its tier. Below the requested tier, engine-specific fields
+// (Result, NS, CFGFree) belong to whichever rung completed; queries always
+// answer from the landed engine's view, falling back to the pre-analysis.
 type Analysis struct {
 	Prog      *ir.Program
 	Base      *pipeline.Base
-	MHP       *mhp.Result   // nil under NoInterleaving
-	PCG       *pcg.Result   // non-nil under NoInterleaving
-	Locks     *locks.Result // nil under NoLock
-	Graph     *vfg.Graph
-	Result    *core.Result
+	MHP       *mhp.Result       // nil unless an fsam-engine run with interleaving
+	PCG       *pcg.Result       // non-nil under NoInterleaving
+	Locks     *locks.Result     // nil under NoLock
+	Graph     *vfg.Graph        // def-use graph (sparse engines)
+	Result    *core.Result      // sparse flow-sensitive result
+	NS        *nonsparse.Result // NONSPARSE engine result
+	CFGFree   *cfgfree.Result   // CFG-free engine result
+	Engine    string
 	Precision Precision
 	Stats     Stats
+
+	// view is the landed engine's uniform points-to query surface.
+	view solver.PTSView
 
 	// SourceName is the file name diagnostics are attributed to (set by
 	// AnalyzeSource; empty for pre-built programs, where Diagnostics falls
@@ -268,7 +248,7 @@ func AnalyzeSource(name, src string, cfg Config) (*Analysis, error) {
 // cancellation it returns the partially-populated Analysis alongside a
 // *pipeline.PhaseError wrapping ctx.Err().
 func AnalyzeSourceCtx(ctx context.Context, name, src string, cfg Config) (*Analysis, error) {
-	a, err := runFSAM(ctx, cfg, fsamPhases(cfg, name, src, true), pipeline.NewState())
+	a, err := runEngine(ctx, cfg, name, src, true, pipeline.NewState())
 	var pe *pipeline.PhaseError
 	if errors.As(err, &pe) && pe.Phase == phaseCompile {
 		return nil, pe.Err // a source error, not an analysis failure
@@ -280,70 +260,86 @@ func AnalyzeSourceCtx(ctx context.Context, name, src string, cfg Config) (*Analy
 	return a, err
 }
 
-// AnalyzeProgram runs FSAM over an already-built program. It never
-// panics: a phase failure degrades the result down the ladder, with the
-// tier in Analysis.Precision and the reason in Stats.Degraded.
+// AnalyzeProgram runs the configured engine over an already-built program.
+// It never panics: a phase failure degrades the result down the ladder,
+// with the tier in Analysis.Precision and the reason in Stats.Degraded.
 func AnalyzeProgram(prog *ir.Program, cfg Config) *Analysis {
 	a, _ := AnalyzeProgramCtx(context.Background(), prog, cfg)
 	return a
 }
 
-// AnalyzeProgramCtx runs FSAM over an already-built program under a
-// context. The pass manager schedules the phases (overlapping the
-// interleaving and lock analyses unless cfg.Sequential) and every
+// AnalyzeProgramCtx runs the configured engine over an already-built
+// program under a context. The pass manager schedules the engine's phase
+// DAG (overlapping independent phases unless cfg.Sequential) and every
 // fixpoint loop polls ctx, so an expired deadline surfaces promptly as a
 // *pipeline.PhaseError; the returned Analysis then holds the phases that
 // did complete, with their times and bytes in Stats.
 func AnalyzeProgramCtx(ctx context.Context, prog *ir.Program, cfg Config) (*Analysis, error) {
 	st := pipeline.NewState()
 	st.Put(slotProg, prog)
-	return runFSAM(ctx, cfg, fsamPhases(cfg, "", "", false), st)
+	return runEngine(ctx, cfg, "", "", false, st)
 }
 
-// runFSAM schedules the phase DAG, assembles the facade view from the
-// final State and the manager's Report, and — when a post-pre-analysis
-// phase fails by panic, deadline, or budget — walks the degradation
-// ladder (sparse FS → thread-oblivious FS → Andersen-only) so the caller
-// always receives the best completed tier, explicitly labeled.
-func runFSAM(ctx context.Context, cfg Config, phases []pipeline.Phase, st *pipeline.State) (*Analysis, error) {
+// runEngine resolves cfg.Engine against the registry, schedules the
+// engine's phase DAG, assembles the facade view from the final State and
+// the manager's Report, and — when a post-pre-analysis phase fails by
+// panic, deadline, or budget — walks the registry's degradation ladder
+// (sparse FS → thread-oblivious FS → cfgfree → Andersen-only) so the
+// caller always receives the best completed tier, explicitly labeled.
+func runEngine(ctx context.Context, cfg Config, name, src string, withCompile bool, st *pipeline.State) (*Analysis, error) {
+	cfg = cfg.Normalize()
+	eng := solver.Lookup(cfg.Engine)
+	if eng == nil {
+		return nil, fmt.Errorf("unknown engine %q (known: %v)", cfg.Engine, solver.Names())
+	}
 	ctx = engine.WithBudget(ctx, engine.Budget{MemBytes: cfg.MemBudgetBytes, MaxSteps: cfg.StepLimit})
-	mgr, err := newManager(cfg, phases)
+	phases := eng.Phases(cfg)
+	if withCompile {
+		phases = append([]pipeline.Phase{solver.CompilePhase(name, src)}, phases...)
+	}
+	mgr, err := newManager(cfg, eng.Name(), phases)
 	if err != nil {
 		return nil, err
 	}
 	rep, runErr := mgr.Run(ctx, st)
 	a := assemble(st)
+	a.Engine = eng.Name()
 	a.fillStats(rep)
 	if runErr == nil {
-		a.Precision = PrecisionSparseFS
+		a.Precision = eng.Tier()
+		a.view = eng.Result(st)
 		return a, nil
 	}
 	if cfg.NoDegrade {
 		return a, runErr
 	}
-	return a.degrade(ctx, cfg, st, runErr)
+	return a.degrade(ctx, cfg, eng, st, runErr)
 }
 
 // assemble builds the facade view over the State's completed slots.
 func assemble(st *pipeline.State) *Analysis {
 	return &Analysis{
-		Prog:   pipeline.Get[*ir.Program](st, slotProg),
-		Base:   pipeline.Get[*pipeline.Base](st, slotBase),
-		MHP:    pipeline.Get[*mhp.Result](st, slotMHP),
-		PCG:    pipeline.Get[*pcg.Result](st, slotPCG),
-		Locks:  pipeline.Get[*locks.Result](st, slotLocks),
-		Graph:  pipeline.Get[*vfg.Graph](st, slotVFG),
-		Result: pipeline.Get[*core.Result](st, slotResult),
+		Prog:    pipeline.Get[*ir.Program](st, slotProg),
+		Base:    pipeline.Get[*pipeline.Base](st, slotBase),
+		MHP:     pipeline.Get[*mhp.Result](st, slotMHP),
+		PCG:     pipeline.Get[*pcg.Result](st, slotPCG),
+		Locks:   pipeline.Get[*locks.Result](st, slotLocks),
+		Graph:   pipeline.Get[*vfg.Graph](st, slotVFG),
+		Result:  pipeline.Get[*core.Result](st, slotResult),
+		NS:      pipeline.Get[*nonsparse.Result](st, slotNSResult),
+		CFGFree: pipeline.Get[*cfgfree.Result](st, slotCFGFree),
 	}
 }
 
-// degrade walks the ladder after runErr stopped the full pipeline. The
-// contract: a compilable program whose pre-analysis completed always comes
-// back usable — tier 2 (thread-oblivious FS) when the context is still
-// alive and the cheaper rerun converges, tier 3 (Andersen-only, already
-// computed) otherwise. The original failure is preserved in
-// Stats.Degraded; the returned error is nil whenever a tier was reached.
-func (a *Analysis) degrade(ctx context.Context, cfg Config, st *pipeline.State, runErr error) (*Analysis, error) {
+// degrade walks the registry ladder after runErr stopped the requested
+// engine's pipeline. The contract: a compilable program whose pre-analysis
+// completed always comes back usable — each rung strictly below the failed
+// engine's tier is attempted in descending precision order (skipping
+// phase-running rungs once the context is dead), and the Andersen rung
+// always lands because its only phase, the pre-analysis, has already
+// completed. The original failure is preserved in Stats.Degraded; the
+// returned error is nil whenever a rung was reached.
+func (a *Analysis) degrade(ctx context.Context, cfg Config, failed solver.Solver, st *pipeline.State, runErr error) (*Analysis, error) {
 	var pe *pipeline.PhaseError
 	if !errors.As(runErr, &pe) {
 		// Not a phase failure (malformed DAG, missing seed): a programming
@@ -357,47 +353,93 @@ func (a *Analysis) degrade(ctx context.Context, cfg Config, st *pipeline.State, 
 		return a, runErr
 	}
 	reason := degradeReason(pe)
+	lastErr := runErr
 
-	// Tier 2: rerun def-use + solve in thread-oblivious mode, skipping the
-	// interference analyses entirely. Only worth attempting while the
-	// context is alive (an expired deadline would cancel it on the first
-	// poll). The failed tier's outputs are dropped first — and the heap
-	// garbage-collected after a memory trip — so the rerun starts with
-	// budget headroom.
-	if ctx.Err() == nil {
-		st.Delete(slotVFG)
-		st.Delete(slotResult)
-		a.Graph, a.Result = nil, nil
-		if pipeline.ErrOverBudget(runErr) {
-			runtime.GC()
+	for _, rung := range solver.Ladder() {
+		if rung.Tier() >= failed.Tier() {
+			continue
 		}
-		var tier2 []pipeline.Phase
-		if a.Base.Model == nil {
-			tier2 = append(tier2, threadModelPhase())
-		}
-		tier2 = append(tier2, obliviousDefUsePhase(), sparsePhase())
-		if mgr, err := newManager(cfg, tier2); err == nil {
-			rep2, err2 := mgr.Run(ctx, st)
-			if err2 == nil {
-				a.Graph = pipeline.Get[*vfg.Graph](st, slotVFG)
-				a.Result = pipeline.Get[*core.Result](st, slotResult)
-				a.Stats.Times.DefUse = rep2.Time(phaseDefUse)
-				a.Stats.Times.Sparse = rep2.Time(phaseSparse)
-				a.Stats.Bytes += rep2.TotalBytes()
-				a.fillResultStats()
-				a.Precision = PrecisionThreadObliviousFS
+		phases := prunePhases(rung.Phases(cfg), st)
+		if len(phases) == 0 {
+			// Everything this rung needs already completed (the Andersen
+			// rung: its pre-analysis ran before anything could fail).
+			if v := rung.Result(st); v != nil {
+				a.adoptRung(rung, v, st, nil)
 				a.Stats.Degraded = reason
 				return a, nil
 			}
-			reason += fmt.Sprintf("; thread-oblivious fallback: %v", err2)
+			continue
 		}
+		// Rungs that must run phases are only worth attempting while the
+		// context is alive (an expired deadline would cancel them on the
+		// first poll).
+		if ctx.Err() != nil {
+			continue
+		}
+		// Drop the failed tier's outputs first — and garbage-collect after
+		// a memory trip — so the rerun starts with budget headroom. Then
+		// re-prune: a stale result slot (a def-use graph the failed sparse
+		// solve left behind) must be rebuilt, not reused.
+		a.clearResults(st)
+		phases = prunePhases(rung.Phases(cfg), st)
+		if pipeline.ErrOverBudget(lastErr) {
+			runtime.GC()
+		}
+		mgr, err := newManager(cfg, rung.Name(), phases)
+		if err != nil {
+			reason += fmt.Sprintf("; %s fallback: %v", rung.Name(), err)
+			continue
+		}
+		rep2, err2 := mgr.Run(ctx, st)
+		if err2 == nil {
+			a.adoptRung(rung, rung.Result(st), st, rep2)
+			a.Stats.Degraded = reason
+			return a, nil
+		}
+		lastErr = err2
+		reason += fmt.Sprintf("; %s fallback: %v", rung.Name(), err2)
 	}
 
-	// Tier 3: the Andersen pre-analysis is already computed and sound;
-	// queries answer from it.
-	a.Precision = PrecisionAndersenOnly
+	// Unreachable while the Andersen rung is registered (its zero-phase
+	// branch above always lands once Base exists); kept as a safety net.
+	a.Precision = PrecisionNone
 	a.Stats.Degraded = reason
-	return a, nil
+	return a, runErr
+}
+
+// clearResults drops every engine-result slot from the State and the
+// facade so a fallback rung neither sees a failed tier's partial outputs
+// nor competes with them for a memory budget.
+func (a *Analysis) clearResults(st *pipeline.State) {
+	for _, slot := range solver.ResultSlots {
+		st.Delete(slot)
+	}
+	a.Graph, a.Result, a.NS, a.CFGFree, a.view = nil, nil, nil, nil, nil
+}
+
+// adoptRung rebinds the facade to a ladder rung's completed result: the
+// engine label, tier, view, the rung's slots, and (when the rung ran
+// phases) its report merged into Stats.
+func (a *Analysis) adoptRung(rung solver.Solver, v solver.PTSView, st *pipeline.State, rep *pipeline.Report) {
+	a.Graph = pipeline.Get[*vfg.Graph](st, slotVFG)
+	a.Result = pipeline.Get[*core.Result](st, slotResult)
+	a.NS = pipeline.Get[*nonsparse.Result](st, slotNSResult)
+	a.CFGFree = pipeline.Get[*cfgfree.Result](st, slotCFGFree)
+	a.Engine = rung.Name()
+	a.Precision = rung.Tier()
+	a.view = v
+	if rep != nil {
+		for _, name := range rep.Order() {
+			a.Stats.Times.setPhase(name, rep.Time(name))
+		}
+		a.Stats.Bytes += rep.TotalBytes()
+	}
+	if a.Graph != nil {
+		a.Stats.ObliviousEdges = a.Graph.ObliviousEdges
+		a.Stats.ThreadEdges = a.Graph.ThreadEdges
+		a.Stats.DefUseEdges = a.Graph.ObliviousEdges + a.Graph.ThreadEdges
+	}
+	a.fillResultStats()
 }
 
 // degradeReason renders a phase failure for Stats.Degraded.
@@ -418,14 +460,9 @@ func degradeReason(pe *pipeline.PhaseError) string {
 // derives the result-shape counters. Nil guards keep it usable for the
 // partial Analysis returned on cancellation.
 func (a *Analysis) fillStats(rep *pipeline.Report) {
-	t := &a.Stats.Times
-	t.Compile = rep.Time(phaseCompile)
-	t.PreAnalysis = rep.Time(phasePre)
-	t.ThreadModel = rep.Time(phaseModel)
-	t.Interleave = rep.Time(phaseIL)
-	t.LockSpans = rep.Time(phaseLocks)
-	t.DefUse = rep.Time(phaseDefUse)
-	t.Sparse = rep.Time(phaseSparse)
+	for _, name := range rep.Order() {
+		a.Stats.Times.setPhase(name, rep.Time(name))
+	}
 	a.Stats.Bytes = rep.TotalBytes()
 	if a.Prog != nil {
 		a.Stats.Stmts = a.Prog.NumStmts()
@@ -447,15 +484,27 @@ func (a *Analysis) fillStats(rep *pipeline.Report) {
 	a.fillResultStats()
 }
 
-// fillResultStats derives the result-shape counters; re-run after the
-// degradation ladder replaces Result with a fallback tier's.
+// fillResultStats derives the result-shape counters from whichever
+// engine's result is present; re-run after the degradation ladder replaces
+// the result with a fallback rung's.
 func (a *Analysis) fillResultStats() {
-	if a.Result == nil {
+	var rs *engine.RefStats
+	switch {
+	case a.Result != nil:
+		a.Stats.Iterations = a.Result.Iterations
+		a.Stats.SolvePops = a.Result.Iterations
+		rs = a.Result.InternStats()
+	case a.NS != nil:
+		a.Stats.Iterations = a.NS.Iterations
+		a.Stats.SolvePops = a.NS.Iterations
+		rs = a.NS.InternStats()
+	case a.CFGFree != nil:
+		a.Stats.Iterations = a.CFGFree.Iterations
+		a.Stats.SolvePops = int(a.CFGFree.Pops)
+		rs = a.CFGFree.InternStats()
+	default:
 		return
 	}
-	a.Stats.Iterations = a.Result.Iterations
-	a.Stats.SolvePops = a.Result.Iterations
-	rs := a.Result.InternStats()
 	if a.Base != nil {
 		rs.AddFrom(a.Base.Pre.InternStats())
 	}
@@ -485,17 +534,21 @@ func (a *Analysis) GlobalObject(name string) (*ir.Object, error) {
 // PointsToGlobal returns the sorted names of the objects that global name
 // may point to at program exit (the exit of main, after all handled joins),
 // which is the flow-sensitive "final" answer the paper's examples quote.
-// On a PrecisionAndersenOnly analysis it answers from the flow-insensitive
-// pre-analysis — sound, just less precise.
+// The query answers from the landed engine's view; engines without
+// per-point memory states (cfgfree, Andersen-only) answer with their
+// flow-insensitive object summary — sound, just less precise.
 func (a *Analysis) PointsToGlobal(name string) ([]string, error) {
 	obj, err := a.GlobalObject(name)
 	if err != nil {
 		return nil, err
 	}
-	if a.Result == nil {
-		return a.andersenNames(obj)
+	if a.view != nil {
+		return a.names(a.view.GlobalExit(a.Prog.Main, obj)), nil
 	}
-	return a.names(a.Result.ObjAtExit(a.Prog.Main, obj)), nil
+	if a.Result != nil {
+		return a.names(a.Result.ObjAtExit(a.Prog.Main, obj)), nil
+	}
+	return a.andersenNames(obj)
 }
 
 // andersenNames answers a points-to query from the pre-analysis (the
@@ -515,16 +568,21 @@ func (a *Analysis) PointsToGlobalAnywhere(name string) ([]string, error) {
 	if err != nil {
 		return nil, err
 	}
-	if a.Graph == nil || a.Result == nil {
-		return a.andersenNames(obj)
-	}
-	acc := &pts.Set{}
-	for _, n := range a.Graph.Nodes {
-		if n.Obj == obj {
-			acc.UnionWith(a.Result.PointsToMem(n.ID))
+	if a.Graph != nil && a.Result != nil {
+		acc := &pts.Set{}
+		for _, n := range a.Graph.Nodes {
+			if n.Obj == obj {
+				acc.UnionWith(a.Result.PointsToMem(n.ID))
+			}
 		}
+		return a.names(acc), nil
 	}
-	return a.names(acc), nil
+	if a.CFGFree != nil {
+		// The cfgfree object summary is exactly "everything any admitted
+		// store may have put here" — the anywhere answer.
+		return a.names(a.CFGFree.PointsToObj(obj)), nil
+	}
+	return a.andersenNames(obj)
 }
 
 // names maps a points-to set to sorted object names.
@@ -537,13 +595,89 @@ func (a *Analysis) names(set *pts.Set) []string {
 	return out
 }
 
+// AliasPairs counts the may-aliasing pairs among the distinct address
+// variables of the program's loads and stores, answered from the landed
+// engine's view (falling back to the pre-analysis). It is the
+// engine-comparison precision metric the bench harness reports: more
+// precise engines admit fewer alias pairs, and the soundness ordering
+// sparse ≤ cfgfree ≤ Andersen shows up directly in the counts.
+func (a *Analysis) AliasPairs() int {
+	if a.Prog == nil {
+		return 0
+	}
+	get := a.varPTSFunc()
+	if get == nil {
+		return 0
+	}
+	seen := map[*ir.Var]bool{}
+	var addrs []*ir.Var
+	add := func(v *ir.Var) {
+		if v != nil && !seen[v] {
+			seen[v] = true
+			addrs = append(addrs, v)
+		}
+	}
+	for _, f := range a.Prog.Funcs {
+		for _, b := range f.Blocks {
+			for _, s := range b.Stmts {
+				switch s := s.(type) {
+				case *ir.Load:
+					add(s.Addr)
+				case *ir.Store:
+					add(s.Addr)
+				}
+			}
+		}
+	}
+	sets := make([]*pts.Set, len(addrs))
+	for i, v := range addrs {
+		sets[i] = get(v)
+	}
+	pairs := 0
+	for i := range sets {
+		for j := i + 1; j < len(sets); j++ {
+			if sets[i].IntersectsWith(sets[j]) {
+				pairs++
+			}
+		}
+	}
+	return pairs
+}
+
+// PointsToVar returns the landed engine's points-to set for a top-level
+// variable (nil when no result at all is available). Every engine is
+// sound, so the set covers anything a concrete execution may observe in
+// the variable; coarser engines just return bigger sets.
+func (a *Analysis) PointsToVar(v *ir.Var) *pts.Set {
+	get := a.varPTSFunc()
+	if get == nil {
+		return nil
+	}
+	return get(v)
+}
+
+// varPTSFunc returns the landed engine's per-variable points-to accessor
+// (nil when no result at all is available).
+func (a *Analysis) varPTSFunc() func(*ir.Var) *pts.Set {
+	if a.view != nil {
+		return a.view.VarPTS
+	}
+	if a.Result != nil {
+		return a.Result.PointsToVar
+	}
+	if a.Base != nil && a.Base.Pre != nil {
+		return a.Base.Pre.PointsToVar
+	}
+	return nil
+}
+
 // Races runs the data-race detection client over this analysis' results.
 // It requires the precise interleaving analysis (Config.NoInterleaving must
 // be false). The detection runs once; repeated and concurrent calls share
 // the memoized reports.
 func (a *Analysis) Races() ([]*race.Report, error) {
 	a.racesOnce.Do(func() {
-		if a.Precision != PrecisionSparseFS {
+		if a.Precision != PrecisionSparseFS || a.Result == nil {
 			a.racesErr = fmt.Errorf("race detection requires a full-precision result (got %s: %s)",
 				a.Precision, a.Stats.Degraded)
 			return
@@ -568,7 +702,7 @@ func (a *Analysis) Races() ([]*race.Report, error) {
 // lock analysis (NoInterleaving and NoLock must be false).
 func (a *Analysis) Deadlocks() ([]*deadlock.Report, error) {
 	a.deadlocksOnce.Do(func() {
-		if a.Precision != PrecisionSparseFS {
+		if a.Precision != PrecisionSparseFS || a.Result == nil {
 			a.deadlocksErr = fmt.Errorf("deadlock detection requires a full-precision result (got %s: %s)",
 				a.Precision, a.Stats.Degraded)
 			return
@@ -597,8 +731,9 @@ func (a *Analysis) leakDetector() *leak.Detector {
 }
 
 // Leaks runs the memory-leak client: heap allocations neither must-freed
-// nor reachable from globals at program exit. It needs a flow-sensitive
-// result; a degraded Andersen-only analysis reports nothing.
+// nor reachable from globals at program exit. It needs a sparse
+// flow-sensitive result; other engines and degraded Andersen-only
+// analyses report nothing.
 func (a *Analysis) Leaks() []*leak.Report {
 	a.leaksOnce.Do(func() {
 		if a.Result == nil || a.Base == nil {
@@ -610,8 +745,8 @@ func (a *Analysis) Leaks() []*leak.Report {
 }
 
 // LeakAudit evaluates the leak conditions for every reachable allocation
-// site (diagnostics). Like Leaks, it is empty below thread-oblivious
-// precision.
+// site (diagnostics). Like Leaks, it is empty without a sparse
+// flow-sensitive result.
 func (a *Analysis) LeakAudit() []*leak.Report {
 	a.leakAuditOnce.Do(func() {
 		if a.Result == nil || a.Base == nil {
@@ -642,7 +777,7 @@ func (a *Analysis) checkerFacts() *checkers.Facts {
 		MHP:           a.MHP,
 		Locks:         a.Locks,
 		Points:        a.Result,
-		FullPrecision: a.Precision == PrecisionSparseFS,
+		FullPrecision: a.Precision == PrecisionSparseFS && a.Result != nil,
 		PrecisionNote: a.Precision.String(),
 	}
 	if f.File == "" {

@@ -28,6 +28,9 @@ const (
 	// DegradedAndersen: the run completed, but only the flow-insensitive
 	// Andersen pre-analysis is available.
 	DegradedAndersen = 4
+	// DegradedCFGFree: the run completed, but the degradation ladder fell
+	// back to the CFG-free flow-sensitive tier.
+	DegradedCFGFree = 5
 )
 
 // ForPrecision maps a result tier onto the exit-code convention.
@@ -39,23 +42,40 @@ func ForPrecision(p fsam.Precision) int {
 		return OK
 	case fsam.PrecisionThreadObliviousFS:
 		return DegradedThreadOblivious
+	case fsam.PrecisionCFGFreeFS:
+		return DegradedCFGFree
 	case fsam.PrecisionAndersenOnly:
 		return DegradedAndersen
 	}
 	return Failure
 }
 
+// ForAnalysis maps a completed Analysis onto the convention relative to
+// what was asked for: a run that completed at its requested engine's tier
+// is OK — selecting `-engine andersen` and getting Andersen's result is
+// success, not degradation — while a run the ladder moved below the
+// requested tier reports that tier's degraded code.
+func ForAnalysis(a *fsam.Analysis) int {
+	if a.Stats.Degraded == "" {
+		return OK
+	}
+	return ForPrecision(a.Precision)
+}
+
 // Worst returns the more severe of two codes under the convention:
-// Failure and Usage dominate everything; otherwise the higher degradation
-// tier wins (DegradedAndersen > DegradedThreadOblivious > OK).
+// Failure and Usage dominate everything; otherwise the lower-precision
+// degradation tier wins (DegradedAndersen > DegradedCFGFree >
+// DegradedThreadOblivious > OK).
 func Worst(a, b int) int {
 	rank := func(c int) int {
 		switch c {
 		case Failure:
-			return 3
+			return 4
 		case Usage:
-			return 2
+			return 3
 		case DegradedAndersen:
+			return 2
+		case DegradedCFGFree:
 			return 1
 		case DegradedThreadOblivious:
 			return 0

@@ -85,6 +85,7 @@ type FSAMStats struct {
 	FSAMSetRefs    int           `json:"fsam_set_refs"`
 	FSAMDedup      float64       `json:"fsam_dedup_ratio"`
 	FSAMOOT        bool          `json:"fsam_oot"`
+	FSAMEngine     string        `json:"fsam_engine,omitempty"`
 	FSAMPrecision  string        `json:"fsam_precision"`
 	FSAMDegraded   string        `json:"fsam_degraded,omitempty"`
 }
@@ -100,6 +101,7 @@ func StatsOf(a *fsam.Analysis, elapsed time.Duration, oot bool) FSAMStats {
 		st.FSAMUniqueSets = a.Stats.UniqueSets
 		st.FSAMSetRefs = a.Stats.SetRefs
 		st.FSAMDedup = a.Stats.DedupRatio
+		st.FSAMEngine = a.Engine
 		st.FSAMPrecision = a.Precision.String()
 		st.FSAMDegraded = a.Stats.Degraded
 	}
@@ -193,6 +195,80 @@ func RunTable2(scale int, timeout time.Duration, cfg fsam.Config) ([]Table2Row, 
 		rows = append(rows, row)
 	}
 	return rows, nil
+}
+
+// EngineRow is one cell of the engine comparison matrix: one benchmark
+// analyzed by one registered engine. AliasPairs is the precision metric —
+// the number of may-aliasing pairs among the program's distinct load/store
+// address variables — which the soundness ordering makes monotone: sparse
+// FSAM admits the fewest pairs, Andersen the most, cfgfree in between.
+// The JSON tags are the schema of `fsambench -engines -json`.
+type EngineRow struct {
+	Name       string        `json:"name"`
+	Engine     string        `json:"engine"`
+	Time       time.Duration `json:"time_ns"`
+	Bytes      uint64        `json:"bytes"`
+	AliasPairs int           `json:"alias_pairs"`
+	Precision  string        `json:"precision"`
+	Degraded   string        `json:"degraded,omitempty"`
+	OOT        bool          `json:"oot"`
+}
+
+// RunEngineMatrix measures every benchmark under each named engine,
+// reporting wall time, memory, and the alias-pair precision metric. An
+// expired deadline is an OOT cell, not an error; a degraded run carries
+// the landed tier. Empty engines defaults to the degradation ladder's
+// rungs (every on-ladder engine, most precise first).
+func RunEngineMatrix(scale int, timeout time.Duration, engines []string) ([]EngineRow, error) {
+	if len(engines) == 0 {
+		engines = fsam.LadderEngines()
+	}
+	var rows []EngineRow
+	for _, spec := range workload.Suite {
+		for _, eng := range engines {
+			a, t, err := RunFSAM(spec, scale, fsam.Config{Engine: eng}, timeout)
+			row := EngineRow{Name: spec.Name, Engine: eng, Time: t}
+			if err != nil {
+				if !pipeline.ErrCancelled(err) {
+					return nil, fmt.Errorf("engine %s on %s: %w", eng, spec.Name, err)
+				}
+				row.OOT = true
+			}
+			if a != nil {
+				row.Bytes = a.Stats.Bytes
+				row.AliasPairs = a.AliasPairs()
+				row.Precision = a.Precision.String()
+				row.Degraded = a.Stats.Degraded
+			}
+			rows = append(rows, row)
+		}
+	}
+	return rows, nil
+}
+
+// PrintEngineMatrix renders the engine comparison matrix grouped by
+// benchmark, so the alias-pair ordering across engines reads line by line.
+func PrintEngineMatrix(w io.Writer, rows []EngineRow) {
+	fmt.Fprintf(w, "Engine comparison: wall time, memory, and alias-pair precision per backend\n")
+	fmt.Fprintf(w, "%-14s %-10s %12s %12s %12s  %s\n",
+		"Program", "Engine", "Time(s)", "Mem(MB)", "AliasPairs", "Tier")
+	prev := ""
+	for _, r := range rows {
+		name := r.Name
+		if name == prev {
+			name = ""
+		}
+		prev = r.Name
+		t := fmt.Sprintf("%12.3f", r.Time.Seconds())
+		if r.OOT {
+			t = fmt.Sprintf("%12s", "OOT")
+		}
+		fmt.Fprintf(w, "%-14s %-10s %s %12.2f %12d  %s\n",
+			name, r.Engine, t, float64(r.Bytes)/1e6, r.AliasPairs, r.Precision)
+		if r.Degraded != "" {
+			fmt.Fprintf(w, "%-14s   degraded: %s\n", "", r.Degraded)
+		}
+	}
 }
 
 // fsamFull reports whether the row's FSAM run completed at full precision

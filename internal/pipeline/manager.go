@@ -153,6 +153,12 @@ type PhaseError struct {
 	Phase     string
 	Completed []string
 	Err       error
+	// Engine names the analysis backend whose DAG was running when the
+	// phase failed (Manager.Engine; empty when the Manager was not
+	// labeled). The degradation ladder runs several engines' DAGs in one
+	// logical request, so error attribution needs the engine, not just the
+	// phase.
+	Engine string
 	// Panic is set when Err is a recovered panic; Stack then holds the
 	// panicking goroutine's stack trace.
 	Panic bool
@@ -160,10 +166,14 @@ type PhaseError struct {
 }
 
 func (e *PhaseError) Error() string {
-	if e.Panic {
-		return fmt.Sprintf("pipeline: phase %q panicked: %v (completed: %v)", e.Phase, e.Err, e.Completed)
+	eng := ""
+	if e.Engine != "" {
+		eng = fmt.Sprintf(" [engine %s]", e.Engine)
 	}
-	return fmt.Sprintf("pipeline: phase %q: %v (completed: %v)", e.Phase, e.Err, e.Completed)
+	if e.Panic {
+		return fmt.Sprintf("pipeline: phase %q%s panicked: %v (completed: %v)", e.Phase, eng, e.Err, e.Completed)
+	}
+	return fmt.Sprintf("pipeline: phase %q%s: %v (completed: %v)", e.Phase, eng, e.Err, e.Completed)
 }
 
 func (e *PhaseError) Unwrap() error { return e.Err }
@@ -184,6 +194,9 @@ type Manager struct {
 	// topological order (diagnostics and scheduling-equivalence tests);
 	// the default runs every ready phase concurrently.
 	Sequential bool
+	// Engine labels the run with the analysis backend whose DAG this is;
+	// it is carried into any PhaseError for attribution.
+	Engine string
 
 	providerOf map[string]int // slot → phase index
 	deps       [][]int        // phase → indices of phases it depends on
@@ -364,7 +377,7 @@ func (m *Manager) Run(ctx context.Context, st *State) (*Report, error) {
 		running--
 		if msg.err != nil {
 			if firstErr == nil {
-				firstErr = &PhaseError{Phase: m.phases[msg.idx].Name, Err: msg.err}
+				firstErr = &PhaseError{Phase: m.phases[msg.idx].Name, Err: msg.err, Engine: m.Engine}
 				var pv *panicError
 				if errors.As(msg.err, &pv) {
 					firstErr.Panic = true

@@ -53,6 +53,10 @@ type AnalyzeRequest struct {
 // NoDegrade and Sequential are deliberately not exposed, so every request
 // lands on the best tier the budgets allow.
 type ConfigRequest struct {
+	// Engine selects the analysis backend (default "fsam"; see
+	// fsam.Engines). The engine participates in the content address, so
+	// the same source analyzed by two engines yields two cache entries.
+	Engine         string `json:"engine,omitempty"`
 	NoInterleaving bool   `json:"no_interleaving,omitempty"`
 	NoValueFlow    bool   `json:"no_valueflow,omitempty"`
 	NoLock         bool   `json:"no_lock,omitempty"`
@@ -64,6 +68,7 @@ type ConfigRequest struct {
 // Config maps the wire form onto a canonicalized fsam.Config.
 func (c ConfigRequest) Config() fsam.Config {
 	return fsam.Config{
+		Engine:         c.Engine,
 		NoInterleaving: c.NoInterleaving,
 		NoValueFlow:    c.NoValueFlow,
 		NoLock:         c.NoLock,
@@ -86,12 +91,15 @@ type AnalyzeResponse struct {
 	// Shared is true when this request was deduplicated onto another
 	// in-flight identical submission (one solve, many responses).
 	Shared bool `json:"shared,omitempty"`
+	// Engine is the backend that produced the result — after degradation,
+	// the ladder rung that landed, not the one requested.
+	Engine string `json:"engine"`
 	// Precision is the tier the ladder landed on; Degraded carries the
-	// reason when below full precision.
+	// reason when below the requested engine's tier.
 	Precision string `json:"precision"`
 	Degraded  string `json:"degraded,omitempty"`
-	// ExitCode is the repo-wide exit-code convention value for Precision
-	// (0 full, 3 thread-oblivious, 4 Andersen-only).
+	// ExitCode is the repo-wide exit-code convention value (0 at the
+	// requested tier, 3 thread-oblivious, 4 Andersen-only, 5 CFG-free).
 	ExitCode int `json:"exit_code"`
 	// Stats is the shared harness statistics schema (fsam_ns is the
 	// server-observed pipeline wall time for the run that produced the
@@ -162,7 +170,8 @@ type ErrorResponse struct {
 // exit code.
 func HTTPStatus(code int) int {
 	switch code {
-	case exitcode.OK, exitcode.DegradedThreadOblivious, exitcode.DegradedAndersen:
+	case exitcode.OK, exitcode.DegradedThreadOblivious, exitcode.DegradedAndersen,
+		exitcode.DegradedCFGFree:
 		return http.StatusOK
 	case exitcode.Usage:
 		return http.StatusBadRequest

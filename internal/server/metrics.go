@@ -37,6 +37,7 @@ type metrics struct {
 	analyses     uint64
 	phaseSeconds map[string]float64
 	tiers        map[string]uint64
+	engines      map[string]uint64
 
 	// Admission outcomes.
 	shed  map[string]uint64 // reason -> count
@@ -56,6 +57,7 @@ func newMetrics() *metrics {
 		latCounts:    make([]uint64, len(latencyBuckets)),
 		phaseSeconds: map[string]float64{},
 		tiers:        map[string]uint64{},
+		engines:      map[string]uint64{},
 		shed:         map[string]uint64{},
 		diagFindings: map[string]uint64{},
 	}
@@ -92,6 +94,7 @@ func (m *metrics) observeAnalysis(a *fsam.Analysis) {
 	defer m.mu.Unlock()
 	m.analyses++
 	m.tiers[a.Precision.String()]++
+	m.engines[a.Engine]++
 	a.Stats.Times.Each(func(phase string, d time.Duration) {
 		m.phaseSeconds[phase] += d.Seconds()
 	})
@@ -177,6 +180,11 @@ func (m *metrics) write(w io.Writer, cs cacheStats, inflight, queued int64, drai
 		fmt.Fprintf(w, "fsamd_phase_seconds_total{phase=%q} %g\n", phase, m.phaseSeconds[phase])
 	}
 
+	fmt.Fprintf(w, "# HELP fsamd_engine_total Analyses by the engine that produced the result.\n")
+	fmt.Fprintf(w, "# TYPE fsamd_engine_total counter\n")
+	for _, eng := range sortedKeys(m.engines) {
+		fmt.Fprintf(w, "fsamd_engine_total{engine=%q} %d\n", eng, m.engines[eng])
+	}
 	fmt.Fprintf(w, "# HELP fsamd_precision_total Analyses by the tier the degradation ladder landed on.\n")
 	fmt.Fprintf(w, "# TYPE fsamd_precision_total counter\n")
 	for _, tier := range sortedKeys(m.tiers) {

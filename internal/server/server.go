@@ -135,9 +135,10 @@ func (s *Server) Handler() http.Handler {
 		s.mux.ServeHTTP(rec, r)
 		d := time.Since(t0)
 		s.met.observeRequest(r.URL.Path, rec.status, d)
-		s.opt.Log.Printf("req=%d method=%s path=%s status=%d dur=%s cache=%s tier=%s",
+		s.opt.Log.Printf("req=%d method=%s path=%s status=%d dur=%s cache=%s engine=%s tier=%s",
 			id, r.Method, r.URL.Path, rec.status, d.Round(time.Microsecond),
-			orDash(rec.Header().Get("X-Fsamd-Cache")), orDash(rec.Header().Get("X-Fsamd-Precision")))
+			orDash(rec.Header().Get("X-Fsamd-Cache")), orDash(rec.Header().Get("X-Fsamd-Engine")),
+			orDash(rec.Header().Get("X-Fsamd-Precision")))
 	})
 }
 
@@ -292,9 +293,10 @@ func (s *Server) runAnalysis(key, name, src string, cfg fsam.Config, deadline ti
 		bytes: a.Stats.Bytes + uint64(len(src)) + 4096,
 		resp: AnalyzeResponse{
 			ID:           key,
+			Engine:       a.Engine,
 			Precision:    a.Precision.String(),
 			Degraded:     a.Stats.Degraded,
-			ExitCode:     exitcode.ForPrecision(a.Precision),
+			ExitCode:     exitcode.ForAnalysis(a),
 			Stats:        harness.StatsOf(a, elapsed, false),
 			PhaseSeconds: phaseSeconds(a),
 		},
@@ -309,6 +311,7 @@ func (s *Server) respondAnalyze(w http.ResponseWriter, ent *entry, cached, share
 	resp := ent.resp
 	resp.Cached = cached
 	resp.Shared = shared
+	w.Header().Set("X-Fsamd-Engine", resp.Engine)
 	w.Header().Set("X-Fsamd-Precision", resp.Precision)
 	if cached {
 		w.Header().Set("X-Fsamd-Cache", "hit")
@@ -348,11 +351,18 @@ func decodeAnalyzeRequest(r *http.Request, maxBody int64) (AnalyzeRequest, int, 
 		}
 		req.DeadlineMS = d.Milliseconds()
 	}
+	if v := q.Get("engine"); v != "" {
+		req.Config.Engine = v
+	}
 	return req, 0, nil
 }
 
 // resolve validates the request and produces the concrete analysis inputs.
 func (s *Server) resolve(req AnalyzeRequest) (name, src string, cfg fsam.Config, deadline time.Duration, errStatus int, err error) {
+	if req.Config.Engine != "" && !fsam.KnownEngine(req.Config.Engine) {
+		return "", "", cfg, 0, http.StatusBadRequest,
+			fmt.Errorf("unknown engine %q (known: %s)", req.Config.Engine, strings.Join(fsam.Engines(), ", "))
+	}
 	switch {
 	case req.Source != "" && req.Benchmark != "":
 		return "", "", cfg, 0, http.StatusBadRequest, errors.New("source and benchmark are mutually exclusive")
@@ -403,6 +413,7 @@ func (s *Server) lookup(w http.ResponseWriter, r *http.Request) (*entry, bool) {
 			"unknown or evicted analysis id %s; re-POST /v1/analyze", id)
 		return nil, false
 	}
+	w.Header().Set("X-Fsamd-Engine", ent.resp.Engine)
 	w.Header().Set("X-Fsamd-Precision", ent.resp.Precision)
 	w.Header().Set("X-Fsamd-Cache", "hit")
 	return ent, true

@@ -1,0 +1,157 @@
+package solver
+
+// The registered backends. Each is a thin assembly: pick phases from
+// phases.go, extract a PTSView from the slots those phases provide. The
+// compile phase is prepended by the facade on the source path, so every
+// DAG here starts at SlotProg.
+
+import (
+	"repro/internal/cfgfree"
+	"repro/internal/core"
+	"repro/internal/ir"
+	"repro/internal/nonsparse"
+	"repro/internal/pipeline"
+	"repro/internal/pts"
+)
+
+func init() {
+	Register(fsamSolver{})
+	Register(obliviousSolver{})
+	Register(cfgfreeSolver{})
+	Register(andersenSolver{})
+	Register(nonsparseSolver{})
+}
+
+// coreView adapts the sparse engine's core.Result (also produced by the
+// thread-oblivious engine — same solver, thinner def-use graph).
+type coreView struct{ r *core.Result }
+
+func (v coreView) VarPTS(x *ir.Var) *pts.Set { return v.r.PointsToVar(x) }
+func (v coreView) GlobalExit(main *ir.Function, obj *ir.Object) *pts.Set {
+	return v.r.ObjAtExit(main, obj)
+}
+
+// fsamSolver is the full sparse flow-sensitive FSAM reproduction.
+type fsamSolver struct{}
+
+func (fsamSolver) Name() string    { return "fsam" }
+func (fsamSolver) Tier() Precision { return PrecisionSparseFS }
+func (fsamSolver) OnLadder() bool  { return true }
+func (fsamSolver) Phases(cfg Config) []pipeline.Phase {
+	ps := []pipeline.Phase{PreAnalysisPhase(cfg.CtxDepth), ThreadModelPhase(),
+		InterleavePhase(cfg.NoInterleaving)}
+	if !cfg.NoLock {
+		ps = append(ps, LocksPhase())
+	}
+	return append(ps, DefUsePhase(cfg), SparsePhase())
+}
+func (fsamSolver) Result(st *pipeline.State) PTSView {
+	if r := pipeline.Get[*core.Result](st, SlotResult); r != nil {
+		return coreView{r}
+	}
+	return nil
+}
+
+// obliviousSolver is the sparse solve over the thread-oblivious def-use
+// graph only: sound for sequential flows, blind to cross-thread value
+// flows. It is also the ladder's rung below full FSAM.
+type obliviousSolver struct{}
+
+func (obliviousSolver) Name() string    { return "oblivious" }
+func (obliviousSolver) Tier() Precision { return PrecisionThreadObliviousFS }
+func (obliviousSolver) OnLadder() bool  { return true }
+func (obliviousSolver) Phases(cfg Config) []pipeline.Phase {
+	return []pipeline.Phase{PreAnalysisPhase(cfg.CtxDepth), ThreadModelPhase(),
+		ObliviousDefUsePhase(), SparsePhase()}
+}
+func (obliviousSolver) Result(st *pipeline.State) PTSView {
+	if r := pipeline.Get[*core.Result](st, SlotResult); r != nil {
+		return coreView{r}
+	}
+	return nil
+}
+
+// cfgfreeView adapts the CFG-free engine's result.
+type cfgfreeView struct{ r *cfgfree.Result }
+
+func (v cfgfreeView) VarPTS(x *ir.Var) *pts.Set { return v.r.PointsToVar(x) }
+func (v cfgfreeView) GlobalExit(main *ir.Function, obj *ir.Object) *pts.Set {
+	return v.r.ObjAtExit(main, obj)
+}
+
+// cfgfreeSolver is the CFG-free flow-sensitive engine: Andersen-style
+// propagation with memory flows gated by a one-shot reachability summary.
+// It needs no thread model, interference analysis or memory SSA, which is
+// what makes it the ladder rung between thread-oblivious FS and
+// Andersen-only.
+type cfgfreeSolver struct{}
+
+func (cfgfreeSolver) Name() string    { return "cfgfree" }
+func (cfgfreeSolver) Tier() Precision { return PrecisionCFGFreeFS }
+func (cfgfreeSolver) OnLadder() bool  { return true }
+func (cfgfreeSolver) Phases(cfg Config) []pipeline.Phase {
+	return []pipeline.Phase{PreAnalysisPhase(cfg.CtxDepth), CFGFreePhase()}
+}
+func (cfgfreeSolver) Result(st *pipeline.State) PTSView {
+	if r := pipeline.Get[*cfgfree.Result](st, SlotCFGFree); r != nil {
+		return cfgfreeView{r}
+	}
+	return nil
+}
+
+// andersenView answers every query from the flow-insensitive
+// pre-analysis.
+type andersenView struct{ b *pipeline.Base }
+
+func (v andersenView) VarPTS(x *ir.Var) *pts.Set { return v.b.Pre.PointsToVar(x) }
+func (v andersenView) GlobalExit(main *ir.Function, obj *ir.Object) *pts.Set {
+	return v.b.Pre.PointsToObj(obj)
+}
+
+// andersenSolver exposes the pre-analysis as a first-class engine — and
+// the ladder's bottom rung: its only phase is the pre-analysis every other
+// engine already needs, so by the time anything expensive can fail, this
+// engine's result already exists.
+type andersenSolver struct{}
+
+func (andersenSolver) Name() string    { return "andersen" }
+func (andersenSolver) Tier() Precision { return PrecisionAndersenOnly }
+func (andersenSolver) OnLadder() bool  { return true }
+func (andersenSolver) Phases(cfg Config) []pipeline.Phase {
+	return []pipeline.Phase{PreAnalysisPhase(cfg.CtxDepth)}
+}
+func (andersenSolver) Result(st *pipeline.State) PTSView {
+	if b := pipeline.Get[*pipeline.Base](st, SlotBase); b != nil && b.Pre != nil {
+		return andersenView{b}
+	}
+	return nil
+}
+
+// nonsparseView adapts the NONSPARSE baseline's result.
+type nonsparseView struct{ r *nonsparse.Result }
+
+func (v nonsparseView) VarPTS(x *ir.Var) *pts.Set { return v.r.PointsToVar(x) }
+func (v nonsparseView) GlobalExit(main *ir.Function, obj *ir.Object) *pts.Set {
+	return v.r.ObjAtExit(main, obj)
+}
+
+// nonsparseSolver is the NONSPARSE comparison baseline as a selectable
+// engine. Off the ladder: it exists to be measured against, not to be a
+// fallback (its cost profile dominates the sparse engine's). Its tier is
+// SparseFS — it computes the same thread-aware flow-sensitive result, just
+// non-sparsely — so a degraded run of it walks the same rungs as fsam.
+type nonsparseSolver struct{}
+
+func (nonsparseSolver) Name() string    { return "nonsparse" }
+func (nonsparseSolver) Tier() Precision { return PrecisionSparseFS }
+func (nonsparseSolver) OnLadder() bool  { return false }
+func (nonsparseSolver) Phases(cfg Config) []pipeline.Phase {
+	return []pipeline.Phase{PreAnalysisPhase(cfg.CtxDepth), ThreadModelPhase(),
+		EngineNonSparsePhase()}
+}
+func (nonsparseSolver) Result(st *pipeline.State) PTSView {
+	if r := pipeline.Get[*nonsparse.Result](st, SlotNSResult); r != nil {
+		return nonsparseView{r}
+	}
+	return nil
+}

@@ -1,0 +1,259 @@
+// Package solver is the multi-engine registry of this repository's pointer
+// analyses. Every analysis — the sparse flow-sensitive FSAM reproduction,
+// its thread-oblivious variant, the CFG-free flow-sensitive analysis, the
+// Andersen pre-analysis, and the NONSPARSE baseline — is expressed as a
+// Solver: a named backend that contributes a phase DAG to the shared pass
+// manager (internal/pipeline) and extracts a uniform points-to view from
+// the completed pipeline State.
+//
+// The registry replaces the hand-built phase switches the facade used to
+// carry: the facade asks Lookup(cfg.Engine) for the backend, schedules
+// Solver.Phases, and reads Solver.Result — and the precision-degradation
+// ladder walks Ladder() instead of a hard-coded tier list, so adding an
+// engine extends the ladder without touching the facade.
+//
+// Config and Precision live here (the public fsam package aliases them)
+// because both the backends and the facade key off them: Config selects a
+// backend by name through the Engine field, and Precision orders the
+// ladder's rungs.
+package solver
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/callgraph"
+	"repro/internal/ir"
+	"repro/internal/pipeline"
+	"repro/internal/pts"
+)
+
+// Config selects the analysis engine, its variants, and resource budgets.
+type Config struct {
+	// Engine names the registered analysis backend ("fsam", "oblivious",
+	// "cfgfree", "andersen", "nonsparse"); empty selects the default
+	// sparse FSAM engine. Unknown names fail the run before any phase is
+	// scheduled.
+	Engine string
+	// NoInterleaving replaces the flow- and context-sensitive interleaving
+	// analysis with the coarse procedure-level PCG MHP (Figure 12).
+	NoInterleaving bool
+	// NoValueFlow disables the aliasing premise of [THREAD-VF] (Figure 12).
+	NoValueFlow bool
+	// NoLock disables non-interference filtering (Figure 12).
+	NoLock bool
+	// CtxDepth bounds call-string contexts (<=0 uses the default).
+	CtxDepth int
+	// Sequential forces the pass manager to run phases one at a time in
+	// topological order instead of overlapping independent phases
+	// (interleaving ∥ locks). Results are identical either way; the switch
+	// exists for determinism tests and scheduling diagnostics.
+	Sequential bool
+	// MemBudgetBytes is a soft budget on the live process heap, polled by
+	// every post-pre-analysis fixpoint loop (the pre-analysis is exempt:
+	// it is the degradation ladder's safety net). A trip degrades the
+	// result down the ladder instead of failing; 0 means unlimited.
+	MemBudgetBytes uint64
+	// StepLimit bounds the worklist pops of each post-pre-analysis
+	// fixpoint loop independently; a trip degrades like a memory trip.
+	// 0 means unlimited.
+	StepLimit int64
+	// NoDegrade disables the precision-degradation ladder: any phase
+	// failure (panic, deadline, budget) surfaces as an error alongside
+	// the partial Analysis, as in the pre-ladder API.
+	NoDegrade bool
+}
+
+// DefaultEngine is the backend Normalize selects when Config.Engine is
+// empty: the full sparse flow-sensitive FSAM analysis.
+const DefaultEngine = "fsam"
+
+// Normalize returns cfg with implementation defaults made explicit and
+// out-of-range values clamped, so two Configs that would drive identical
+// analyses compare (and render) identically. It is the shared
+// canonicalization used by the CLIs and by the analysis service's
+// content-addressed cache key — keeping them on one helper is what stops
+// CLI behavior and cache identity from drifting apart.
+func (c Config) Normalize() Config {
+	if c.Engine == "" {
+		c.Engine = DefaultEngine
+	}
+	if c.CtxDepth <= 0 {
+		c.CtxDepth = callgraph.DefaultMaxDepth
+	}
+	if c.StepLimit < 0 {
+		c.StepLimit = 0
+	}
+	return c
+}
+
+// Canonical renders the normalized Config as a stable, human-readable
+// key fragment. Every field that can change analysis results or resource
+// behavior appears — the Engine first, so two requests that differ only in
+// backend can never collide in a content-addressed cache; adding a Config
+// field without extending Canonical would silently alias distinct
+// configurations, so keep the two in lockstep.
+func (c Config) Canonical() string {
+	n := c.Normalize()
+	b2i := func(b bool) int {
+		if b {
+			return 1
+		}
+		return 0
+	}
+	return fmt.Sprintf("eng=%s il=%d vf=%d lk=%d ctx=%d seq=%d mem=%d steps=%d nodeg=%d",
+		n.Engine, b2i(n.NoInterleaving), b2i(n.NoValueFlow), b2i(n.NoLock),
+		n.CtxDepth, b2i(n.Sequential), n.MemBudgetBytes, n.StepLimit, b2i(n.NoDegrade))
+}
+
+// Precision labels the tier of the result an analysis carries, in
+// ascending precision. The degradation ladder guarantees every analysis
+// of a compilable program lands on at least PrecisionAndersenOnly: the
+// pipeline is staged so the cheap, sound Andersen pre-analysis always has
+// run before anything expensive can fail.
+type Precision int
+
+const (
+	// PrecisionNone: no usable result (the program did not compile or the
+	// pre-analysis itself failed).
+	PrecisionNone Precision = iota
+	// PrecisionAndersenOnly: only the flow-insensitive pre-analysis
+	// completed; points-to queries answer from it.
+	PrecisionAndersenOnly
+	// PrecisionCFGFreeFS: the CFG-free flow-sensitive tier — Andersen-style
+	// propagation whose memory flows are restricted to store→load pairs
+	// admitted by a one-shot control-flow/concurrency reachability summary.
+	// Sounder orderings than Andersen, cheaper than memory-SSA tiers.
+	PrecisionCFGFreeFS
+	// PrecisionThreadObliviousFS: sparse flow-sensitive solve over the
+	// thread-oblivious def-use graph only (interference phases skipped).
+	// Sound for sequential flows; cross-thread value flows are missing.
+	PrecisionThreadObliviousFS
+	// PrecisionSparseFS: the full FSAM result (under whatever ablations
+	// Config selected).
+	PrecisionSparseFS
+)
+
+func (p Precision) String() string {
+	switch p {
+	case PrecisionNone:
+		return "none"
+	case PrecisionAndersenOnly:
+		return "andersen-only"
+	case PrecisionCFGFreeFS:
+		return "cfgfree-fs"
+	case PrecisionThreadObliviousFS:
+		return "thread-oblivious-fs"
+	case PrecisionSparseFS:
+		return "sparse-fs"
+	}
+	return fmt.Sprintf("Precision(%d)", int(p))
+}
+
+// ParsePrecision maps a Precision.String() rendering back onto the tier
+// (PrecisionNone and false for unknown strings). Consumers that fold
+// serialized tiers — the bench harness' exit-code computation, log
+// analysis — parse here instead of re-hardcoding the strings.
+func ParsePrecision(s string) (Precision, bool) {
+	for _, p := range []Precision{PrecisionNone, PrecisionAndersenOnly,
+		PrecisionCFGFreeFS, PrecisionThreadObliviousFS, PrecisionSparseFS} {
+		if p.String() == s {
+			return p, true
+		}
+	}
+	return PrecisionNone, false
+}
+
+// PTSView is the uniform points-to query surface every backend extracts
+// from its result, so the facade's queries and the harness' precision
+// metrics are engine-independent.
+type PTSView interface {
+	// VarPTS returns the points-to set of a top-level SSA variable (never
+	// nil). Top-level variables are in SSA form, so one set per variable is
+	// a flow-sensitive answer for every engine that orders memory flows.
+	VarPTS(v *ir.Var) *pts.Set
+	// GlobalExit returns the objects obj may hold at the exit of main —
+	// the paper's "final" answer. Flow-insensitive engines (Andersen,
+	// cfgfree's object summaries) answer with their single per-object set.
+	GlobalExit(main *ir.Function, obj *ir.Object) *pts.Set
+}
+
+// Solver is one registered analysis backend.
+type Solver interface {
+	// Name is the engine's registry key (Config.Engine).
+	Name() string
+	// Tier is the precision the engine's successful result carries, and
+	// its position on the degradation ladder.
+	Tier() Precision
+	// Phases returns the engine's phase DAG for cfg, excluding the compile
+	// phase (the facade prepends it on the source path). The first phase
+	// needs SlotProg; the pre-analysis phase is shared by every engine.
+	Phases(cfg Config) []pipeline.Phase
+	// Result extracts the engine's points-to view from a pipeline State in
+	// which the engine's phases completed; nil when the State does not
+	// hold the engine's outputs.
+	Result(st *pipeline.State) PTSView
+	// OnLadder reports whether the engine serves as a degradation rung.
+	// Off-ladder engines (the NONSPARSE baseline) can still be selected
+	// explicitly and still degrade downward through on-ladder rungs.
+	OnLadder() bool
+}
+
+var (
+	regMu     sync.RWMutex
+	regByName = map[string]Solver{}
+	regOrder  []Solver
+)
+
+// Register adds a backend to the registry. Registering a duplicate name
+// panics: engines are wired at init time, so a collision is a programming
+// error, not a runtime condition.
+func Register(s Solver) {
+	regMu.Lock()
+	defer regMu.Unlock()
+	if _, dup := regByName[s.Name()]; dup {
+		panic(fmt.Sprintf("solver: duplicate engine %q", s.Name()))
+	}
+	regByName[s.Name()] = s
+	regOrder = append(regOrder, s)
+}
+
+// Lookup returns the backend registered under name, or nil.
+func Lookup(name string) Solver {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	return regByName[name]
+}
+
+// Known reports whether name is a registered engine.
+func Known(name string) bool { return Lookup(name) != nil }
+
+// Names lists the registered engines in registration order (ladder order
+// first, then off-ladder baselines).
+func Names() []string {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	out := make([]string, len(regOrder))
+	for i, s := range regOrder {
+		out[i] = s.Name()
+	}
+	return out
+}
+
+// Ladder returns the on-ladder engines in descending Tier order: the
+// degradation sequence sparse FS → thread-oblivious FS → cfgfree →
+// Andersen-only. The facade walks the returned slice, attempting each rung
+// strictly below the failed engine's tier.
+func Ladder() []Solver {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	var out []Solver
+	for _, s := range regOrder {
+		if s.OnLadder() {
+			out = append(out, s)
+		}
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Tier() > out[j].Tier() })
+	return out
+}

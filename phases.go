@@ -1,258 +1,48 @@
 package fsam
 
-// The FSAM and NONSPARSE pipelines as phase DAGs over the pass manager
-// (internal/pipeline). Each phase declares the State slots it consumes and
-// produces; the manager derives the dependency DAG, runs independent
-// phases concurrently (the interleaving and lock analyses both consume
-// only the thread model, so they overlap), enforces the per-run context
-// deadline, and records per-phase wall time and bytes — the facade's
-// Stats.Times are read off the manager's Report, not inline stopwatches.
+// The phase vocabulary lives in internal/solver (shared by the registered
+// engine backends); this file keeps the facade-local aliases and the
+// manager construction with its test fault-injection seam.
 
 import (
-	"context"
-
-	"repro/internal/core"
-	"repro/internal/ir"
-	"repro/internal/locks"
-	"repro/internal/mhp"
-	"repro/internal/pcg"
 	"repro/internal/pipeline"
-	"repro/internal/threads"
-	"repro/internal/vfg"
+	"repro/internal/solver"
 )
 
-// State slot names shared by the FSAM and NONSPARSE phase DAGs.
+// State slot and phase names, aliased from the solver package for the
+// facade's internal use.
 const (
-	slotProg       = "prog"     // *ir.Program
-	slotBase       = "base"     // *pipeline.Base (Model nil until threadmodel)
-	slotModel      = "model"    // *threads.Model
-	slotMHP        = "mhp"      // *mhp.Result
-	slotPCG        = "pcg"      // *pcg.Result
-	slotLocks      = "locks"    // *locks.Result
-	slotVFG        = "vfg"      // *vfg.Graph
-	slotResult     = "result"   // *core.Result
-	slotNSResult   = "nsresult" // *nonsparse.Result
-	phaseCompile   = "compile"
-	phasePre       = "preanalysis"
-	phaseModel     = "threadmodel"
-	phaseIL        = "interleave"
-	phaseLocks     = "locks"
-	phaseDefUse    = "defuse"
-	phaseSparse    = "sparse"
-	phaseNonSparse = "nonsparse"
+	slotProg     = solver.SlotProg
+	slotBase     = solver.SlotBase
+	slotModel    = solver.SlotModel
+	slotMHP      = solver.SlotMHP
+	slotPCG      = solver.SlotPCG
+	slotLocks    = solver.SlotLocks
+	slotVFG      = solver.SlotVFG
+	slotResult   = solver.SlotResult
+	slotNSResult = solver.SlotNSResult
+	slotCFGFree  = solver.SlotCFGFree
+
+	phaseCompile   = solver.PhaseCompile
+	phasePre       = solver.PhasePre
+	phaseModel     = solver.PhaseModel
+	phaseIL        = solver.PhaseIL
+	phaseLocks     = solver.PhaseLocks
+	phaseDefUse    = solver.PhaseDefUse
+	phaseSparse    = solver.PhaseSparse
+	phaseNonSparse = solver.PhaseNonSparse
+	phaseCFGFree   = solver.PhaseCFGFree
 )
-
-// compilePhase parses and lowers source into the prog slot. Having it on
-// the manager means compile time is measured directly rather than derived
-// by subtracting the other phases from a wall clock.
-func compilePhase(name, src string) pipeline.Phase {
-	return pipeline.Phase{
-		Name:     phaseCompile,
-		Provides: []string{slotProg},
-		Run: func(ctx context.Context, st *pipeline.State) error {
-			prog, err := pipeline.Compile(name, src)
-			if err != nil {
-				return err
-			}
-			st.Put(slotProg, prog)
-			return nil
-		},
-	}
-}
-
-// preAnalysisPhase runs Andersen + call graph + ICFG + context table.
-func preAnalysisPhase(ctxDepth int) pipeline.Phase {
-	return pipeline.Phase{
-		Name:     phasePre,
-		Needs:    []string{slotProg},
-		Provides: []string{slotBase},
-		Run: func(ctx context.Context, st *pipeline.State) error {
-			base, err := pipeline.BuildPre(ctx, pipeline.Get[*ir.Program](st, slotProg), ctxDepth)
-			if err != nil {
-				return err
-			}
-			st.Put(slotBase, base)
-			return nil
-		},
-		Bytes: func(st *pipeline.State) uint64 {
-			return pipeline.Get[*pipeline.Base](st, slotBase).Pre.Bytes()
-		},
-	}
-}
-
-// threadModelPhase builds the static thread model.
-func threadModelPhase() pipeline.Phase {
-	return pipeline.Phase{
-		Name:     phaseModel,
-		Needs:    []string{slotBase},
-		Provides: []string{slotModel},
-		Run: func(ctx context.Context, st *pipeline.State) error {
-			base := pipeline.Get[*pipeline.Base](st, slotBase)
-			base.BuildThreadModel()
-			st.Put(slotModel, base.Model)
-			return nil
-		},
-	}
-}
-
-// interleavePhase runs the precise interleaving analysis (or the coarse
-// PCG under NoInterleaving). Independent of the lock phase by
-// construction: both consume only the thread model.
-func interleavePhase(noInterleaving bool) pipeline.Phase {
-	provides := slotMHP
-	if noInterleaving {
-		provides = slotPCG
-	}
-	return pipeline.Phase{
-		Name:     phaseIL,
-		Needs:    []string{slotModel},
-		Provides: []string{provides},
-		Run: func(ctx context.Context, st *pipeline.State) error {
-			model := pipeline.Get[*threads.Model](st, slotModel)
-			if noInterleaving {
-				st.Put(slotPCG, pcg.Analyze(model))
-				return nil
-			}
-			il, err := mhp.AnalyzeCtx(ctx, model)
-			if err != nil {
-				return err
-			}
-			st.Put(slotMHP, il)
-			return nil
-		},
-		Bytes: func(st *pipeline.State) uint64 {
-			if noInterleaving {
-				return pipeline.Get[*pcg.Result](st, slotPCG).Bytes()
-			}
-			return pipeline.Get[*mhp.Result](st, slotMHP).Bytes()
-		},
-	}
-}
-
-// locksPhase discovers lock-release spans.
-func locksPhase() pipeline.Phase {
-	return pipeline.Phase{
-		Name:     phaseLocks,
-		Needs:    []string{slotModel},
-		Provides: []string{slotLocks},
-		Run: func(ctx context.Context, st *pipeline.State) error {
-			st.Put(slotLocks, locks.Analyze(pipeline.Get[*threads.Model](st, slotModel)))
-			return nil
-		},
-		Bytes: func(st *pipeline.State) uint64 {
-			return pipeline.Get[*locks.Result](st, slotLocks).Bytes()
-		},
-	}
-}
-
-// defUsePhase builds the thread-oblivious + thread-aware def-use graph.
-func defUsePhase(cfg Config) pipeline.Phase {
-	needs := []string{slotModel}
-	if cfg.NoInterleaving {
-		needs = append(needs, slotPCG)
-	} else {
-		needs = append(needs, slotMHP)
-	}
-	if !cfg.NoLock {
-		needs = append(needs, slotLocks)
-	}
-	return pipeline.Phase{
-		Name:     phaseDefUse,
-		Needs:    needs,
-		Provides: []string{slotVFG},
-		Run: func(ctx context.Context, st *pipeline.State) error {
-			g, err := vfg.BuildCtx(ctx, pipeline.Get[*threads.Model](st, slotModel), vfg.Options{
-				Interleave:  pipeline.Get[*mhp.Result](st, slotMHP),
-				PCG:         pipeline.Get[*pcg.Result](st, slotPCG),
-				Locks:       pipeline.Get[*locks.Result](st, slotLocks),
-				NoValueFlow: cfg.NoValueFlow,
-			})
-			if err != nil {
-				return err
-			}
-			st.Put(slotVFG, g)
-			return nil
-		},
-		Bytes: func(st *pipeline.State) uint64 {
-			return pipeline.Get[*vfg.Graph](st, slotVFG).Bytes()
-		},
-	}
-}
-
-// obliviousDefUsePhase builds the def-use graph in thread-oblivious mode
-// (sequential memory SSA plus fork-bypass/join edges, no [THREAD-VF]).
-// It is the degradation ladder's middle tier: it consumes only the thread
-// model, so it can run after the interference analyses failed.
-func obliviousDefUsePhase() pipeline.Phase {
-	return pipeline.Phase{
-		Name:     phaseDefUse,
-		Needs:    []string{slotModel},
-		Provides: []string{slotVFG},
-		Run: func(ctx context.Context, st *pipeline.State) error {
-			g, err := vfg.BuildCtx(ctx, pipeline.Get[*threads.Model](st, slotModel),
-				vfg.Options{ThreadOblivious: true})
-			if err != nil {
-				return err
-			}
-			st.Put(slotVFG, g)
-			return nil
-		},
-		Bytes: func(st *pipeline.State) uint64 {
-			return pipeline.Get[*vfg.Graph](st, slotVFG).Bytes()
-		},
-	}
-}
-
-// sparsePhase runs the sparse flow-sensitive solve.
-func sparsePhase() pipeline.Phase {
-	return pipeline.Phase{
-		Name:     phaseSparse,
-		Needs:    []string{slotModel, slotVFG},
-		Provides: []string{slotResult},
-		Run: func(ctx context.Context, st *pipeline.State) error {
-			res, err := core.SolveCtx(ctx,
-				pipeline.Get[*threads.Model](st, slotModel),
-				pipeline.Get[*vfg.Graph](st, slotVFG))
-			if err != nil {
-				return err
-			}
-			st.Put(slotResult, res)
-			return nil
-		},
-		Bytes: func(st *pipeline.State) uint64 {
-			// Result.Bytes includes the def-use graph, which the defuse
-			// phase already accounts for.
-			res := pipeline.Get[*core.Result](st, slotResult)
-			return res.Bytes() - pipeline.Get[*vfg.Graph](st, slotVFG).Bytes()
-		},
-	}
-}
-
-// fsamPhases assembles the FSAM DAG for cfg; withCompile prepends the
-// compile phase (the AnalyzeSource path), otherwise the prog slot must be
-// seeded.
-func fsamPhases(cfg Config, name, src string, withCompile bool) []pipeline.Phase {
-	var ps []pipeline.Phase
-	if withCompile {
-		ps = append(ps, compilePhase(name, src))
-	}
-	ps = append(ps, preAnalysisPhase(cfg.CtxDepth), threadModelPhase(),
-		interleavePhase(cfg.NoInterleaving))
-	if !cfg.NoLock {
-		ps = append(ps, locksPhase())
-	}
-	ps = append(ps, defUsePhase(cfg), sparsePhase())
-	return ps
-}
 
 // testPhaseWrap, when non-nil, wraps every phase before scheduling. It is
 // the fault-injection seam for the degradation-ladder tests (installed via
 // export_test.go) and is nil outside test binaries.
 var testPhaseWrap func(pipeline.Phase) pipeline.Phase
 
-// newManager builds a Manager over phases, honoring cfg.Sequential and
-// the test fault-injection hook.
-func newManager(cfg Config, phases []pipeline.Phase) (*pipeline.Manager, error) {
+// newManager builds a Manager over phases, honoring cfg.Sequential and the
+// test fault-injection hook. engineName labels the run for phase-error
+// attribution (PhaseError.Engine).
+func newManager(cfg Config, engineName string, phases []pipeline.Phase) (*pipeline.Manager, error) {
 	if testPhaseWrap != nil {
 		wrapped := make([]pipeline.Phase, len(phases))
 		for i, p := range phases {
@@ -265,5 +55,26 @@ func newManager(cfg Config, phases []pipeline.Phase) (*pipeline.Manager, error) 
 		return nil, err
 	}
 	m.Sequential = cfg.Sequential
+	m.Engine = engineName
 	return m, nil
+}
+
+// prunePhases drops phases whose every provided slot is already populated
+// in st — the degradation ladder's way of not re-running the pre-analysis
+// or thread model a failed tier already completed.
+func prunePhases(phases []pipeline.Phase, st *pipeline.State) []pipeline.Phase {
+	var out []pipeline.Phase
+	for _, p := range phases {
+		done := len(p.Provides) > 0
+		for _, slot := range p.Provides {
+			if v, ok := st.Value(slot); !ok || v == nil {
+				done = false
+				break
+			}
+		}
+		if !done {
+			out = append(out, p)
+		}
+	}
+	return out
 }
