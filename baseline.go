@@ -33,7 +33,7 @@ func AnalyzeSourceNonSparse(name, src string, timeout time.Duration) (*Baseline,
 	defer cancel()
 	b, err := runNonSparse(ctx, solver.NonSparsePhases(name, src, true), pipeline.NewState())
 	var pe *pipeline.PhaseError
-	if errors.As(err, &pe) && pe.Phase == phaseCompile {
+	if errors.As(err, &pe) && pe.Phase == solver.PhaseCompile {
 		return nil, pe.Err // a source error, not an analysis failure
 	}
 	if err != nil && pipeline.ErrCancelled(err) {
@@ -69,7 +69,7 @@ func AnalyzeProgramNonSparse(prog *ir.Program, timeout time.Duration) *Baseline 
 // *pipeline.PhaseError alongside the partially-populated Baseline.
 func AnalyzeProgramNonSparseCtx(ctx context.Context, prog *ir.Program) (*Baseline, error) {
 	st := pipeline.NewState()
-	st.Put(slotProg, prog)
+	st.Put(solver.SlotProg, prog)
 	return runNonSparse(ctx, solver.NonSparsePhases("", "", false), st)
 }
 
@@ -89,9 +89,9 @@ func runNonSparse(ctx context.Context, phases []pipeline.Phase, st *pipeline.Sta
 	}
 	rep, runErr := mgr.Run(ctx, st)
 	b := &Baseline{
-		Prog:   pipeline.Get[*ir.Program](st, slotProg),
-		Base:   pipeline.Get[*pipeline.Base](st, slotBase),
-		Result: pipeline.Get[*nonsparse.Result](st, slotNSResult),
+		Prog:   pipeline.Get[*ir.Program](st, solver.SlotProg),
+		Base:   pipeline.Get[*pipeline.Base](st, solver.SlotBase),
+		Result: pipeline.Get[*nonsparse.Result](st, solver.SlotNSResult),
 	}
 	b.fillStats(rep)
 	return b, runErr
@@ -101,10 +101,10 @@ func runNonSparse(ctx context.Context, phases []pipeline.Phase, st *pipeline.Sta
 // time lands in the Sparse slot so FSAM and NONSPARSE rows line up.
 func (b *Baseline) fillStats(rep *pipeline.Report) {
 	t := &b.Stats.Times
-	t.Compile = rep.Time(phaseCompile)
-	t.PreAnalysis = rep.Time(phasePre)
-	t.ThreadModel = rep.Time(phaseModel)
-	t.Sparse = rep.Time(phaseNonSparse)
+	t.Compile = rep.Time(solver.PhaseCompile)
+	t.PreAnalysis = rep.Time(solver.PhasePre)
+	t.ThreadModel = rep.Time(solver.PhaseModel)
+	t.Sparse = rep.Time(solver.PhaseNonSparse)
 	b.Stats.Bytes = rep.TotalBytes()
 	if b.Prog != nil {
 		b.Stats.Stmts = b.Prog.NumStmts()

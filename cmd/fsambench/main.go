@@ -13,6 +13,13 @@
 //	fsambench -perfdiff FILE       re-run the smallest scale recorded in a
 //	                               -scales seed file and fail (exit 1) on a
 //	                               >25% total wall-time regression
+//	fsambench -incremental         cold vs warm: analyze each benchmark,
+//	                               apply the canonical one-function edit,
+//	                               and re-analyze both from scratch and
+//	                               incrementally (default scales 1,4,16;
+//	                               override with -scales). Fails (exit 1)
+//	                               when results differ or warm exceeds
+//	                               40% of cold at scale 4
 //	fsambench -server URL          drive a running fsamd instead: N requests
 //	                               per benchmark (-requests), reporting
 //	                               client-observed latency percentiles and
@@ -71,6 +78,8 @@ func run() (int, error) {
 		scale     = flag.Int("scale", harness.DefaultScale, "workload scale factor")
 		scalesCSV = flag.String("scales", "", "comma-separated scales: run Table 2 at each (with -json, emit the seed-file object)")
 		perfdiff  = flag.String("perfdiff", "", "seed JSON file to diff wall times against (exit 1 on >25% total regression)")
+		incr      = flag.Bool("incremental", false, "measure cold vs warm (incremental) re-analysis per benchmark")
+		reps      = flag.Int("reps", 3, "timed repetitions per -incremental measurement (best-of-N)")
 		timeout   = flag.Duration("timeout", harness.DefaultTimeout, "per-analysis deadline (stand-in for the paper's 2h)")
 		memBud    = flag.Uint64("membudget", 0, "soft heap budget in bytes for each FSAM run, 0 = unlimited")
 		stepLim   = flag.Int64("steplimit", 0, "per-phase worklist-pop limit for each FSAM run, 0 = unlimited")
@@ -88,6 +97,17 @@ func run() (int, error) {
 		return runServer(*srvURL, *requests, *scale, *timeout, *engine, *memBud, *stepLim)
 	}
 	cfg := fsam.Config{Engine: *engine, MemBudgetBytes: *memBud, StepLimit: *stepLim}
+	if *incr {
+		scales := []int{1, 4, 16}
+		if *scalesCSV != "" {
+			var err error
+			if scales, err = parseScales(*scalesCSV); err != nil {
+				fmt.Fprintln(os.Stderr, "fsambench:", err)
+				os.Exit(exitcode.Usage)
+			}
+		}
+		return runIncremental(scales, *reps, *timeout, cfg, *asJSON)
+	}
 	if *perfdiff != "" {
 		return runPerfDiff(*perfdiff, *timeout, cfg)
 	}
@@ -322,6 +342,80 @@ func runScales(scales []int, timeout time.Duration, cfg fsam.Config, asJSON bool
 
 // perfDiffThreshold is the tolerated total wall-time growth over the seed.
 const perfDiffThreshold = 1.25
+
+// warmRatioThreshold is the incremental-path speedup gate: at the gated
+// scale, re-analyzing the suite's canonical one-function edits warm must
+// cost at most this fraction of analyzing them cold.
+const warmRatioThreshold = 0.40
+
+// warmRatioScale is the scale the warm/cold gate applies at. Scale 1 runs
+// are milliseconds-noisy and scale 16 is slow to double-run in CI; 4 is
+// where the suite is big enough to measure and small enough to gate on.
+const warmRatioScale = 4
+
+// runIncremental measures cold vs warm re-analysis per benchmark and scale:
+// each benchmark is analyzed, edited via the canonical one-function edit,
+// and the edit re-analyzed both from scratch and incrementally (best of
+// reps timed runs each). Results must be identical; at warmRatioScale the
+// suite-total warm time must stay under warmRatioThreshold of cold.
+func runIncremental(scales []int, reps int, timeout time.Duration, cfg fsam.Config, asJSON bool) (int, error) {
+	ctx := context.Background()
+	byScale := map[string][]harness.IncrementalRow{}
+	var gateErr error
+	for _, sc := range scales {
+		var rows []harness.IncrementalRow
+		var coldTotal, warmTotal time.Duration
+		if !asJSON {
+			fmt.Printf("== incremental, scale %d, engine %s ==\n", sc, cfg.Normalize().Engine)
+			fmt.Printf("%-14s %10s %10s %7s  %-8s %8s %8s %s\n",
+				"benchmark", "cold(s)", "warm(s)", "ratio", "tier", "adopted", "changed", "identical")
+		}
+		for _, spec := range workload.Suite {
+			row, err := harness.RunIncremental(ctx, spec.Name, sc, reps, timeout, cfg)
+			if err != nil {
+				return exitcode.Failure, err
+			}
+			rows = append(rows, row)
+			coldTotal += row.Cold
+			warmTotal += row.Warm
+			if !row.Identical {
+				gateErr = fmt.Errorf("%s at scale %d: warm results differ from cold", spec.Name, sc)
+			}
+			if !asJSON {
+				fmt.Printf("%-14s %10.3f %10.3f %6.2fx  %-8s %8d %8d %v\n",
+					row.Name, row.Cold.Seconds(), row.Warm.Seconds(), row.Ratio(),
+					row.Tier, row.Adopted, row.Changed, row.Identical)
+			}
+		}
+		ratio := 0.0
+		if coldTotal > 0 {
+			ratio = float64(warmTotal) / float64(coldTotal)
+		}
+		if !asJSON {
+			fmt.Printf("%-14s %10.3f %10.3f %6.2fx\n\n", "TOTAL",
+				coldTotal.Seconds(), warmTotal.Seconds(), ratio)
+		}
+		if sc == warmRatioScale && ratio > warmRatioThreshold && gateErr == nil {
+			gateErr = fmt.Errorf("warm re-analysis at scale %d cost %.2fx of cold (threshold %.2fx)",
+				sc, ratio, warmRatioThreshold)
+		}
+		byScale[strconv.Itoa(sc)] = rows
+	}
+	if asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(byScale); err != nil {
+			return exitcode.Failure, err
+		}
+	}
+	if gateErr != nil {
+		return exitcode.Failure, gateErr
+	}
+	if !asJSON {
+		fmt.Println("incremental ok")
+	}
+	return exitcode.OK, nil
+}
 
 // runPerfDiff re-runs Table 2 at the smallest scale recorded in the seed
 // file and compares total FSAM wall time. Per-benchmark times at small

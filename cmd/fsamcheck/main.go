@@ -18,6 +18,11 @@
 //	                   file and exits 0; "check" reports only findings
 //	                   not in the baseline
 //	-baseline-file F   baseline path (default .fsamcheck.baseline)
+//	-incremental F     re-analyze each input as an edit of base program F,
+//	                   adopting every per-function fact the edit did not
+//	                   invalidate (findings are identical to a from-scratch
+//	                   run; with -server, F is analyzed once and the inputs
+//	                   are submitted as base+patch requests)
 //	-list              print the registered checkers and exit
 //	-timeout D         analysis deadline per file (default 2h)
 //	-membudget N       soft heap budget in bytes (0 = unlimited)
@@ -68,7 +73,16 @@ type options struct {
 	memBudget  uint64
 	stepLimit  int64
 	serverURL  string
-	files      []string
+	// incremental names a base program; inputs are analyzed as edits of it.
+	incremental string
+	files       []string
+}
+
+// incrementalBase is the analyzed -incremental program: the in-process
+// analysis handle, or (on the -server path) the daemon-side program key.
+type incrementalBase struct {
+	a       *fsam.Analysis
+	progKey string
 }
 
 func run(argv []string, stdout, stderr io.Writer) int {
@@ -85,6 +99,7 @@ func run(argv []string, stdout, stderr io.Writer) int {
 		memBud       = fs.Uint64("membudget", 0, "soft heap budget in bytes, 0 = unlimited")
 		stepLim      = fs.Int64("steplimit", 0, "per-phase worklist-pop limit, 0 = unlimited")
 		srvURL       = fs.String("server", "", "analyze via a running fsamd at this base URL")
+		incr         = fs.String("incremental", "", "re-analyze inputs as edits of this base program")
 	)
 	if err := fs.Parse(argv); err != nil {
 		return exitcode.Usage
@@ -99,7 +114,7 @@ func run(argv []string, stdout, stderr io.Writer) int {
 		engine: *engine,
 		format: *format, baseline: *baseMode, baseFile: *baseFile,
 		timeout: *timeout, memBudget: *memBud, stepLimit: *stepLim,
-		serverURL: *srvURL, files: fs.Args(),
+		serverURL: *srvURL, incremental: *incr, files: fs.Args(),
 	}
 	if !fsam.KnownEngine(opt.engine) {
 		fmt.Fprintf(stderr, "fsamcheck: unknown engine %q (known: %s)\n",
@@ -149,14 +164,22 @@ func check(opt options, stdout, stderr io.Writer) int {
 		all        []diag.Diagnostic
 		skipped    = map[string]string{}
 		suppressed int
+		inc        *incrementalBase
 	)
+	if opt.incremental != "" {
+		var code int
+		inc, code = loadIncrementalBase(opt, stderr)
+		if inc == nil {
+			return code
+		}
+	}
 	for _, path := range opt.files {
 		srcBytes, err := os.ReadFile(path)
 		if err != nil {
 			fmt.Fprintln(stderr, "fsamcheck:", err)
 			return exitcode.Failure
 		}
-		res, code := analyzeOne(opt, path, string(srcBytes), stderr)
+		res, code := analyzeOne(opt, inc, path, string(srcBytes), stderr)
 		if res == nil {
 			return code
 		}
@@ -240,10 +263,16 @@ func render(w io.Writer, opt options, diags []diag.Diagnostic) error {
 	}
 }
 
-// analyzeOne produces the diagnostics of one file, in-process or via a
-// served fsamd. A nil result means a terminal error; the int is the exit
-// code to return.
-func analyzeOne(opt options, path, src string, stderr io.Writer) (*fsam.DiagnosticsResult, int) {
+// loadIncrementalBase analyzes the -incremental program once. In-process
+// the result is the base Analysis every input deltas against; on the
+// -server path it is the daemon-side program key the patch requests name.
+// A nil result means a terminal error; the int is the exit code.
+func loadIncrementalBase(opt options, stderr io.Writer) (*incrementalBase, int) {
+	srcBytes, err := os.ReadFile(opt.incremental)
+	if err != nil {
+		fmt.Fprintln(stderr, "fsamcheck:", err)
+		return nil, exitcode.Failure
+	}
 	ctx := context.Background()
 	if opt.timeout > 0 {
 		var cancel context.CancelFunc
@@ -251,10 +280,59 @@ func analyzeOne(opt options, path, src string, stderr io.Writer) (*fsam.Diagnost
 		defer cancel()
 	}
 	if opt.serverURL != "" {
-		return analyzeServed(ctx, opt, path, src, stderr)
+		c := client.New(opt.serverURL)
+		resp, err := c.Analyze(ctx, server.AnalyzeRequest{
+			Name:   opt.incremental,
+			Source: string(srcBytes),
+			Config: server.ConfigRequest{Engine: opt.engine, MemBudgetBytes: opt.memBudget, StepLimit: opt.stepLimit},
+		})
+		if err != nil {
+			fmt.Fprintln(stderr, "fsamcheck:", err)
+			return nil, exitcode.Failure
+		}
+		if resp.ProgKey == "" {
+			fmt.Fprintf(stderr, "fsamcheck: server returned no program key for %s; cannot analyze incrementally\n", opt.incremental)
+			return nil, exitcode.Failure
+		}
+		return &incrementalBase{progKey: resp.ProgKey}, exitcode.OK
 	}
 	cfg := fsam.Config{Engine: opt.engine, MemBudgetBytes: opt.memBudget, StepLimit: opt.stepLimit}.Normalize()
-	a, err := fsam.AnalyzeSourceCtx(ctx, path, src, cfg)
+	a, err := fsam.AnalyzeSourceCtx(ctx, opt.incremental, string(srcBytes), cfg)
+	if err != nil {
+		fmt.Fprintln(stderr, "fsamcheck:", err)
+		return nil, exitcode.Failure
+	}
+	return &incrementalBase{a: a}, exitcode.OK
+}
+
+// analyzeOne produces the diagnostics of one file, in-process or via a
+// served fsamd, optionally as a delta against inc. A nil result means a
+// terminal error; the int is the exit code to return.
+func analyzeOne(opt options, inc *incrementalBase, path, src string, stderr io.Writer) (*fsam.DiagnosticsResult, int) {
+	ctx := context.Background()
+	if opt.timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, opt.timeout)
+		defer cancel()
+	}
+	if opt.serverURL != "" {
+		return analyzeServed(ctx, opt, inc, path, src, stderr)
+	}
+	var (
+		a   *fsam.Analysis
+		err error
+	)
+	if inc != nil {
+		var rep *fsam.DeltaReport
+		a, rep, err = fsam.AnalyzeDeltaCtx(ctx, inc.a, path, src)
+		if rep != nil {
+			fmt.Fprintf(stderr, "fsamcheck: %s: incremental tier=%s adopted=%d changed=%d (%s)\n",
+				path, rep.Tier, rep.AdoptedFuncs, len(rep.ChangedFuncs), rep.Facts)
+		}
+	} else {
+		cfg := fsam.Config{Engine: opt.engine, MemBudgetBytes: opt.memBudget, StepLimit: opt.stepLimit}.Normalize()
+		a, err = fsam.AnalyzeSourceCtx(ctx, path, src, cfg)
+	}
 	if err != nil {
 		if pipeline.ErrCancelled(err) {
 			fmt.Fprintf(stderr, "fsamcheck: %s: out of time after %s\n", path, opt.timeout)
@@ -278,9 +356,10 @@ func analyzeOne(opt options, path, src string, stderr io.Writer) (*fsam.Diagnost
 	return res, exitcode.OK
 }
 
-// analyzeServed is the -server path: POST the source, then query
-// /v1/diagnostics on the cached result.
-func analyzeServed(ctx context.Context, opt options, path, src string, stderr io.Writer) (*fsam.DiagnosticsResult, int) {
+// analyzeServed is the -server path: POST the source (as a base+patch
+// request when inc is set), then query /v1/diagnostics on the cached
+// result.
+func analyzeServed(ctx context.Context, opt options, inc *incrementalBase, path, src string, stderr io.Writer) (*fsam.DiagnosticsResult, int) {
 	c := client.New(opt.serverURL)
 	areq := server.AnalyzeRequest{
 		Name:   path,
@@ -290,7 +369,17 @@ func analyzeServed(ctx context.Context, opt options, path, src string, stderr io
 	if opt.timeout > 0 {
 		areq.DeadlineMS = opt.timeout.Milliseconds()
 	}
-	resp, err := c.Analyze(ctx, areq)
+	var resp *server.AnalyzeResponse
+	var err error
+	if inc != nil {
+		resp, err = c.AnalyzeDelta(ctx, inc.progKey, areq)
+		if err == nil && resp.Delta != nil {
+			fmt.Fprintf(stderr, "fsamcheck: %s: incremental tier=%s adopted=%d changed=%d (%s)\n",
+				path, resp.Delta.Tier, resp.Delta.AdoptedFuncs, len(resp.Delta.ChangedFuncs), resp.Delta.Facts)
+		}
+	} else {
+		resp, err = c.Analyze(ctx, areq)
+	}
 	if err != nil {
 		var apiErr *client.APIError
 		if errors.As(err, &apiErr) && apiErr.ExitCode == exitcode.Usage {

@@ -1,6 +1,9 @@
 package fsam
 
-import "repro/internal/pipeline"
+import (
+	"repro/internal/pipeline"
+	"repro/internal/solver"
+)
 
 // SetTestPhaseWrap installs (or, with nil, removes) a wrapper applied to
 // every pipeline phase before scheduling — including the degradation
@@ -10,8 +13,8 @@ func SetTestPhaseWrap(f func(pipeline.Phase) pipeline.Phase) { testPhaseWrap = f
 
 // Phase names re-exported for the fault-injection tests.
 const (
-	PhaseSparse  = phaseSparse
-	PhaseDefUse  = phaseDefUse
-	PhaseIL      = phaseIL
-	PhaseCFGFree = phaseCFGFree
+	PhaseSparse  = solver.PhaseSparse
+	PhaseDefUse  = solver.PhaseDefUse
+	PhaseIL      = solver.PhaseIL
+	PhaseCFGFree = solver.PhaseCFGFree
 )

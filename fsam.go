@@ -35,6 +35,7 @@ import (
 	"repro/internal/deadlock"
 	"repro/internal/diag"
 	"repro/internal/engine"
+	"repro/internal/facts"
 	"repro/internal/ir"
 	"repro/internal/leak"
 	"repro/internal/locks"
@@ -129,21 +130,21 @@ func (p PhaseTimes) Each(f func(phase string, d time.Duration)) {
 // up, as the baseline API always reported it).
 func (p *PhaseTimes) setPhase(name string, d time.Duration) {
 	switch name {
-	case phaseCompile:
+	case solver.PhaseCompile:
 		p.Compile = d
-	case phasePre:
+	case solver.PhasePre:
 		p.PreAnalysis = d
-	case phaseModel:
+	case solver.PhaseModel:
 		p.ThreadModel = d
-	case phaseIL:
+	case solver.PhaseIL:
 		p.Interleave = d
-	case phaseLocks:
+	case solver.PhaseLocks:
 		p.LockSpans = d
-	case phaseDefUse:
+	case solver.PhaseDefUse:
 		p.DefUse = d
-	case phaseSparse, phaseNonSparse:
+	case solver.PhaseSparse, solver.PhaseNonSparse:
 		p.Sparse = d
-	case phaseCFGFree:
+	case solver.PhaseCFGFree:
 		p.CFGFree = d
 	}
 }
@@ -201,8 +202,27 @@ type Analysis struct {
 	Precision Precision
 	Stats     Stats
 
+	// Config is the normalized configuration the run used. AnalyzeDeltaCtx
+	// reuses it for re-analysis, and it salts the per-function fact keys so
+	// facts computed under one engine or ablation are never adopted by
+	// another.
+	Config Config
+
+	// FactsStore is the per-function fact store delta runs consult (nil
+	// selects the package-level DefaultFacts). A derived Analysis inherits
+	// the base's store, so editor-loop chains keep one counter history.
+	FactsStore *facts.Store
+
 	// view is the landed engine's uniform points-to query surface.
 	view solver.PTSView
+
+	// source is the analyzed MiniC text, retained by AnalyzeSource so
+	// delta runs can key the base's functions; snap memoizes the
+	// per-function snapshot derived from it.
+	source   string
+	snapOnce sync.Once
+	snap     *facts.Snapshot
+	snapErr  error
 
 	// SourceName is the file name diagnostics are attributed to (set by
 	// AnalyzeSource; empty for pre-built programs, where Diagnostics falls
@@ -250,12 +270,13 @@ func AnalyzeSource(name, src string, cfg Config) (*Analysis, error) {
 func AnalyzeSourceCtx(ctx context.Context, name, src string, cfg Config) (*Analysis, error) {
 	a, err := runEngine(ctx, cfg, name, src, true, pipeline.NewState())
 	var pe *pipeline.PhaseError
-	if errors.As(err, &pe) && pe.Phase == phaseCompile {
+	if errors.As(err, &pe) && pe.Phase == solver.PhaseCompile {
 		return nil, pe.Err // a source error, not an analysis failure
 	}
 	if a != nil {
 		a.SourceName = name
 		a.Suppress = diag.ParseSuppressions(src)
+		a.source = src
 	}
 	return a, err
 }
@@ -276,7 +297,7 @@ func AnalyzeProgram(prog *ir.Program, cfg Config) *Analysis {
 // did complete, with their times and bytes in Stats.
 func AnalyzeProgramCtx(ctx context.Context, prog *ir.Program, cfg Config) (*Analysis, error) {
 	st := pipeline.NewState()
-	st.Put(slotProg, prog)
+	st.Put(solver.SlotProg, prog)
 	return runEngine(ctx, cfg, "", "", false, st)
 }
 
@@ -304,6 +325,7 @@ func runEngine(ctx context.Context, cfg Config, name, src string, withCompile bo
 	rep, runErr := mgr.Run(ctx, st)
 	a := assemble(st)
 	a.Engine = eng.Name()
+	a.Config = cfg
 	a.fillStats(rep)
 	if runErr == nil {
 		a.Precision = eng.Tier()
@@ -319,15 +341,15 @@ func runEngine(ctx context.Context, cfg Config, name, src string, withCompile bo
 // assemble builds the facade view over the State's completed slots.
 func assemble(st *pipeline.State) *Analysis {
 	return &Analysis{
-		Prog:    pipeline.Get[*ir.Program](st, slotProg),
-		Base:    pipeline.Get[*pipeline.Base](st, slotBase),
-		MHP:     pipeline.Get[*mhp.Result](st, slotMHP),
-		PCG:     pipeline.Get[*pcg.Result](st, slotPCG),
-		Locks:   pipeline.Get[*locks.Result](st, slotLocks),
-		Graph:   pipeline.Get[*vfg.Graph](st, slotVFG),
-		Result:  pipeline.Get[*core.Result](st, slotResult),
-		NS:      pipeline.Get[*nonsparse.Result](st, slotNSResult),
-		CFGFree: pipeline.Get[*cfgfree.Result](st, slotCFGFree),
+		Prog:    pipeline.Get[*ir.Program](st, solver.SlotProg),
+		Base:    pipeline.Get[*pipeline.Base](st, solver.SlotBase),
+		MHP:     pipeline.Get[*mhp.Result](st, solver.SlotMHP),
+		PCG:     pipeline.Get[*pcg.Result](st, solver.SlotPCG),
+		Locks:   pipeline.Get[*locks.Result](st, solver.SlotLocks),
+		Graph:   pipeline.Get[*vfg.Graph](st, solver.SlotVFG),
+		Result:  pipeline.Get[*core.Result](st, solver.SlotResult),
+		NS:      pipeline.Get[*nonsparse.Result](st, solver.SlotNSResult),
+		CFGFree: pipeline.Get[*cfgfree.Result](st, solver.SlotCFGFree),
 	}
 }
 
@@ -347,7 +369,7 @@ func (a *Analysis) degrade(ctx context.Context, cfg Config, failed solver.Solver
 		a.Precision = PrecisionNone
 		return a, runErr
 	}
-	if a.Base == nil || pe.Phase == phaseCompile || pe.Phase == phasePre {
+	if a.Base == nil || pe.Phase == solver.PhaseCompile || pe.Phase == solver.PhasePre {
 		// Below the ladder: nothing sound completed to fall back to.
 		a.Precision = PrecisionNone
 		return a, runErr
@@ -421,10 +443,10 @@ func (a *Analysis) clearResults(st *pipeline.State) {
 // engine label, tier, view, the rung's slots, and (when the rung ran
 // phases) its report merged into Stats.
 func (a *Analysis) adoptRung(rung solver.Solver, v solver.PTSView, st *pipeline.State, rep *pipeline.Report) {
-	a.Graph = pipeline.Get[*vfg.Graph](st, slotVFG)
-	a.Result = pipeline.Get[*core.Result](st, slotResult)
-	a.NS = pipeline.Get[*nonsparse.Result](st, slotNSResult)
-	a.CFGFree = pipeline.Get[*cfgfree.Result](st, slotCFGFree)
+	a.Graph = pipeline.Get[*vfg.Graph](st, solver.SlotVFG)
+	a.Result = pipeline.Get[*core.Result](st, solver.SlotResult)
+	a.NS = pipeline.Get[*nonsparse.Result](st, solver.SlotNSResult)
+	a.CFGFree = pipeline.Get[*cfgfree.Result](st, solver.SlotCFGFree)
 	a.Engine = rung.Name()
 	a.Precision = rung.Tier()
 	a.view = v

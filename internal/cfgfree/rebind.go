@@ -1,0 +1,14 @@
+package cfgfree
+
+import "repro/internal/ir"
+
+// Rebind re-targets a completed Result onto fresh, a program for which
+// ir.Isomorphic held and whose field objects have been replayed. Every
+// fact the result holds is indexed by VarID or ObjID, both stable under
+// isomorphism, so the rebound result shares all of them and only the
+// program handle changes.
+func (r *Result) Rebind(fresh *ir.Program) *Result {
+	nr := *r
+	nr.Prog = fresh
+	return &nr
+}

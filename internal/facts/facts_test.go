@@ -1,0 +1,185 @@
+package facts_test
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/facts"
+	"repro/internal/frontend/parser"
+)
+
+func snap(t *testing.T, cfg, src string) *facts.Snapshot {
+	t.Helper()
+	f, err := parser.ParseChecked("t.mc", src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return facts.SnapshotFile(cfg, f)
+}
+
+const factsBase = `
+int g; int h;
+int *p;
+
+void worker(void *arg) {
+	if (g > 3) { p = &g; } else { p = &h; }
+}
+
+int main() {
+	thread_t t;
+	p = &g;
+	t = spawn(worker, NULL);
+	join(t);
+	return 0;
+}
+`
+
+func TestSnapshotPositionFree(t *testing.T) {
+	a := snap(t, "c", factsBase)
+	// Comments and whitespace shift every position but no token.
+	edited := strings.Replace(factsBase, "int main() {", "/* a comment */\n\n\nint main() {", 1)
+	b := snap(t, "c", edited)
+	if a.ProgKey != b.ProgKey {
+		t.Fatalf("whitespace/comment edit changed ProgKey: %s vs %s", a.ProgKey, b.ProgKey)
+	}
+	for i := range a.Funcs {
+		if a.Funcs[i].Key != b.Funcs[i].Key {
+			t.Fatalf("func %s key changed on comment edit", a.Funcs[i].Name)
+		}
+	}
+}
+
+func TestSnapshotSensitivity(t *testing.T) {
+	a := snap(t, "c", factsBase)
+
+	// Body edit changes only that function's key (plus ProgKey).
+	b := snap(t, "c", strings.Replace(factsBase, "g > 3", "g > 4", 1))
+	if a.ProgKey == b.ProgKey {
+		t.Fatalf("constant edit did not change ProgKey")
+	}
+	if a.ByName["worker"].Key == b.ByName["worker"].Key {
+		t.Fatalf("constant edit did not change worker key")
+	}
+	if a.ByName["main"].Key != b.ByName["main"].Key {
+		t.Fatalf("constant edit in worker changed main key")
+	}
+
+	// Config salt separates otherwise-identical programs.
+	c := snap(t, "other-cfg", factsBase)
+	if a.ProgKey == c.ProgKey || a.ByName["main"].Key == c.ByName["main"].Key {
+		t.Fatalf("config salt not applied")
+	}
+
+	// A signature change in a callee invalidates the caller.
+	d := snap(t, "c", strings.Replace(factsBase, "void worker(void *arg)", "int worker(void *arg)", 1))
+	if a.ByName["main"].Key == d.ByName["main"].Key {
+		t.Fatalf("callee signature change did not invalidate caller")
+	}
+
+	// A global declaration change moves ProgKey but not function keys
+	// (function facts only depend on bodies + callee signatures).
+	e := snap(t, "c", strings.Replace(factsBase, "int g; int h;", "int g; int h; int z;", 1))
+	if a.ProgKey == e.ProgKey {
+		t.Fatalf("global add did not change ProgKey")
+	}
+}
+
+func TestDiff(t *testing.T) {
+	a := snap(t, "c", factsBase)
+	b := snap(t, "c", strings.Replace(factsBase, "g > 3", "g > 4", 1))
+	d := a.Diff(b)
+	if len(d.Changed) != 1 || d.Changed[0] != "worker" {
+		t.Fatalf("changed = %v, want [worker]", d.Changed)
+	}
+	if len(d.Removed) != 0 {
+		t.Fatalf("removed = %v, want []", d.Removed)
+	}
+	if len(d.Same) != 1 || d.Same[0] != "main" {
+		t.Fatalf("same = %v, want [main]", d.Same)
+	}
+
+	// Removing a function shows up as removed.
+	noWorker := strings.Replace(factsBase,
+		"void worker(void *arg) {\n\tif (g > 3) { p = &g; } else { p = &h; }\n}\n", "", 1)
+	noWorker = strings.Replace(noWorker, "t = spawn(worker, NULL);\n\tjoin(t);\n", "", 1)
+	c := snap(t, "c", noWorker)
+	d2 := a.Diff(c)
+	found := false
+	for _, n := range d2.Removed {
+		if n == "worker" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("removed = %v, want worker included", d2.Removed)
+	}
+}
+
+func TestStoreLRUAndCounters(t *testing.T) {
+	s := facts.NewStore(3)
+	rec := func(k string) *facts.Record { return &facts.Record{Key: k, Name: "f" + k} }
+
+	for _, k := range []string{"a", "b", "c"} {
+		s.Install(rec(k))
+	}
+	if s.Len() != 3 {
+		t.Fatalf("len = %d, want 3", s.Len())
+	}
+	if _, ok := s.Lookup("a"); !ok {
+		t.Fatalf("miss on installed key a")
+	}
+	if _, ok := s.Lookup("nope"); ok {
+		t.Fatalf("hit on absent key")
+	}
+	// "a" was refreshed by the lookup; installing d must evict the LRU "b".
+	s.Install(rec("d"))
+	if s.Contains("b") {
+		t.Fatalf("LRU eviction removed the wrong entry")
+	}
+	for _, k := range []string{"a", "c", "d"} {
+		if !s.Contains(k) {
+			t.Fatalf("entry %s evicted unexpectedly", k)
+		}
+	}
+
+	if !s.Invalidate("c") {
+		t.Fatalf("invalidate of present key returned false")
+	}
+	if s.Invalidate("c") {
+		t.Fatalf("invalidate of absent key returned true")
+	}
+
+	c := s.Counters()
+	want := facts.Counters{Hits: 1, Misses: 1, Invalidations: 1, Evictions: 1, Entries: 2}
+	if c != want {
+		t.Fatalf("counters = %+v, want %+v", c, want)
+	}
+	wantStr := fmt.Sprintf("hits=%d misses=%d invalidations=%d evictions=%d entries=%d",
+		c.Hits, c.Misses, c.Invalidations, c.Evictions, c.Entries)
+	if c.String() != wantStr {
+		t.Fatalf("String() = %q, want %q", c.String(), wantStr)
+	}
+	delta := c.Sub(facts.Counters{Hits: 1, Entries: 2})
+	if delta.Hits != 0 || delta.Misses != 1 {
+		t.Fatalf("Sub wrong: %+v", delta)
+	}
+	if r := (facts.Counters{Hits: 3, Misses: 1}).HitRatio(); r != 0.75 {
+		t.Fatalf("HitRatio = %v, want 0.75", r)
+	}
+}
+
+func TestStoreInstallRefreshesNoDuplicate(t *testing.T) {
+	s := facts.NewStore(2)
+	r1 := &facts.Record{Key: "k", Name: "one"}
+	r2 := &facts.Record{Key: "k", Name: "two"}
+	s.Install(r1)
+	s.Install(r2)
+	if s.Len() != 1 {
+		t.Fatalf("duplicate key grew store: len=%d", s.Len())
+	}
+	got, ok := s.Lookup("k")
+	if !ok || got.Name != "two" {
+		t.Fatalf("install did not replace record: %+v", got)
+	}
+}

@@ -1,0 +1,231 @@
+package harness
+
+// Incremental-analysis helpers shared by the delta tests, fsambench
+// -incremental, and the CI smoke step: a canonical one-function edit over
+// generated workloads and an observable-result fingerprint that must be
+// bit-identical between a from-scratch run and an incremental re-analysis.
+
+import (
+	"context"
+	"fmt"
+	"regexp"
+	"runtime"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/ir"
+	"repro/internal/workload"
+
+	fsam "repro"
+)
+
+// sitePos matches the allocation/spawn-site position suffix embedded in
+// heap and thread object names ("heap@f:42", "thread@main:7"). Positions
+// are normalized away before comparison: the delta contract is equality
+// modulo positions (a noop-tier adoption keeps the base run's line
+// numbers, which an edit may have shifted without changing any semantics).
+var sitePos = regexp.MustCompile(`@([A-Za-z_][A-Za-z0-9_]*):[0-9]+`)
+
+func normalizePos(s string) string { return sitePos.ReplaceAllString(s, "@$1") }
+
+// Fingerprint renders every observable answer of an analysis into one
+// stable string: the flow-sensitive exit points-to set of every global, the
+// alias-pair count, and the sorted diagnostics (checker, object, message,
+// related messages — everything but raw positions). Two analyses of
+// semantically equal programs under one engine must fingerprint
+// identically — this is the equality contract AnalyzeDeltaCtx promises
+// against a from-scratch run.
+func Fingerprint(a *fsam.Analysis) (string, error) {
+	if a == nil || a.Prog == nil {
+		return "", fmt.Errorf("no analysis to fingerprint")
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "engine=%s precision=%s\n", a.Engine, a.Precision)
+
+	var globals []string
+	for _, o := range a.Prog.Objects {
+		if o.Kind == ir.ObjGlobal {
+			globals = append(globals, o.Name)
+		}
+	}
+	sort.Strings(globals)
+	for _, g := range globals {
+		names, err := a.PointsToGlobal(g)
+		if err != nil {
+			return "", fmt.Errorf("points-to %s: %w", g, err)
+		}
+		for i := range names {
+			names[i] = normalizePos(names[i])
+		}
+		sort.Strings(names)
+		fmt.Fprintf(&b, "pt %s -> {%s}\n", g, strings.Join(names, ","))
+	}
+	fmt.Fprintf(&b, "aliaspairs=%d\n", a.AliasPairs())
+
+	res, err := a.Diagnostics()
+	if err != nil {
+		return "", fmt.Errorf("diagnostics: %w", err)
+	}
+	var fps []string
+	for _, d := range res.Diags {
+		var rel []string
+		for _, r := range d.Related {
+			rel = append(rel, normalizePos(r.Message))
+		}
+		fps = append(fps, fmt.Sprintf("diag %s|%s|%s|%s",
+			d.Checker, normalizePos(d.Object), normalizePos(d.Message), strings.Join(rel, ";")))
+	}
+	sort.Strings(fps)
+	for _, fp := range fps {
+		b.WriteString(fp)
+		b.WriteByte('\n')
+	}
+	return b.String(), nil
+}
+
+// IncrementalRow is one benchmark's cold-vs-warm measurement: the wall
+// time of a from-scratch analysis of the edited program against the wall
+// time of re-analyzing the same edit incrementally, plus the equality
+// witness (the two runs' Fingerprints compared).
+type IncrementalRow struct {
+	Name  string        `json:"name"`
+	Scale int           `json:"scale"`
+	Cold  time.Duration `json:"cold_ns"`
+	Warm  time.Duration `json:"warm_ns"`
+	// Tier is the delta tier the canonical edit landed in; Adopted and
+	// Changed count functions.
+	Tier    string `json:"tier"`
+	Adopted int    `json:"adopted"`
+	Changed int    `json:"changed"`
+	// Identical reports whether the warm run's observable results matched
+	// the cold run's exactly.
+	Identical bool `json:"identical"`
+}
+
+// Ratio is warm over cold time (0 when cold was unmeasurably fast).
+func (r IncrementalRow) Ratio() float64 {
+	if r.Cold <= 0 {
+		return 0
+	}
+	return float64(r.Warm) / float64(r.Cold)
+}
+
+// RunIncremental measures one benchmark at one scale: analyze the
+// generated program (the editor's first open), apply CanonicalEdit, then
+// analyze the edited program both from scratch (cold) and as a delta
+// against the first analysis (warm), reps times each, keeping the minimum
+// wall time. The minimum is the robust estimator here: the analyses are
+// deterministic, so anything above the floor is scheduler or GC noise —
+// significant on small machines where the suite shares one core. Cold and
+// warm run the identical program, so the cold run doubles as the
+// bit-identical-results witness. reps below 1 means 1.
+func RunIncremental(ctx context.Context, name string, scale, reps int, timeout time.Duration, cfg fsam.Config) (IncrementalRow, error) {
+	row := IncrementalRow{Name: name, Scale: scale}
+	src, err := workload.Generate(name, scale)
+	if err != nil {
+		return row, err
+	}
+	edited, line := CanonicalEdit(src)
+	if line < 0 {
+		return row, fmt.Errorf("%s: no canonical edit site", name)
+	}
+	runCtx := func() (context.Context, context.CancelFunc) {
+		if timeout > 0 {
+			return context.WithTimeout(ctx, timeout)
+		}
+		return context.WithCancel(ctx)
+	}
+
+	bctx, cancel := runCtx()
+	base, err := fsam.AnalyzeSourceCtx(bctx, name+".mc", src, cfg)
+	cancel()
+	if err != nil {
+		return row, fmt.Errorf("%s: base analysis: %w", name, err)
+	}
+
+	var cold, warm *fsam.Analysis
+	for i := 0; i < reps || i == 0; i++ {
+		// Collect before each timed run so neither measurement pays the GC
+		// debt of the allocations the previous run just retired.
+		runtime.GC()
+		cctx, cancel := runCtx()
+		t0 := time.Now()
+		c, err := fsam.AnalyzeSourceCtx(cctx, name+".mc", edited, cfg)
+		d := time.Since(t0)
+		cancel()
+		if err != nil {
+			return row, fmt.Errorf("%s: cold analysis: %w", name, err)
+		}
+		if cold == nil || d < row.Cold {
+			row.Cold = d
+		}
+		cold = c
+
+		runtime.GC()
+		wctx, cancel := runCtx()
+		t0 = time.Now()
+		w, rep, err := fsam.AnalyzeDeltaCtx(wctx, base, name+".mc", edited)
+		d = time.Since(t0)
+		cancel()
+		if err != nil {
+			return row, fmt.Errorf("%s: warm analysis: %w", name, err)
+		}
+		if warm == nil || d < row.Warm {
+			row.Warm = d
+		}
+		warm = w
+		row.Tier = rep.Tier
+		row.Adopted = rep.AdoptedFuncs
+		row.Changed = len(rep.ChangedFuncs)
+	}
+
+	cfp, err := Fingerprint(cold)
+	if err != nil {
+		return row, fmt.Errorf("%s: cold fingerprint: %w", name, err)
+	}
+	wfp, err := Fingerprint(warm)
+	if err != nil {
+		return row, fmt.Errorf("%s: warm fingerprint: %w", name, err)
+	}
+	row.Identical = cfp == wfp
+	return row, nil
+}
+
+// CanonicalEdit applies the benchmark's standard one-function edit to a
+// generated workload: bump the trailing integer constant of the first
+// side-effect-free filler line (`<name>_acc = <name>_acc * A + B;`). The
+// edit changes exactly one function's content address while leaving the
+// CFG isomorphic — the tier a typical constant tweak lands in. It returns
+// the edited source and the zero-based line index it touched, or -1 when
+// src has no filler line (then src is returned unchanged).
+func CanonicalEdit(src string) (string, int) {
+	lines := strings.Split(src, "\n")
+	for i, ln := range lines {
+		j := strings.Index(ln, "_acc * ")
+		if j < 0 || !strings.HasSuffix(ln, ";") {
+			continue
+		}
+		k := strings.LastIndex(ln, "+ ")
+		if k < 0 {
+			continue
+		}
+		numEnd := len(ln) - 1 // strip ";"
+		num := ln[k+2 : numEnd]
+		v := 0
+		ok := len(num) > 0
+		for _, c := range num {
+			if c < '0' || c > '9' {
+				ok = false
+				break
+			}
+			v = v*10 + int(c-'0')
+		}
+		if !ok {
+			continue
+		}
+		lines[i] = fmt.Sprintf("%s+ %d;", ln[:k], v+1)
+		return strings.Join(lines, "\n"), i
+	}
+	return src, -1
+}

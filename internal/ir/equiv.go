@@ -1,0 +1,292 @@
+package ir
+
+import "fmt"
+
+// Isomorphic reports whether fresh — a program straight out of irbuild,
+// with no lazily-materialized field objects yet — is pointer-identical to
+// base, a program that may already have been analyzed (and so may carry
+// extra ObjField objects materialized by the solvers as a suffix of its
+// object table).
+//
+// "Pointer-identical" means: every ID space (VarID, ObjID, StmtID, function
+// order, block indices) lines up positionally AND every statement has the
+// same kind and the same operand IDs. Variable and object *names* and
+// statement *line numbers* are deliberately excluded: no solver consults
+// them, so two isomorphic programs produce bit-identical ID-indexed results
+// under this repository's deterministic pipeline. Function names are
+// compared (call resolution and the main entry are by name).
+//
+// This is the adoption gate of the incremental-analysis path: when it
+// holds, every ID-indexed fact computed for base (Andersen rows, def-use
+// graphs, sparse solve rows) is exactly the fact a from-scratch run on
+// fresh would compute, so the facts can be rebound wholesale. The non-empty
+// reason string names the first mismatch, for diagnostics and tests.
+func Isomorphic(base, fresh *Program) (bool, string) {
+	if base == nil || fresh == nil {
+		return false, "nil program"
+	}
+	if len(base.Funcs) != len(fresh.Funcs) {
+		return false, fmt.Sprintf("function count %d != %d", len(base.Funcs), len(fresh.Funcs))
+	}
+	if len(base.Vars) != len(fresh.Vars) {
+		return false, fmt.Sprintf("var count %d != %d", len(base.Vars), len(fresh.Vars))
+	}
+	// base's object table may carry solver-materialized ObjField objects.
+	// irbuild never creates ObjField, so they form a strict suffix; fresh
+	// must match the prefix exactly.
+	built := len(base.Objects)
+	for i, o := range base.Objects {
+		if o.Kind == ObjField {
+			built = i
+			break
+		}
+	}
+	for _, o := range base.Objects[built:] {
+		if o.Kind != ObjField {
+			return false, fmt.Sprintf("object %d: non-field object after first field object", o.ID)
+		}
+	}
+	if len(fresh.Objects) != built {
+		return false, fmt.Sprintf("object count %d != %d", built, len(fresh.Objects))
+	}
+	for i := 0; i < built; i++ {
+		bo, fo := base.Objects[i], fresh.Objects[i]
+		if bo.Kind != fo.Kind || bo.IsArray != fo.IsArray || bo.NumFields != fo.NumFields {
+			return false, fmt.Sprintf("object %d: shape mismatch", i)
+		}
+		if (bo.Func == nil) != (fo.Func == nil) {
+			return false, fmt.Sprintf("object %d: owner mismatch", i)
+		}
+		if bo.Func != nil && bo.Func.Name != fo.Func.Name {
+			return false, fmt.Sprintf("object %d: owner %q != %q", i, bo.Func.Name, fo.Func.Name)
+		}
+	}
+	for i := range base.Funcs {
+		if ok, why := funcIso(base.Funcs[i], fresh.Funcs[i]); !ok {
+			return false, fmt.Sprintf("func %s: %s", base.Funcs[i].Name, why)
+		}
+	}
+	if (base.Main == nil) != (fresh.Main == nil) {
+		return false, "main mismatch"
+	}
+	return true, ""
+}
+
+func funcIso(bf, ff *Function) (bool, string) {
+	if bf.Name != ff.Name {
+		return false, fmt.Sprintf("name %q != %q", bf.Name, ff.Name)
+	}
+	if bf.IsThreadEntry != ff.IsThreadEntry {
+		return false, "thread-entry mismatch"
+	}
+	if len(bf.Params) != len(ff.Params) {
+		return false, "param count"
+	}
+	for i := range bf.Params {
+		if bf.Params[i].ID != ff.Params[i].ID {
+			return false, fmt.Sprintf("param %d ID", i)
+		}
+	}
+	if !varIDEq(bf.RetVar, ff.RetVar) {
+		return false, "retvar"
+	}
+	if len(bf.Blocks) != len(ff.Blocks) {
+		return false, fmt.Sprintf("block count %d != %d", len(bf.Blocks), len(ff.Blocks))
+	}
+	for i := range bf.Blocks {
+		bb, fb := bf.Blocks[i], ff.Blocks[i]
+		if len(bb.Succs) != len(fb.Succs) {
+			return false, fmt.Sprintf("b%d succ count", i)
+		}
+		for j := range bb.Succs {
+			if bb.Succs[j].Index != fb.Succs[j].Index {
+				return false, fmt.Sprintf("b%d succ %d", i, j)
+			}
+		}
+		if len(bb.Loops) != len(fb.Loops) {
+			return false, fmt.Sprintf("b%d loop stack", i)
+		}
+		for j := range bb.Loops {
+			if bb.Loops[j] != fb.Loops[j] {
+				return false, fmt.Sprintf("b%d loop %d", i, j)
+			}
+		}
+		if len(bb.Stmts) != len(fb.Stmts) {
+			return false, fmt.Sprintf("b%d stmt count %d != %d", i, len(bb.Stmts), len(fb.Stmts))
+		}
+		for j := range bb.Stmts {
+			if ok, why := stmtIso(bb.Stmts[j], fb.Stmts[j]); !ok {
+				return false, fmt.Sprintf("b%d stmt %d (%s): %s", i, j, bb.Stmts[j], why)
+			}
+		}
+	}
+	return true, ""
+}
+
+func varIDEq(a, b *Var) bool {
+	if (a == nil) != (b == nil) {
+		return false
+	}
+	return a == nil || a.ID == b.ID
+}
+
+func objIDEq(a, b *Object) bool {
+	if (a == nil) != (b == nil) {
+		return false
+	}
+	return a == nil || a.ID == b.ID
+}
+
+func funcNameEq(a, b *Function) bool {
+	if (a == nil) != (b == nil) {
+		return false
+	}
+	return a == nil || a.Name == b.Name
+}
+
+func stmtIso(bs, fs Stmt) (bool, string) {
+	switch b := bs.(type) {
+	case *AddrOf:
+		f, ok := fs.(*AddrOf)
+		if !ok {
+			return false, "kind"
+		}
+		if !varIDEq(b.Dst, f.Dst) || !objIDEq(b.Obj, f.Obj) {
+			return false, "operands"
+		}
+	case *Copy:
+		f, ok := fs.(*Copy)
+		if !ok {
+			return false, "kind"
+		}
+		if !varIDEq(b.Dst, f.Dst) || !varIDEq(b.Src, f.Src) {
+			return false, "operands"
+		}
+	case *Load:
+		f, ok := fs.(*Load)
+		if !ok {
+			return false, "kind"
+		}
+		if !varIDEq(b.Dst, f.Dst) || !varIDEq(b.Addr, f.Addr) {
+			return false, "operands"
+		}
+	case *Store:
+		f, ok := fs.(*Store)
+		if !ok {
+			return false, "kind"
+		}
+		if !varIDEq(b.Addr, f.Addr) || !varIDEq(b.Src, f.Src) {
+			return false, "operands"
+		}
+	case *Phi:
+		f, ok := fs.(*Phi)
+		if !ok {
+			return false, "kind"
+		}
+		if !varIDEq(b.Dst, f.Dst) || len(b.Incoming) != len(f.Incoming) {
+			return false, "operands"
+		}
+		for i := range b.Incoming {
+			if !varIDEq(b.Incoming[i], f.Incoming[i]) {
+				return false, "incoming"
+			}
+		}
+	case *Gep:
+		f, ok := fs.(*Gep)
+		if !ok {
+			return false, "kind"
+		}
+		if !varIDEq(b.Dst, f.Dst) || !varIDEq(b.Base, f.Base) || b.Field != f.Field {
+			return false, "operands"
+		}
+	case *Call:
+		f, ok := fs.(*Call)
+		if !ok {
+			return false, "kind"
+		}
+		if !varIDEq(b.Dst, f.Dst) || !funcNameEq(b.Callee, f.Callee) ||
+			!varIDEq(b.CalleeVar, f.CalleeVar) || len(b.Args) != len(f.Args) {
+			return false, "operands"
+		}
+		for i := range b.Args {
+			if !varIDEq(b.Args[i], f.Args[i]) {
+				return false, "args"
+			}
+		}
+	case *Ret:
+		f, ok := fs.(*Ret)
+		if !ok {
+			return false, "kind"
+		}
+		if !varIDEq(b.Val, f.Val) {
+			return false, "operands"
+		}
+	case *Fork:
+		f, ok := fs.(*Fork)
+		if !ok {
+			return false, "kind"
+		}
+		if !varIDEq(b.Dst, f.Dst) || !funcNameEq(b.Routine, f.Routine) ||
+			!varIDEq(b.RoutineVar, f.RoutineVar) || !varIDEq(b.Arg, f.Arg) ||
+			!objIDEq(b.Handle, f.Handle) || b.InLoop != f.InLoop || b.LoopID != f.LoopID {
+			return false, "operands"
+		}
+	case *Join:
+		f, ok := fs.(*Join)
+		if !ok {
+			return false, "kind"
+		}
+		if !varIDEq(b.Handle, f.Handle) || b.InLoop != f.InLoop || b.LoopID != f.LoopID {
+			return false, "operands"
+		}
+	case *Free:
+		f, ok := fs.(*Free)
+		if !ok {
+			return false, "kind"
+		}
+		if !varIDEq(b.Ptr, f.Ptr) {
+			return false, "operands"
+		}
+	case *Lock:
+		f, ok := fs.(*Lock)
+		if !ok {
+			return false, "kind"
+		}
+		if !varIDEq(b.Ptr, f.Ptr) {
+			return false, "operands"
+		}
+	case *Unlock:
+		f, ok := fs.(*Unlock)
+		if !ok {
+			return false, "kind"
+		}
+		if !varIDEq(b.Ptr, f.Ptr) {
+			return false, "operands"
+		}
+	default:
+		return false, "unknown kind"
+	}
+	return true, ""
+}
+
+// ReplayFieldObjs materializes onto fresh, in base's creation order, every
+// field sub-object the solvers lazily materialized on base, so fresh's
+// object table becomes ID-for-ID identical to base's. It requires
+// Isomorphic(base, fresh) to have held beforehand and reports an error when
+// the replay diverges (a materialized field lands on an unexpected ID) —
+// in which case the caller must not adopt base's facts.
+func (fresh *Program) ReplayFieldObjs(base *Program) error {
+	for _, o := range base.Objects {
+		if o.Kind != ObjField {
+			continue
+		}
+		if o.Base == nil || int(o.Base.ID) >= len(fresh.Objects) {
+			return fmt.Errorf("field object %d: base object out of range", o.ID)
+		}
+		fo := fresh.FieldObj(fresh.Objects[o.Base.ID], o.FieldIdx)
+		if fo.ID != o.ID {
+			return fmt.Errorf("field object replay diverged: got ID %d, want %d", fo.ID, o.ID)
+		}
+	}
+	return nil
+}

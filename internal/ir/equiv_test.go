@@ -1,0 +1,129 @@
+package ir_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/frontend/parser"
+	"repro/internal/ir"
+	"repro/internal/irbuild"
+)
+
+func compile(t *testing.T, src string) *ir.Program {
+	t.Helper()
+	f, err := parser.ParseChecked("t.mc", src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	p, err := irbuild.BuildChecked(f)
+	if err != nil {
+		t.Fatalf("irbuild: %v", err)
+	}
+	return p
+}
+
+const equivBase = `
+int g; int h;
+int *p; int *q;
+lock_t m;
+
+void worker(void *arg) {
+	lock(&m);
+	*p = &g;
+	unlock(&m);
+	if (g > 3) { q = &g; } else { q = &h; }
+}
+
+int main() {
+	p = &g;
+	thread_t t;
+	t = spawn(worker, NULL);
+	q = p;
+	join(t);
+	return 0;
+}
+`
+
+func TestIsomorphicSelf(t *testing.T) {
+	a := compile(t, equivBase)
+	b := compile(t, equivBase)
+	if ok, why := ir.Isomorphic(a, b); !ok {
+		t.Fatalf("identical source not isomorphic: %s", why)
+	}
+}
+
+func TestIsomorphicIgnoresPositionsAndConstants(t *testing.T) {
+	a := compile(t, equivBase)
+	// Comment, blank-line, and integer-constant edits keep the CFG shape
+	// and all operand identities.
+	edited := strings.Replace(equivBase, "g > 3", "g > 7", 1)
+	edited = strings.Replace(edited, "int main() {", "/* note */\n\nint main() {", 1)
+	b := compile(t, edited)
+	if ok, why := ir.Isomorphic(a, b); !ok {
+		t.Fatalf("constant/comment edit broke isomorphism: %s", why)
+	}
+}
+
+func TestIsomorphicDetectsOperandChange(t *testing.T) {
+	a := compile(t, equivBase)
+	b := compile(t, strings.Replace(equivBase, "q = p;", "q = &h;", 1))
+	if ok, _ := ir.Isomorphic(a, b); ok {
+		t.Fatalf("operand change reported isomorphic")
+	}
+}
+
+func TestIsomorphicDetectsShapeChange(t *testing.T) {
+	a := compile(t, equivBase)
+	b := compile(t, strings.Replace(equivBase, "q = p;", "q = p;\n\t*q = &h;", 1))
+	if ok, _ := ir.Isomorphic(a, b); ok {
+		t.Fatalf("extra statement reported isomorphic")
+	}
+}
+
+func TestReplayFieldObjsRoundTrip(t *testing.T) {
+	src := `
+struct S { int *f; int *g; };
+struct S s0;
+int x;
+int main() {
+	s0.f = &x;
+	s0.g = s0.f;
+	return 0;
+}
+`
+	base := compile(t, src)
+	// Simulate solver-side field materialization on the base program.
+	var host *ir.Object
+	for _, o := range base.Objects {
+		if o.Name == "s0" {
+			host = o
+		}
+	}
+	if host == nil {
+		t.Fatalf("no object s0")
+	}
+	n := len(base.Objects)
+	base.FieldObj(host, 0)
+	base.FieldObj(host, 1)
+	if len(base.Objects) != n+2 {
+		t.Fatalf("expected 2 field objects, table grew %d -> %d", n, len(base.Objects))
+	}
+
+	fresh := compile(t, src)
+	if ok, why := ir.Isomorphic(base, fresh); !ok {
+		t.Fatalf("field suffix broke isomorphism: %s", why)
+	}
+	if err := fresh.ReplayFieldObjs(base); err != nil {
+		t.Fatalf("replay: %v", err)
+	}
+	if len(fresh.Objects) != len(base.Objects) {
+		t.Fatalf("replay did not align tables: %d vs %d", len(fresh.Objects), len(base.Objects))
+	}
+	for i := n; i < len(base.Objects); i++ {
+		bo, fo := base.Objects[i], fresh.Objects[i]
+		if bo.FieldIdx != fo.FieldIdx || bo.Base.ID != fo.Base.ID {
+			t.Fatalf("field obj %d mismatch: %s[%d] vs %s[%d]",
+				i, bo.Base.Name, bo.FieldIdx, fo.Base.Name, fo.FieldIdx)
+		}
+	}
+}

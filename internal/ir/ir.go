@@ -459,6 +459,13 @@ type Program struct {
 	Stmts []Stmt
 
 	finalized bool
+
+	// varArena and objArena chunk-allocate Vars and Objects: builds create
+	// tens of thousands of each, and one bump allocation per chunk beats
+	// one heap object per entity. Handed-out pointers stay valid because a
+	// chunk's backing array is never moved, only consumed from the front.
+	varArena []Var
+	objArena []Object
 }
 
 // NewProgram returns an empty program.
@@ -481,14 +488,29 @@ func (p *Program) NewFunc(name string) *Function {
 // NewVar creates and registers a top-level variable owned by f (f may be nil
 // for synthetic variables).
 func (p *Program) NewVar(name string, f *Function) *Var {
-	v := &Var{ID: VarID(len(p.Vars)), Name: name, Func: f}
+	if len(p.varArena) == 0 {
+		p.varArena = make([]Var, 1024)
+	}
+	v := &p.varArena[0]
+	p.varArena = p.varArena[1:]
+	v.ID = VarID(len(p.Vars))
+	v.Name = name
+	v.Func = f
 	p.Vars = append(p.Vars, v)
 	return v
 }
 
 // NewObject creates and registers an abstract object.
 func (p *Program) NewObject(kind ObjKind, name string, f *Function) *Object {
-	o := &Object{ID: ObjID(len(p.Objects)), Kind: kind, Name: name, Func: f}
+	if len(p.objArena) == 0 {
+		p.objArena = make([]Object, 512)
+	}
+	o := &p.objArena[0]
+	p.objArena = p.objArena[1:]
+	o.ID = ObjID(len(p.Objects))
+	o.Kind = kind
+	o.Name = name
+	o.Func = f
 	p.Objects = append(p.Objects, o)
 	return o
 }

@@ -12,6 +12,7 @@ package irbuild
 
 import (
 	"fmt"
+	"strconv"
 
 	"repro/internal/frontend/ast"
 	"repro/internal/frontend/token"
@@ -174,7 +175,14 @@ func (b *builder) declareLocal(name string, t types.Type) symbol {
 
 func (b *builder) temp(prefix string) *ir.Var {
 	b.tmpCount++
-	return b.prog.NewVar(fmt.Sprintf("%s.%s%d", b.fn.Name, prefix, b.tmpCount), b.fn)
+	// Hand-rolled concatenation: this runs once per lowered expression and
+	// fmt.Sprintf is measurable at that frequency.
+	buf := make([]byte, 0, len(b.fn.Name)+len(prefix)+8)
+	buf = append(buf, b.fn.Name...)
+	buf = append(buf, '.')
+	buf = append(buf, prefix...)
+	buf = strconv.AppendInt(buf, int64(b.tmpCount), 10)
+	return b.prog.NewVar(string(buf), b.fn)
 }
 
 func (b *builder) emit(s ir.Stmt) {

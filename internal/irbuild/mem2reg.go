@@ -84,9 +84,15 @@ func (b *builder) promoteFunc(f *ir.Function) {
 	}
 	phis := map[phiKey]*ir.Phi{}
 	for _, obj := range promote {
+		// Seed in block-index order, not map order: phi dst variables are
+		// created inside this worklist loop, and VarID assignment order must
+		// be a pure function of the source for programs built from equal
+		// sources to be ir.Isomorphic.
 		work := make([]*ir.Block, 0, len(defBlocks[obj]))
-		for blk := range defBlocks[obj] {
-			work = append(work, blk)
+		for _, blk := range f.Blocks {
+			if defBlocks[obj][blk] {
+				work = append(work, blk)
+			}
 		}
 		inWork := map[*ir.Block]bool{}
 		for _, blk := range work {

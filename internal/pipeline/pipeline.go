@@ -50,10 +50,21 @@ func BuildPre(ctx context.Context, prog *ir.Program, maxCtxDepth int) (*Base, er
 	if err != nil {
 		return nil, err
 	}
+	return BuildPreFrom(ctx, pre, maxCtxDepth)
+}
+
+// BuildPreFrom constructs the call graph, ICFG and context table over an
+// already-computed (or rebound) pre-analysis. It is the incremental path's
+// entry into the pipeline: when an isomorphic edit lets the pre-analysis
+// be adopted from a previous run, only this cheap glue is rebuilt.
+func BuildPreFrom(ctx context.Context, pre *andersen.Result, maxCtxDepth int) (*Base, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	cg := callgraph.Build(pre)
 	g := icfg.Build(cg)
 	ctxs := callgraph.NewCtxs(maxCtxDepth)
-	return &Base{Prog: prog, Pre: pre, CG: cg, G: g, Ctxs: ctxs}, nil
+	return &Base{Prog: pre.Prog, Pre: pre, CG: cg, G: g, Ctxs: ctxs}, nil
 }
 
 // BuildThreadModel constructs the static thread model (the "threadmodel"

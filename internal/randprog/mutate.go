@@ -1,0 +1,140 @@
+package randprog
+
+import (
+	"fmt"
+	"strings"
+)
+
+// MutateKind classifies the single-function edits Mutate can apply.
+type MutateKind int
+
+const (
+	// MutateComment inserts a comment-only change: the program text differs
+	// but the IR is identical, so the incremental tier should be "noop".
+	MutateComment MutateKind = iota
+	// MutateConst bumps an integer constant inside one function: the IR
+	// differs only in a constant operand, so the CFG stays isomorphic and
+	// the incremental tier should be "iso".
+	MutateConst
+	// MutateStmt inserts a new pointer assignment into one function: the
+	// CFG shape changes, forcing a semantic recompute.
+	MutateStmt
+)
+
+func (k MutateKind) String() string {
+	switch k {
+	case MutateComment:
+		return "comment"
+	case MutateConst:
+		return "const"
+	case MutateStmt:
+		return "stmt"
+	}
+	return fmt.Sprintf("MutateKind(%d)", int(k))
+}
+
+// Mutate applies one deterministic single-function edit of the given kind to
+// a generated program and returns the patched source plus the name of the
+// edited function. The edit is textual: Mutate scans for function
+// definitions ("void worker0(...) {" / "int main() {") and rewrites one
+// line inside the chosen body. It panics if src contains no function —
+// generated programs always have at least main.
+func Mutate(seed int64, src string, kind MutateKind) (string, string) {
+	r := &rng{s: uint64(seed)*4 + 3}
+	lines := strings.Split(src, "\n")
+
+	// Locate function bodies: header line index -> name. Headers in
+	// generated programs are always "ret name(args) {" on one line with the
+	// closing "}" on its own line at column 0.
+	type fnSpan struct {
+		name       string
+		start, end int // line indexes of "{" header and closing "}"
+	}
+	var fns []fnSpan
+	for i, ln := range lines {
+		if !strings.HasSuffix(ln, "{") || strings.HasPrefix(ln, "\t") || !strings.Contains(ln, "(") {
+			continue
+		}
+		name := ln[:strings.Index(ln, "(")]
+		if j := strings.LastIndexAny(name, " *"); j >= 0 {
+			name = name[j+1:]
+		}
+		end := i + 1
+		for end < len(lines) && lines[end] != "}" {
+			end++
+		}
+		fns = append(fns, fnSpan{name: name, start: i, end: end})
+	}
+	if len(fns) == 0 {
+		panic("randprog.Mutate: no function definitions in source")
+	}
+	fn := fns[r.intn(len(fns))]
+
+	switch kind {
+	case MutateComment:
+		// Insert a comment line just inside the body.
+		at := fn.start + 1
+		out := make([]string, 0, len(lines)+1)
+		out = append(out, lines[:at]...)
+		out = append(out, fmt.Sprintf("\t/* mutate %d */", r.intn(1000)))
+		out = append(out, lines[at:]...)
+		return strings.Join(out, "\n"), fn.name
+
+	case MutateConst:
+		// Find a line in the body with an integer literal after "> " (the
+		// branch conditions use "cond > N") and bump it. If the chosen
+		// function has none, fall back to rewriting the first body line's
+		// indices — but generated bodies always contain at least one &xN.
+		for i := fn.start + 1; i < fn.end; i++ {
+			if j := strings.Index(lines[i], "> "); j >= 0 {
+				lines[i] = lines[i][:j+2] + bumpInt(lines[i][j+2:])
+				return strings.Join(lines, "\n"), fn.name
+			}
+		}
+		// No comparison constant: retarget an address-of to a different
+		// (always-declared) global. Same stmt kinds, one operand changed —
+		// the CFG stays isomorphic but the operand differs, so the delta
+		// path is expected to fall back to a semantic recompute.
+		for i := fn.start + 1; i < fn.end; i++ {
+			if j := strings.Index(lines[i], "&x"); j >= 0 {
+				rest := lines[i][j+2:]
+				n := 0
+				for n < len(rest) && rest[n] >= '0' && rest[n] <= '9' {
+					n++
+				}
+				repl := "0"
+				if strings.HasPrefix(rest, "0") {
+					repl = "1"
+				}
+				lines[i] = lines[i][:j+2] + repl + rest[n:]
+				return strings.Join(lines, "\n"), fn.name
+			}
+		}
+		// Nothing editable in place; degrade to a comment edit.
+		return Mutate(seed+1, src, MutateComment)
+
+	default: // MutateStmt
+		at := fn.start + 1
+		out := make([]string, 0, len(lines)+1)
+		out = append(out, lines[:at]...)
+		out = append(out, fmt.Sprintf("\tp%d = &x%d;", r.intn(3), r.intn(3)))
+		out = append(out, lines[at:]...)
+		return strings.Join(out, "\n"), fn.name
+	}
+}
+
+// bumpInt increments the leading decimal integer of s, keeping the suffix.
+func bumpInt(s string) string {
+	n := 0
+	for n < len(s) && s[n] >= '0' && s[n] <= '9' {
+		n++
+	}
+	if n == 0 {
+		return s
+	}
+	v := 0
+	for _, c := range s[:n] {
+		v = v*10 + int(c-'0')
+	}
+	return fmt.Sprintf("%d%s", v+1, s[n:])
+}

@@ -35,6 +35,14 @@ type AnalyzeRequest struct {
 	Name string `json:"name,omitempty"`
 	// Source is MiniC program text.
 	Source string `json:"source,omitempty"`
+	// Base, when set, is the program content address (AnalyzeResponse.ProgKey)
+	// of a completed analysis still resident in the server cache; Source is
+	// then treated as an edit of that program and re-analyzed incrementally,
+	// adopting every per-function fact the edit did not invalidate. The
+	// base's configuration governs the run — Config fields in a base+patch
+	// request are ignored. An unknown or evicted base answers 404; re-POST
+	// without base.
+	Base string `json:"base,omitempty"`
 	// Benchmark is an internal/workload suite name (e.g. "word_count").
 	Benchmark string `json:"benchmark,omitempty"`
 	// Scale is the workload scale factor (default 1, server-capped).
@@ -107,6 +115,37 @@ type AnalyzeResponse struct {
 	Stats harness.FSAMStats `json:"stats"`
 	// PhaseSeconds is per-phase wall time from the pipeline report.
 	PhaseSeconds map[string]float64 `json:"phase_seconds,omitempty"`
+	// ProgKey is the program-level content address of the analyzed source —
+	// the value a follow-up request passes as Base to re-analyze an edit
+	// incrementally. Empty only when the analysis cannot be delta-keyed.
+	ProgKey string `json:"prog_key,omitempty"`
+	// Delta describes the incremental run that produced this entry (nil for
+	// from-scratch runs). On a cached replay it still describes the original
+	// producing run, not this request.
+	Delta *DeltaResponse `json:"delta,omitempty"`
+}
+
+// DeltaResponse is the wire form of fsam.DeltaReport: what an incremental
+// (base+patch) analysis adopted, invalidated and recomputed.
+type DeltaResponse struct {
+	// Base is the program content address the patch was applied against.
+	Base string `json:"base"`
+	// Tier is "noop", "iso" or "semantic" (see fsam.AnalyzeDeltaCtx).
+	Tier string `json:"tier"`
+	// ChangedFuncs and RemovedFuncs name the functions whose content
+	// address the edit changed; AdoptedFuncs counts those reused wholesale.
+	ChangedFuncs []string `json:"changed_funcs,omitempty"`
+	RemovedFuncs []string `json:"removed_funcs,omitempty"`
+	AdoptedFuncs int      `json:"adopted_funcs"`
+	// ImpactedFuncs counts the functions whose interference facts had to be
+	// recomputed (mod/ref-widened transitive callers/callees).
+	ImpactedFuncs int `json:"impacted_funcs"`
+	// PhasesRun lists the pipeline phases that actually executed.
+	PhasesRun []string `json:"phases_run,omitempty"`
+	// Facts is the fact-store counter delta of this run (the X-Fsamd-Facts
+	// header value); HitRatio is hits over lookups within it.
+	Facts    string  `json:"facts"`
+	HitRatio float64 `json:"hit_ratio"`
 }
 
 // PointsToResponse answers GET /v1/pointsto.

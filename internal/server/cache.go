@@ -15,6 +15,10 @@ type entry struct {
 	a     *fsam.Analysis
 	resp  AnalyzeResponse
 	bytes uint64
+	// progKey is the program-level content address (fsam.Analysis.ProgKey),
+	// indexed so base+patch requests can name this entry as their base;
+	// empty when the analysis cannot be delta-keyed.
+	progKey string
 }
 
 // cacheStats is a point-in-time snapshot of the cache counters.
@@ -44,6 +48,10 @@ type cache struct {
 
 	ll   *list.List // front = most recently used; values are *entry
 	byID map[string]*list.Element
+	// byProgKey indexes entries by program content address for base+patch
+	// requests. Distinct entries (different name or config) may share a
+	// ProgKey; latest-put wins, which is the entry an editor loop wants.
+	byProgKey map[string]*list.Element
 
 	bytes                   uint64
 	hits, misses, evictions uint64
@@ -55,6 +63,7 @@ func newCache(maxBytes uint64, maxEntries int) *cache {
 		maxEntries: maxEntries,
 		ll:         list.New(),
 		byID:       map[string]*list.Element{},
+		byProgKey:  map[string]*list.Element{},
 	}
 }
 
@@ -99,7 +108,11 @@ func (c *cache) put(e *entry) {
 		c.ll.MoveToFront(el)
 		return
 	}
-	c.byID[e.id] = c.ll.PushFront(e)
+	el := c.ll.PushFront(e)
+	c.byID[e.id] = el
+	if e.progKey != "" {
+		c.byProgKey[e.progKey] = el
+	}
 	c.bytes += e.bytes
 	for (c.maxBytes > 0 && c.bytes > c.maxBytes) || (c.maxEntries > 0 && c.ll.Len() > c.maxEntries) {
 		el := c.ll.Back()
@@ -108,9 +121,26 @@ func (c *cache) put(e *entry) {
 		}
 		victim := c.ll.Remove(el).(*entry)
 		delete(c.byID, victim.id)
+		if victim.progKey != "" && c.byProgKey[victim.progKey] == el {
+			delete(c.byProgKey, victim.progKey)
+		}
 		c.bytes -= victim.bytes
 		c.evictions++
 	}
+}
+
+// peekProgKey resolves a program content address to its cache entry for
+// the base+patch path, refreshing recency (a named base is a live one) but
+// leaving the analyze-path hit/miss counters untouched.
+func (c *cache) peekProgKey(progKey string) (*entry, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.byProgKey[progKey]
+	if !ok {
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	return el.Value.(*entry), true
 }
 
 // stats snapshots the counters.

@@ -103,6 +103,16 @@ func (c *Client) Analyze(ctx context.Context, areq server.AnalyzeRequest) (*serv
 	return &resp, nil
 }
 
+// AnalyzeDelta submits an edited source as a patch against a completed
+// analysis named by its program content address (AnalyzeResponse.ProgKey).
+// The server adopts every per-function fact the edit did not invalidate;
+// resp.Delta describes what was reused. An unknown or evicted base answers
+// *APIError with Status 404 — re-submit via Analyze.
+func (c *Client) AnalyzeDelta(ctx context.Context, base string, areq server.AnalyzeRequest) (*server.AnalyzeResponse, error) {
+	areq.Base = base
+	return c.Analyze(ctx, areq)
+}
+
 // PointsTo queries the points-to set of a global on a cached analysis.
 func (c *Client) PointsTo(ctx context.Context, id, global string) (*server.PointsToResponse, error) {
 	var resp server.PointsToResponse

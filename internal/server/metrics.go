@@ -9,6 +9,7 @@ import (
 
 	fsam "repro"
 	"repro/internal/diag"
+	"repro/internal/facts"
 )
 
 // latencyBuckets are the request-duration histogram bounds in seconds.
@@ -39,6 +40,9 @@ type metrics struct {
 	tiers        map[string]uint64
 	engines      map[string]uint64
 
+	// Incremental (base+patch) runs by the delta tier they landed on.
+	deltas map[string]uint64
+
 	// Admission outcomes.
 	shed  map[string]uint64 // reason -> count
 	dedup uint64            // singleflight followers
@@ -58,6 +62,7 @@ func newMetrics() *metrics {
 		phaseSeconds: map[string]float64{},
 		tiers:        map[string]uint64{},
 		engines:      map[string]uint64{},
+		deltas:       map[string]uint64{},
 		shed:         map[string]uint64{},
 		diagFindings: map[string]uint64{},
 	}
@@ -100,6 +105,13 @@ func (m *metrics) observeAnalysis(a *fsam.Analysis) {
 	})
 }
 
+// observeDelta records one base+patch run by its delta tier.
+func (m *metrics) observeDelta(tier string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.deltas[tier]++
+}
+
 func (m *metrics) observeShed(reason string) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
@@ -126,7 +138,7 @@ func (m *metrics) observeDiagnostics(diags []diag.Diagnostic) {
 // write emits the Prometheus text exposition. The gauges that live
 // elsewhere (cache counters, admission occupancy, drain flag) are passed
 // in as snapshots so the registry needs no back-references.
-func (m *metrics) write(w io.Writer, cs cacheStats, inflight, queued int64, draining bool) {
+func (m *metrics) write(w io.Writer, cs cacheStats, fc facts.Counters, inflight, queued int64, draining bool) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 
@@ -169,6 +181,27 @@ func (m *metrics) write(w io.Writer, cs cacheStats, inflight, queued int64, drai
 	fmt.Fprintf(w, "# HELP fsamd_cache_hit_ratio Hits over analyze-path lookups.\n")
 	fmt.Fprintf(w, "# TYPE fsamd_cache_hit_ratio gauge\n")
 	fmt.Fprintf(w, "fsamd_cache_hit_ratio %g\n", cs.HitRatio())
+
+	fmt.Fprintf(w, "# HELP fsamd_facts_hits_total Per-function fact-store lookups answered from the store.\n")
+	fmt.Fprintf(w, "# TYPE fsamd_facts_hits_total counter\n")
+	fmt.Fprintf(w, "fsamd_facts_hits_total %d\n", fc.Hits)
+	fmt.Fprintf(w, "# TYPE fsamd_facts_misses_total counter\n")
+	fmt.Fprintf(w, "fsamd_facts_misses_total %d\n", fc.Misses)
+	fmt.Fprintf(w, "# TYPE fsamd_facts_invalidations_total counter\n")
+	fmt.Fprintf(w, "fsamd_facts_invalidations_total %d\n", fc.Invalidations)
+	fmt.Fprintf(w, "# TYPE fsamd_facts_evictions_total counter\n")
+	fmt.Fprintf(w, "fsamd_facts_evictions_total %d\n", fc.Evictions)
+	fmt.Fprintf(w, "# TYPE fsamd_facts_entries gauge\n")
+	fmt.Fprintf(w, "fsamd_facts_entries %d\n", fc.Entries)
+	fmt.Fprintf(w, "# HELP fsamd_facts_hit_ratio Fact-store hits over lookups since start.\n")
+	fmt.Fprintf(w, "# TYPE fsamd_facts_hit_ratio gauge\n")
+	fmt.Fprintf(w, "fsamd_facts_hit_ratio %g\n", fc.HitRatio())
+
+	fmt.Fprintf(w, "# HELP fsamd_delta_total Incremental (base+patch) analyses by delta tier.\n")
+	fmt.Fprintf(w, "# TYPE fsamd_delta_total counter\n")
+	for _, tier := range sortedKeys(m.deltas) {
+		fmt.Fprintf(w, "fsamd_delta_total{tier=%q} %d\n", tier, m.deltas[tier])
+	}
 
 	fmt.Fprintf(w, "# HELP fsamd_analyses_total Pipeline runs (cache hits and deduplicated requests excluded).\n")
 	fmt.Fprintf(w, "# TYPE fsamd_analyses_total counter\n")

@@ -18,6 +18,7 @@ import (
 	"repro/internal/checkers"
 	"repro/internal/diag"
 	"repro/internal/exitcode"
+	"repro/internal/facts"
 	"repro/internal/harness"
 	"repro/internal/pipeline"
 	"repro/internal/workload"
@@ -86,6 +87,7 @@ type Server struct {
 	cache    *cache
 	adm      *admission
 	met      *metrics
+	facts    *facts.Store
 	flight   flightGroup
 	mux      *http.ServeMux
 	reqSeq   atomic.Uint64
@@ -112,6 +114,7 @@ func New(opt Options) *Server {
 		cache: newCache(cacheBytes, cacheEntries),
 		adm:   newAdmission(opt.Workers, opt.Queue),
 		met:   newMetrics(),
+		facts: facts.NewStore(0),
 		mux:   http.NewServeMux(),
 	}
 	s.mux.HandleFunc("/v1/analyze", s.handleAnalyze)
@@ -206,6 +209,21 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 		writeError(w, errStatus, exitcode.Usage, "%v", err)
 		return
 	}
+
+	// Base+patch: the source is an edit of a cached analysis, re-analyzed
+	// incrementally under the base's configuration (which also keys the
+	// result, so a later identical from-scratch request hits this entry).
+	var baseEnt *entry
+	if req.Base != "" {
+		var ok bool
+		baseEnt, ok = s.cache.peekProgKey(req.Base)
+		if !ok {
+			writeError(w, http.StatusNotFound, 0,
+				"unknown or evicted base %s; re-POST without base", req.Base)
+			return
+		}
+		cfg = baseEnt.a.Config
+	}
 	key := Key(name, src, cfg)
 
 	// Fast path: a cache hit costs no admission and no pipeline run.
@@ -242,6 +260,9 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 		}
 		if s.testAnalyzeStart != nil {
 			s.testAnalyzeStart()
+		}
+		if baseEnt != nil {
+			return s.runDelta(key, name, src, baseEnt, deadline)
 		}
 		return s.runAnalysis(key, name, src, cfg, deadline)
 	})
@@ -285,9 +306,23 @@ func (s *Server) runAnalysis(key, name, src string, cfg fsam.Config, deadline ti
 		return nil, http.StatusUnprocessableEntity, err
 	}
 	s.met.observeAnalysis(a)
-	ent := &entry{
-		id: key,
-		a:  a,
+	ent := s.newEntry(key, src, a, elapsed)
+	s.cache.put(ent)
+	return ent, 0, nil
+}
+
+// newEntry builds the cache entry for a completed analysis, wiring the
+// analysis onto the server-wide fact store and indexing its program content
+// address so it can serve as the base of later patch requests.
+func (s *Server) newEntry(key, src string, a *fsam.Analysis, elapsed time.Duration) *entry {
+	if a.FactsStore == nil {
+		a.FactsStore = s.facts
+	}
+	progKey, _ := a.ProgKey() // empty (unindexed) when not delta-keyable
+	return &entry{
+		id:      key,
+		a:       a,
+		progKey: progKey,
 		// Accounted footprint: the analysis' own structures plus the
 		// retained source and a fixed overhead for the handle itself.
 		bytes: a.Stats.Bytes + uint64(len(src)) + 4096,
@@ -299,7 +334,49 @@ func (s *Server) runAnalysis(key, name, src string, cfg fsam.Config, deadline ti
 			ExitCode:     exitcode.ForAnalysis(a),
 			Stats:        harness.StatsOf(a, elapsed, false),
 			PhaseSeconds: phaseSeconds(a),
+			ProgKey:      progKey,
 		},
+	}
+}
+
+// runDelta executes one incremental re-analysis against a cached base
+// (the singleflight leader path, inside a worker slot) and publishes the
+// entry. The result is cached under the same content address a
+// from-scratch run of the patched source would use — the delta contract is
+// that the two are observably identical.
+func (s *Server) runDelta(key, name, src string, baseEnt *entry, deadline time.Duration) (*entry, int, error) {
+	ctx, cancel := context.WithTimeout(context.Background(), deadline)
+	defer cancel()
+	t0 := time.Now()
+	a, rep, err := fsam.AnalyzeDeltaCtx(ctx, baseEnt.a, name, src)
+	elapsed := time.Since(t0)
+	if err != nil {
+		if a == nil && !pipeline.ErrCancelled(err) {
+			return nil, http.StatusUnprocessableEntity, err
+		}
+		if pipeline.ErrCancelled(err) {
+			return nil, http.StatusGatewayTimeout,
+				fmt.Errorf("deadline %s expired before any tier completed", deadline)
+		}
+		return nil, http.StatusUnprocessableEntity, err
+	}
+	s.met.observeDelta(rep.Tier)
+	if rep.Tier != fsam.DeltaNoop {
+		// A noop adoption runs no pipeline; anything else is a real
+		// (partial or full) run worth the analysis series.
+		s.met.observeAnalysis(a)
+	}
+	ent := s.newEntry(key, src, a, elapsed)
+	ent.resp.Delta = &DeltaResponse{
+		Base:          rep.BaseProgKey,
+		Tier:          rep.Tier,
+		ChangedFuncs:  rep.ChangedFuncs,
+		RemovedFuncs:  rep.RemovedFuncs,
+		AdoptedFuncs:  rep.AdoptedFuncs,
+		ImpactedFuncs: len(rep.ImpactedFuncs),
+		PhasesRun:     rep.PhasesRun,
+		Facts:         rep.Facts.String(),
+		HitRatio:      rep.Facts.HitRatio(),
 	}
 	s.cache.put(ent)
 	return ent, 0, nil
@@ -313,6 +390,10 @@ func (s *Server) respondAnalyze(w http.ResponseWriter, ent *entry, cached, share
 	resp.Shared = shared
 	w.Header().Set("X-Fsamd-Engine", resp.Engine)
 	w.Header().Set("X-Fsamd-Precision", resp.Precision)
+	if resp.Delta != nil {
+		w.Header().Set("X-Fsamd-Delta", resp.Delta.Tier)
+		w.Header().Set("X-Fsamd-Facts", resp.Delta.Facts)
+	}
 	if cached {
 		w.Header().Set("X-Fsamd-Cache", "hit")
 	} else {
@@ -541,5 +622,5 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 // handleMetrics implements GET /metrics (Prometheus text exposition).
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
-	s.met.write(w, s.cache.stats(), s.adm.inflight(), s.adm.queued(), s.draining.Load())
+	s.met.write(w, s.cache.stats(), s.facts.Counters(), s.adm.inflight(), s.adm.queued(), s.draining.Load())
 }

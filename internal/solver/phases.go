@@ -17,6 +17,7 @@ import (
 	"context"
 	"fmt"
 
+	"repro/internal/andersen"
 	"repro/internal/cfgfree"
 	"repro/internal/core"
 	"repro/internal/ir"
@@ -85,6 +86,31 @@ func PreAnalysisPhase(ctxDepth int) pipeline.Phase {
 		Provides: []string{SlotBase},
 		Run: func(ctx context.Context, st *pipeline.State) error {
 			base, err := pipeline.BuildPre(ctx, pipeline.Get[*ir.Program](st, SlotProg), ctxDepth)
+			if err != nil {
+				return err
+			}
+			st.Put(SlotBase, base)
+			return nil
+		},
+		Bytes: func(st *pipeline.State) uint64 {
+			return pipeline.Get[*pipeline.Base](st, SlotBase).Pre.Bytes()
+		},
+	}
+}
+
+// PreAnalysisFromPhase is the preanalysis phase of the incremental path:
+// instead of running Andersen it adopts pre — a pre-analysis rebound onto
+// the program in the prog slot — and rebuilds only the cheap glue (call
+// graph, ICFG, context table). It reports under the same phase name as
+// PreAnalysisPhase so phase timing stays uniform across cold and warm
+// runs.
+func PreAnalysisFromPhase(pre *andersen.Result, ctxDepth int) pipeline.Phase {
+	return pipeline.Phase{
+		Name:     PhasePre,
+		Needs:    []string{SlotProg},
+		Provides: []string{SlotBase},
+		Run: func(ctx context.Context, st *pipeline.State) error {
+			base, err := pipeline.BuildPreFrom(ctx, pre, ctxDepth)
 			if err != nil {
 				return err
 			}

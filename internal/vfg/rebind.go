@@ -1,0 +1,120 @@
+package vfg
+
+import (
+	"repro/internal/andersen"
+	"repro/internal/ir"
+	"repro/internal/pts"
+	"repro/internal/threads"
+)
+
+// rebind re-keys a ModRef onto fresh (a program isomorphic to the one it
+// was computed for). The mod/ref sets themselves are ObjID bitsets —
+// ID-stable under isomorphism — so they are shared; only the function and
+// join keys are swapped.
+func (mr *ModRef) rebind(fresh *ir.Program) *ModRef {
+	nm := &ModRef{
+		mod:      make(map[*ir.Function]*pts.Set, len(mr.mod)),
+		ref:      make(map[*ir.Function]*pts.Set, len(mr.ref)),
+		joinMods: make(map[*ir.Join]*pts.Set, len(mr.joinMods)),
+	}
+	for f, s := range mr.mod {
+		nm.mod[fresh.FuncByName[f.Name]] = s
+	}
+	for f, s := range mr.ref {
+		nm.ref[fresh.FuncByName[f.Name]] = s
+	}
+	for j, s := range mr.joinMods {
+		nm.joinMods[fresh.Stmts[j.ID()].(*ir.Join)] = s
+	}
+	return nm
+}
+
+// Rebind re-targets a completed def-use graph onto fresh, a program for
+// which ir.Isomorphic held and whose field objects have been replayed,
+// given the rebound pre-analysis and the freshly built thread model. Node
+// IDs, the In adjacency (node-ID lists) and the StmtID-keyed store-chi
+// index are representation-stable and shared; everything pointer-typed
+// (nodes' Obj/Stmt/Func/Blk, edges' ToLoad, the LoadIn and entry/exit
+// indexes) is swapped to fresh's identically-numbered entities.
+func (g *Graph) Rebind(fresh *ir.Program, pre *andersen.Result, model *threads.Model) *Graph {
+	fn := func(f *ir.Function) *ir.Function {
+		if f == nil {
+			return nil
+		}
+		return fresh.FuncByName[f.Name]
+	}
+	load := func(l *ir.Load) *ir.Load {
+		return fresh.Stmts[l.ID()].(*ir.Load)
+	}
+	ng := &Graph{
+		Prog:     fresh,
+		Pre:      pre,
+		Model:    model,
+		MR:       g.MR.rebind(fresh),
+		Nodes:    make([]*MemNode, len(g.Nodes)),
+		Out:      make([][]Edge, len(g.Out)),
+		In:       g.In,
+		LoadIn:   make(map[*ir.Load][]Edge, len(g.LoadIn)),
+		storeChi: g.storeChi,
+		entryChi: make(map[funcObjKey]int, len(g.entryChi)),
+		exitPhi:  make(map[funcObjKey]int, len(g.exitPhi)),
+
+		ObliviousEdges: g.ObliviousEdges,
+		ThreadEdges:    g.ThreadEdges,
+		FilteredByLock: g.FilteredByLock,
+		FilteredByVF:   g.FilteredByVF,
+	}
+	// Nodes and out-edges are copied through two arenas — one bump
+	// allocation each instead of one heap object per node and one slice
+	// header per adjacency row. Rebind is on the warm re-analysis critical
+	// path, and this copy dominated its allocation profile.
+	arena := make([]MemNode, len(g.Nodes))
+	for i, n := range g.Nodes {
+		nn := &arena[i]
+		nn.ID, nn.Kind, nn.Func = n.ID, n.Kind, fn(n.Func)
+		if n.Obj != nil {
+			nn.Obj = fresh.Objects[n.Obj.ID]
+		}
+		if n.Stmt != nil {
+			nn.Stmt = fresh.Stmts[n.Stmt.ID()]
+		}
+		if n.Blk != nil && nn.Func != nil {
+			nn.Blk = nn.Func.Blocks[n.Blk.Index]
+		}
+		ng.Nodes[i] = nn
+	}
+	total := 0
+	for _, outs := range g.Out {
+		total += len(outs)
+	}
+	edges := make([]Edge, 0, total)
+	for i, outs := range g.Out {
+		if outs == nil {
+			continue
+		}
+		start := len(edges)
+		for _, e := range outs {
+			if e.ToLoad != nil {
+				e.ToLoad = load(e.ToLoad)
+			}
+			edges = append(edges, e)
+		}
+		ng.Out[i] = edges[start:len(edges):len(edges)]
+	}
+	for l, edges := range g.LoadIn {
+		nl := load(l)
+		ne := make([]Edge, len(edges))
+		for j, e := range edges {
+			e.ToLoad = nl
+			ne[j] = e
+		}
+		ng.LoadIn[nl] = ne
+	}
+	for k, id := range g.entryChi {
+		ng.entryChi[funcObjKey{f: fn(k.f), obj: k.obj}] = id
+	}
+	for k, id := range g.exitPhi {
+		ng.exitPhi[funcObjKey{f: fn(k.f), obj: k.obj}] = id
+	}
+	return ng
+}

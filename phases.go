@@ -1,37 +1,12 @@
 package fsam
 
 // The phase vocabulary lives in internal/solver (shared by the registered
-// engine backends); this file keeps the facade-local aliases and the
-// manager construction with its test fault-injection seam.
+// engine backends); the facade names slots and phases directly as
+// solver.SlotX / solver.PhaseX. This file keeps the manager construction
+// with its test fault-injection seam.
 
 import (
 	"repro/internal/pipeline"
-	"repro/internal/solver"
-)
-
-// State slot and phase names, aliased from the solver package for the
-// facade's internal use.
-const (
-	slotProg     = solver.SlotProg
-	slotBase     = solver.SlotBase
-	slotModel    = solver.SlotModel
-	slotMHP      = solver.SlotMHP
-	slotPCG      = solver.SlotPCG
-	slotLocks    = solver.SlotLocks
-	slotVFG      = solver.SlotVFG
-	slotResult   = solver.SlotResult
-	slotNSResult = solver.SlotNSResult
-	slotCFGFree  = solver.SlotCFGFree
-
-	phaseCompile   = solver.PhaseCompile
-	phasePre       = solver.PhasePre
-	phaseModel     = solver.PhaseModel
-	phaseIL        = solver.PhaseIL
-	phaseLocks     = solver.PhaseLocks
-	phaseDefUse    = solver.PhaseDefUse
-	phaseSparse    = solver.PhaseSparse
-	phaseNonSparse = solver.PhaseNonSparse
-	phaseCFGFree   = solver.PhaseCFGFree
 )
 
 // testPhaseWrap, when non-nil, wraps every phase before scheduling. It is
