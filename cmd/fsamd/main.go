@@ -16,13 +16,20 @@
 //	-maxdeadline D     cap on requested deadlines (default 5m)
 //	-grace D           drain grace period after SIGTERM/SIGINT (default 30s)
 //	-quiet             suppress per-request logs
+//	-chaos SPEC        inject faults into the API paths for resilience
+//	                   testing, e.g. latency=50ms:0.3,error=0.1,drop=0.05
+//	                   (latency=DUR[:PROB], error/drop=PROB, seed=N);
+//	                   injected faults are counted in
+//	                   fsamd_chaos_injected_total{kind}
 //
 // Endpoints: POST /v1/analyze, GET /v1/pointsto, /v1/races, /v1/leaks,
-// /healthz, /metrics. See README "Running fsamd" for a curl walkthrough.
+// /healthz (liveness, always 200 while the process serves), /readyz
+// (readiness, 503 while draining or saturated), /metrics. See README
+// "Running fsamd" for a curl walkthrough.
 //
-// On SIGTERM or SIGINT the daemon stops accepting analyze requests (503),
-// flips /healthz to draining, finishes in-flight requests, and exits 0; if
-// the grace period expires first it exits 1.
+// On SIGTERM or SIGINT the daemon stops accepting analyze requests (503
+// with a Retry-After hint), flips /readyz to draining, finishes in-flight
+// requests, and exits 0; if the grace period expires first it exits 1.
 package main
 
 import (
@@ -63,12 +70,18 @@ func run(args []string, stdout, stderr io.Writer) int {
 		maxDL    = fs.Duration("maxdeadline", 5*time.Minute, "cap on requested deadlines")
 		grace    = fs.Duration("grace", 30*time.Second, "drain grace period on SIGTERM/SIGINT")
 		quiet    = fs.Bool("quiet", false, "suppress per-request logs")
+		chaosStr = fs.String("chaos", "", "fault injection spec, e.g. latency=50ms:0.3,error=0.1,drop=0.05")
 	)
 	if err := fs.Parse(args); err != nil {
 		return exitcode.Usage
 	}
 	if fs.NArg() != 0 {
 		fmt.Fprintln(stderr, "fsamd: unexpected arguments")
+		return exitcode.Usage
+	}
+	chaosCfg, err := server.ParseChaos(*chaosStr)
+	if err != nil {
+		fmt.Fprintln(stderr, "fsamd:", err)
 		return exitcode.Usage
 	}
 
@@ -85,7 +98,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 		DefaultDeadline: *deadline,
 		MaxDeadline:     *maxDL,
 		Log:             reqLog,
+		Chaos:           chaosCfg,
 	})
+	if chaosCfg.Enabled() {
+		logger.Printf("chaos enabled: %s", *chaosStr)
+	}
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {

@@ -1,0 +1,136 @@
+package resilience
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeClock advances only when told, making cooldown transitions exact.
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func (c *fakeClock) now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *fakeClock) advance(d time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.t = c.t.Add(d)
+}
+
+func TestBreakerOpensAfterThreshold(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(0, 0)}
+	b := &Breaker{Threshold: 3, Cooldown: time.Second, Now: clk.now}
+	for i := 0; i < 2; i++ {
+		if !b.Allow() {
+			t.Fatalf("Allow refused while closed (failure %d)", i)
+		}
+		b.Record(false)
+	}
+	if b.State() != Closed {
+		t.Fatalf("state %s after 2 failures, want closed", b.State())
+	}
+	b.Allow()
+	b.Record(false)
+	if b.State() != Open {
+		t.Fatalf("state %s after 3 failures, want open", b.State())
+	}
+	if b.Allow() {
+		t.Fatal("Allow admitted a request while open, before cooldown")
+	}
+}
+
+func TestBreakerSuccessResetsFailureCount(t *testing.T) {
+	b := &Breaker{Threshold: 2}
+	b.Record(false)
+	b.Record(true)
+	b.Record(false)
+	if b.State() != Closed {
+		t.Fatalf("state %s, want closed: success must reset the streak", b.State())
+	}
+}
+
+func TestBreakerHalfOpenProbeClosesOnSuccess(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(0, 0)}
+	var transitions []string
+	b := &Breaker{Threshold: 1, Cooldown: time.Second, Now: clk.now,
+		OnTransition: func(from, to State) {
+			transitions = append(transitions, from.String()+">"+to.String())
+		}}
+	b.Record(false) // opens
+	clk.advance(time.Second)
+	if !b.Allow() {
+		t.Fatal("Allow refused the half-open probe after cooldown")
+	}
+	if b.State() != HalfOpen {
+		t.Fatalf("state %s, want half-open", b.State())
+	}
+	if b.Allow() {
+		t.Fatal("Allow admitted a second request during the half-open probe")
+	}
+	b.Record(true)
+	if b.State() != Closed {
+		t.Fatalf("state %s after probe success, want closed", b.State())
+	}
+	want := []string{"closed>open", "open>half-open", "half-open>closed"}
+	if len(transitions) != len(want) {
+		t.Fatalf("transitions %v, want %v", transitions, want)
+	}
+	for i := range want {
+		if transitions[i] != want[i] {
+			t.Fatalf("transitions %v, want %v", transitions, want)
+		}
+	}
+}
+
+func TestBreakerHalfOpenProbeReopensOnFailure(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(0, 0)}
+	b := &Breaker{Threshold: 1, Cooldown: time.Second, Now: clk.now}
+	b.Record(false)
+	clk.advance(time.Second)
+	b.Allow()
+	b.Record(false)
+	if b.State() != Open {
+		t.Fatalf("state %s after probe failure, want open", b.State())
+	}
+	if b.Allow() {
+		t.Fatal("Allow admitted a request right after the probe failed")
+	}
+	clk.advance(time.Second)
+	if !b.Allow() {
+		t.Fatal("Allow refused a second probe after another cooldown")
+	}
+}
+
+func TestBreakerLateRecordWhileOpenIgnored(t *testing.T) {
+	b := &Breaker{Threshold: 1}
+	b.Record(false)
+	b.Record(true) // straggler from before the trip
+	if b.State() != Open {
+		t.Fatalf("state %s, want open: stragglers must not close the breaker", b.State())
+	}
+}
+
+func TestBreakerConcurrentSafety(t *testing.T) {
+	b := &Breaker{Threshold: 10, Cooldown: time.Microsecond}
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < 500; j++ {
+				if b.Allow() {
+					b.Record(j%3 != 0)
+				}
+				b.State()
+			}
+		}(i)
+	}
+	wg.Wait()
+}

@@ -59,6 +59,10 @@ func (ad *admission) release() {
 	<-ad.queue
 }
 
+// saturated reports whether the admission queue is at its bound — the
+// readiness signal: a new arrival right now would be shed with 429.
+func (ad *admission) saturated() bool { return len(ad.queue) >= cap(ad.queue) }
+
 // inflight is the number of requests currently holding a worker slot.
 func (ad *admission) inflight() int64 { return int64(len(ad.slots)) }
 

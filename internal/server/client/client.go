@@ -2,21 +2,40 @@
 // shares the wire types with internal/server, so the CLIs (`fsam -server`,
 // `fsambench -server`) and the end-to-end tests speak exactly the schema
 // the daemon serves.
+//
+// The client is resilient by default: requests carry a transport timeout
+// (DefaultTimeout) so a hung daemon can never wedge a caller, and the
+// analysis/query paths retry transient failures — transport errors, 429
+// queue-full, 503 draining/saturated — with exponential backoff, honoring
+// the daemon's Retry-After hints. Analyses are content-addressed and
+// deterministic, so replaying a request is always safe. Health and Ready
+// never retry: for a probe, the 503 is the answer.
 package client
 
 import (
 	"bytes"
 	"context"
 	"encoding/json"
-	"errors"
 	"fmt"
 	"io"
 	"net/http"
 	"net/url"
 	"strings"
+	"time"
 
+	"repro/internal/resilience"
 	"repro/internal/server"
 )
+
+// DefaultTimeout bounds one HTTP exchange end to end. It sits above the
+// daemon's default -maxdeadline (5m) so a legitimately long analysis is
+// never cut off client-side, while a dead or wedged connection still
+// surfaces as an error instead of hanging forever.
+const DefaultTimeout = 6 * time.Minute
+
+// defaultHTTPClient is shared by every Client that does not bring its own
+// transport, so connection pools are reused across Client values.
+var defaultHTTPClient = &http.Client{Timeout: DefaultTimeout}
 
 // APIError is a non-2xx response decoded into the service's error schema.
 type APIError struct {
@@ -29,12 +48,19 @@ func (e *APIError) Error() string {
 	return fmt.Sprintf("fsamd: HTTP %d: %s", e.Status, e.Message)
 }
 
-// Client talks to one fsamd instance.
+// Client talks to one fsamd instance (or to a fleet through fsamgw —
+// the gateway serves the same wire schema).
 type Client struct {
 	// BaseURL is the server root, e.g. "http://127.0.0.1:8077".
 	BaseURL string
-	// HTTP is the transport (default http.DefaultClient).
+	// HTTP is the transport. nil selects a shared client with
+	// DefaultTimeout; note that http.DefaultClient has NO timeout.
 	HTTP *http.Client
+	// Retry governs transient-failure handling on the analysis and query
+	// paths. nil selects the resilience defaults (3 attempts, exponential
+	// backoff from 50ms). Set &resilience.Policy{MaxAttempts: 1} to
+	// disable retries entirely.
+	Retry *resilience.Policy
 }
 
 // New returns a Client for the given base URL.
@@ -46,29 +72,56 @@ func (c *Client) httpClient() *http.Client {
 	if c.HTTP != nil {
 		return c.HTTP
 	}
-	return http.DefaultClient
+	return defaultHTTPClient
 }
 
-// do issues the request and decodes the response into out (unless out is
-// nil). Non-2xx responses become *APIError.
-func (c *Client) do(req *http.Request, out any) error {
+func (c *Client) policy() resilience.Policy {
+	if c.Retry != nil {
+		return *c.Retry
+	}
+	return resilience.Policy{}
+}
+
+// readAPIError drains a non-2xx body into the error schema, falling back
+// to the raw text for proxies that answer plain strings.
+func readAPIError(resp *http.Response) *APIError {
+	var apiErr server.ErrorResponse
+	body, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	if json.Unmarshal(body, &apiErr) != nil || apiErr.Error == "" {
+		apiErr.Error = strings.TrimSpace(string(body))
+	}
+	return &APIError{Status: resp.StatusCode, Message: apiErr.Error, ExitCode: apiErr.ExitCode}
+}
+
+// attempt runs one HTTP exchange and classifies the outcome for the retry
+// policy: transport errors and 429/503 invite a retry (with any Retry-After
+// hint), everything else is final.
+func (c *Client) attempt(req *http.Request, out any) (hint time.Duration, retryable bool, err error) {
 	resp, err := c.httpClient().Do(req)
 	if err != nil {
-		return err
+		return 0, true, err
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode < 200 || resp.StatusCode > 299 {
-		var apiErr server.ErrorResponse
-		body, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
-		if json.Unmarshal(body, &apiErr) != nil || apiErr.Error == "" {
-			apiErr.Error = strings.TrimSpace(string(body))
-		}
-		return &APIError{Status: resp.StatusCode, Message: apiErr.Error, ExitCode: apiErr.ExitCode}
+		hint, _ := resilience.RetryAfter(resp.Header)
+		return hint, resilience.RetryableStatus(resp.StatusCode), readAPIError(resp)
 	}
 	if out == nil {
-		return nil
+		return 0, false, nil
 	}
-	return json.NewDecoder(resp.Body).Decode(out)
+	return 0, false, json.NewDecoder(resp.Body).Decode(out)
+}
+
+// doRetry drives build/attempt under the retry policy. build constructs a
+// fresh request per attempt (a consumed body cannot be replayed).
+func (c *Client) doRetry(ctx context.Context, build func() (*http.Request, error), out any) error {
+	return c.policy().Do(ctx, func(int) (time.Duration, bool, error) {
+		req, err := build()
+		if err != nil {
+			return 0, false, err
+		}
+		return c.attempt(req, out)
+	})
 }
 
 func (c *Client) get(ctx context.Context, path string, q url.Values, out any) error {
@@ -76,28 +129,30 @@ func (c *Client) get(ctx context.Context, path string, q url.Values, out any) er
 	if len(q) > 0 {
 		u += "?" + q.Encode()
 	}
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
-	if err != nil {
-		return err
-	}
-	return c.do(req, out)
+	return c.doRetry(ctx, func() (*http.Request, error) {
+		return http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
+	}, out)
 }
 
 // Analyze submits a source or benchmark for analysis. A degraded result is
-// a success: check resp.ExitCode / resp.Precision for the tier.
+// a success: check resp.ExitCode / resp.Precision for the tier. Transient
+// failures (transport errors, 429, 503) are retried per c.Retry.
 func (c *Client) Analyze(ctx context.Context, areq server.AnalyzeRequest) (*server.AnalyzeResponse, error) {
 	body, err := json.Marshal(areq)
 	if err != nil {
 		return nil, err
 	}
-	req, err := http.NewRequestWithContext(ctx, http.MethodPost,
-		c.BaseURL+"/v1/analyze", bytes.NewReader(body))
-	if err != nil {
-		return nil, err
-	}
-	req.Header.Set("Content-Type", "application/json")
 	var resp server.AnalyzeResponse
-	if err := c.do(req, &resp); err != nil {
+	err = c.doRetry(ctx, func() (*http.Request, error) {
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+			c.BaseURL+"/v1/analyze", bytes.NewReader(body))
+		if err != nil {
+			return nil, err
+		}
+		req.Header.Set("Content-Type", "application/json")
+		return req, nil
+	}, &resp)
+	if err != nil {
 		return nil, err
 	}
 	return &resp, nil
@@ -156,19 +211,47 @@ func (c *Client) Leaks(ctx context.Context, id string) (*server.LeaksResponse, e
 	return &resp, nil
 }
 
-// Health fetches /healthz. A draining server answers 503; that still
-// decodes, so the status field is returned rather than an error.
-func (c *Client) Health(ctx context.Context) (*server.HealthResponse, error) {
-	var resp server.HealthResponse
-	err := c.get(ctx, "/healthz", nil, &resp)
-	var apiErr *APIError
+// getHealth fetches a health-shaped endpoint exactly once (probes never
+// retry: the 503 is the answer) and decodes the HealthResponse the daemon
+// writes on every status.
+func (c *Client) getHealth(ctx context.Context, path string) (*server.HealthResponse, int, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+path, nil)
 	if err != nil {
-		if errors.As(err, &apiErr) && apiErr.Status == http.StatusServiceUnavailable {
-			return &server.HealthResponse{Status: "draining"}, nil
-		}
-		return nil, err
+		return nil, 0, err
 	}
-	return &resp, nil
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return nil, 0, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	if err != nil {
+		return nil, resp.StatusCode, err
+	}
+	var hr server.HealthResponse
+	if json.Unmarshal(body, &hr) != nil || hr.Status == "" {
+		return nil, resp.StatusCode, &APIError{Status: resp.StatusCode, Message: strings.TrimSpace(string(body))}
+	}
+	return &hr, resp.StatusCode, nil
+}
+
+// Health fetches /healthz — liveness. The daemon answers 200 whenever the
+// process serves, including during a drain (Status "draining").
+func (c *Client) Health(ctx context.Context) (*server.HealthResponse, error) {
+	resp, _, err := c.getHealth(ctx, "/healthz")
+	return resp, err
+}
+
+// Ready fetches /readyz — readiness. ready reports whether the daemon
+// accepts new analysis work; when it does not, resp.Status says why
+// ("draining", "saturated"). err is reserved for transport and protocol
+// failures — a 503 with a well-formed body is not an error.
+func (c *Client) Ready(ctx context.Context) (resp *server.HealthResponse, ready bool, err error) {
+	resp, status, err := c.getHealth(ctx, "/readyz")
+	if err != nil {
+		return nil, false, err
+	}
+	return resp, status == http.StatusOK, nil
 }
 
 // Metrics fetches the raw Prometheus text exposition.

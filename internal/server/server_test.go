@@ -489,9 +489,10 @@ func TestSingleflightDedup(t *testing.T) {
 	}
 }
 
-// TestGracefulDrain: after BeginDrain, new analyze requests and /healthz
-// answer 503 while the in-flight request runs to completion under
-// http.Server.Shutdown.
+// TestGracefulDrain: after BeginDrain, new analyze requests and /readyz
+// answer 503 (with a Retry-After hint) while /healthz stays 200 — the
+// process is alive, just not routable — and the in-flight request runs to
+// completion under http.Server.Shutdown.
 func TestGracefulDrain(t *testing.T) {
 	svc := New(Options{Workers: 2})
 	block := make(chan struct{})
@@ -531,9 +532,14 @@ func TestGracefulDrain(t *testing.T) {
 		t.Fatalf("analyze while draining: status %d, error %q", status, er.Error)
 	}
 	var health HealthResponse
-	getJSON(t, base+"/healthz", http.StatusServiceUnavailable, &health)
+	getJSON(t, base+"/healthz", http.StatusOK, &health)
 	if health.Status != "draining" {
 		t.Fatalf("healthz while draining: status %q", health.Status)
+	}
+	var ready HealthResponse
+	getJSON(t, base+"/readyz", http.StatusServiceUnavailable, &ready)
+	if ready.Status != "draining" {
+		t.Fatalf("readyz while draining: status %q", ready.Status)
 	}
 
 	shutCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
