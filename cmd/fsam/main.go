@@ -6,8 +6,10 @@
 //
 //	fsam [flags] prog.mc
 //
-//	-engine NAME       analysis engine: fsam (default), oblivious, cfgfree,
-//	                   andersen, or nonsparse
+//	-engine NAME       analysis engine: fsam (default), oblivious, tmod,
+//	                   cfgfree, andersen, or nonsparse
+//	-memmodel NAME     memory consistency model: sc (default), tso, or pso
+//	                   (tmod widens cross-thread visibility accordingly)
 //	-baseline          run the NONSPARSE baseline instead of FSAM
 //	-races             report candidate data races (FSAM only)
 //	-globals           print the points-to set of every global at exit
@@ -27,7 +29,9 @@
 // Exit codes: 0 result at the requested engine's tier, 1 hard failure
 // (I/O, compile error, pre-analysis deadline), 2 usage, 3 result degraded
 // to thread-oblivious flow-sensitive, 4 result degraded to Andersen-only,
-// 5 result degraded to CFG-free flow-sensitive.
+// 5 result degraded to CFG-free flow-sensitive, 6 result degraded to
+// thread-modular flow-sensitive (later rungs are registry-assigned from 6
+// upward; see internal/exitcode).
 package main
 
 import (
@@ -50,6 +54,7 @@ import (
 func main() {
 	var (
 		engine   = flag.String("engine", fsam.DefaultEngine, "analysis engine ("+strings.Join(fsam.Engines(), ", ")+")")
+		memModel = flag.String("memmodel", fsam.DefaultMemModel, "memory consistency model ("+strings.Join(fsam.MemModels(), ", ")+")")
 		baseline = flag.Bool("baseline", false, "run the NonSparse baseline")
 		races    = flag.Bool("races", false, "report candidate data races")
 		globals  = flag.Bool("globals", false, "print points-to of every global at exit")
@@ -76,6 +81,10 @@ func main() {
 		fmt.Fprintf(os.Stderr, "fsam: unknown engine %q (known: %s)\n", *engine, strings.Join(fsam.Engines(), ", "))
 		os.Exit(exitcode.Usage)
 	}
+	if !fsam.KnownMemModel(*memModel) {
+		fmt.Fprintf(os.Stderr, "fsam: unknown memory model %q (known: %s)\n", *memModel, strings.Join(fsam.MemModels(), ", "))
+		os.Exit(exitcode.Usage)
+	}
 	srcBytes, err := os.ReadFile(flag.Arg(0))
 	if err != nil {
 		fatal(err)
@@ -90,7 +99,7 @@ func main() {
 		os.Exit(runServed(*srvURL, flag.Arg(0), src, servedOpts{
 			query: *query, races: *races, stats: *stats,
 			cfg: server.ConfigRequest{
-				Engine:         *engine,
+				Engine: *engine, MemModel: *memModel,
 				NoInterleaving: *noIL, NoValueFlow: *noVF, NoLock: *noLK,
 				MemBudgetBytes: *memBud, StepLimit: *stepLim,
 			},
@@ -131,7 +140,7 @@ func main() {
 	// Normalize keeps the CLI on the same canonical configuration the
 	// fsamd cache keys on, so a local run and a served run can't diverge.
 	cfg := fsam.Config{
-		Engine:         *engine,
+		Engine: *engine, MemModel: *memModel,
 		NoInterleaving: *noIL, NoValueFlow: *noVF, NoLock: *noLK,
 		MemBudgetBytes: *memBud, StepLimit: *stepLim,
 	}.Normalize()
@@ -173,9 +182,13 @@ func main() {
 	if *stats {
 		st := a.Stats
 		fmt.Printf("engine:            %s\n", a.Engine)
+		fmt.Printf("memory model:      %s\n", a.Config.MemModel)
 		fmt.Printf("precision:         %s\n", a.Precision)
 		if st.Degraded != "" {
 			fmt.Printf("degraded:          %s\n", st.Degraded)
+		}
+		if st.InterferenceRounds > 0 {
+			fmt.Printf("interference:      %d rounds\n", st.InterferenceRounds)
 		}
 		fmt.Printf("statements:        %d\n", st.Stmts)
 		fmt.Printf("abstract threads:  %d\n", st.Threads)

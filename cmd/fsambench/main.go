@@ -39,14 +39,18 @@
 // budget (the stand-in for the paper's two-hour limit); the budget applies
 // to every engine alike, so any analysis can appear as an OOT row.
 // -engine selects the backend of the Table 2 FSAM column (default fsam);
-// -membudget and -steplimit impose the degradation ladder's resource
-// budgets on those runs; a tripped row reports its tier in the
-// fsam_precision / fsam_degraded columns rather than failing.
+// -memmodel selects the memory consistency model those runs assume
+// (sc/tso/pso; tmod widens interference accordingly); -membudget and
+// -steplimit impose the degradation ladder's resource budgets on those
+// runs; a tripped row reports its tier in the fsam_precision /
+// fsam_degraded columns rather than failing. Engine-matrix tmod rows also
+// record interference rounds and the seq/par wall-time ratio of solving
+// threads on one goroutine vs one goroutine per thread.
 //
 // Exit codes: 0 every row at its requested engine's tier, 1 a benchmark
 // failed to compile or analyze (or the perf diff regressed), 2 usage,
-// 3/4/5 at least one row degraded (the worst tier reached:
-// thread-oblivious / Andersen-only / CFG-free).
+// 3/4/5/6 at least one row degraded (the worst tier reached:
+// thread-oblivious / Andersen-only / CFG-free / thread-modular).
 package main
 
 import (
@@ -86,6 +90,7 @@ func run() (int, error) {
 		figure12  = flag.Bool("figure12", false, "print Figure 12 (phase-ablation slowdowns)")
 		all       = flag.Bool("all", false, "print every artifact")
 		engine    = flag.String("engine", fsam.DefaultEngine, "engine of the Table 2 FSAM column ("+strings.Join(fsam.Engines(), ", ")+")")
+		memModel  = flag.String("memmodel", fsam.DefaultMemModel, "memory consistency model ("+strings.Join(fsam.MemModels(), ", ")+")")
 		scale     = flag.Int("scale", harness.DefaultScale, "workload scale factor")
 		scalesCSV = flag.String("scales", "", "comma-separated scales: run Table 2 at each (with -json, emit the seed-file object)")
 		perfdiff  = flag.String("perfdiff", "", "seed JSON file to diff wall times against (exit 1 on >25% total regression)")
@@ -111,13 +116,17 @@ func run() (int, error) {
 		fmt.Fprintf(os.Stderr, "fsambench: unknown engine %q (known: %s)\n", *engine, strings.Join(fsam.Engines(), ", "))
 		os.Exit(exitcode.Usage)
 	}
+	if !fsam.KnownMemModel(*memModel) {
+		fmt.Fprintf(os.Stderr, "fsambench: unknown memory model %q (known: %s)\n", *memModel, strings.Join(fsam.MemModels(), ", "))
+		os.Exit(exitcode.Usage)
+	}
 	if *clusterM {
 		return runCluster(*replicas, *traffic, *chaosStr, *kill, *hedge, *seed)
 	}
 	if *srvURL != "" {
 		return runServer(*srvURL, *requests, *scale, *timeout, *engine, *memBud, *stepLim)
 	}
-	cfg := fsam.Config{Engine: *engine, MemBudgetBytes: *memBud, StepLimit: *stepLim}
+	cfg := fsam.Config{Engine: *engine, MemModel: *memModel, MemBudgetBytes: *memBud, StepLimit: *stepLim}
 	if *incr {
 		scales := []int{1, 4, 16}
 		if *scalesCSV != "" {

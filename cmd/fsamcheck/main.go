@@ -10,6 +10,9 @@
 //
 //	-engine NAME       analysis engine (default fsam; precision-gated
 //	                   checkers are skipped on coarser engines)
+//	-memmodel NAME     memory consistency model: sc (default), tso, or pso
+//	                   (the racypub checker reports only under tso/pso,
+//	                   where unfenced publication is actually unsafe)
 //	-checkers a,b      run only the named checkers (default: all; see
 //	                   -list for IDs)
 //	-format FMT        output format: text (default), json, or sarif
@@ -65,6 +68,7 @@ func main() {
 // options is the parsed flag set; factored out so tests can drive run().
 type options struct {
 	engine     string
+	memModel   string
 	checkerIDs []string
 	format     string
 	baseline   string
@@ -90,6 +94,7 @@ func run(argv []string, stdout, stderr io.Writer) int {
 	fs.SetOutput(stderr)
 	var (
 		engine       = fs.String("engine", fsam.DefaultEngine, "analysis engine ("+strings.Join(fsam.Engines(), ", ")+")")
+		memModel     = fs.String("memmodel", fsam.DefaultMemModel, "memory consistency model ("+strings.Join(fsam.MemModels(), ", ")+")")
 		checkersFlag = fs.String("checkers", "", "comma-separated checker IDs to run (default: all)")
 		format       = fs.String("format", "text", "output format: text, json, or sarif")
 		baseMode     = fs.String("baseline", "", `baseline mode: "write" or "check"`)
@@ -111,7 +116,7 @@ func run(argv []string, stdout, stderr io.Writer) int {
 		return exitcode.OK
 	}
 	opt := options{
-		engine: *engine,
+		engine: *engine, memModel: *memModel,
 		format: *format, baseline: *baseMode, baseFile: *baseFile,
 		timeout: *timeout, memBudget: *memBud, stepLimit: *stepLim,
 		serverURL: *srvURL, incremental: *incr, files: fs.Args(),
@@ -119,6 +124,11 @@ func run(argv []string, stdout, stderr io.Writer) int {
 	if !fsam.KnownEngine(opt.engine) {
 		fmt.Fprintf(stderr, "fsamcheck: unknown engine %q (known: %s)\n",
 			opt.engine, strings.Join(fsam.Engines(), ", "))
+		return exitcode.Usage
+	}
+	if !fsam.KnownMemModel(opt.memModel) {
+		fmt.Fprintf(stderr, "fsamcheck: unknown memory model %q (known: %s)\n",
+			opt.memModel, strings.Join(fsam.MemModels(), ", "))
 		return exitcode.Usage
 	}
 	if *checkersFlag != "" {
@@ -284,7 +294,7 @@ func loadIncrementalBase(opt options, stderr io.Writer) (*incrementalBase, int) 
 		resp, err := c.Analyze(ctx, server.AnalyzeRequest{
 			Name:   opt.incremental,
 			Source: string(srcBytes),
-			Config: server.ConfigRequest{Engine: opt.engine, MemBudgetBytes: opt.memBudget, StepLimit: opt.stepLimit},
+			Config: server.ConfigRequest{Engine: opt.engine, MemModel: opt.memModel, MemBudgetBytes: opt.memBudget, StepLimit: opt.stepLimit},
 		})
 		if err != nil {
 			fmt.Fprintln(stderr, "fsamcheck:", err)
@@ -296,7 +306,7 @@ func loadIncrementalBase(opt options, stderr io.Writer) (*incrementalBase, int) 
 		}
 		return &incrementalBase{progKey: resp.ProgKey}, exitcode.OK
 	}
-	cfg := fsam.Config{Engine: opt.engine, MemBudgetBytes: opt.memBudget, StepLimit: opt.stepLimit}.Normalize()
+	cfg := fsam.Config{Engine: opt.engine, MemModel: opt.memModel, MemBudgetBytes: opt.memBudget, StepLimit: opt.stepLimit}.Normalize()
 	a, err := fsam.AnalyzeSourceCtx(ctx, opt.incremental, string(srcBytes), cfg)
 	if err != nil {
 		fmt.Fprintln(stderr, "fsamcheck:", err)
@@ -330,7 +340,7 @@ func analyzeOne(opt options, inc *incrementalBase, path, src string, stderr io.W
 				path, rep.Tier, rep.AdoptedFuncs, len(rep.ChangedFuncs), rep.Facts)
 		}
 	} else {
-		cfg := fsam.Config{Engine: opt.engine, MemBudgetBytes: opt.memBudget, StepLimit: opt.stepLimit}.Normalize()
+		cfg := fsam.Config{Engine: opt.engine, MemModel: opt.memModel, MemBudgetBytes: opt.memBudget, StepLimit: opt.stepLimit}.Normalize()
 		a, err = fsam.AnalyzeSourceCtx(ctx, path, src, cfg)
 	}
 	if err != nil {
@@ -364,7 +374,7 @@ func analyzeServed(ctx context.Context, opt options, inc *incrementalBase, path,
 	areq := server.AnalyzeRequest{
 		Name:   path,
 		Source: src,
-		Config: server.ConfigRequest{Engine: opt.engine, MemBudgetBytes: opt.memBudget, StepLimit: opt.stepLimit},
+		Config: server.ConfigRequest{Engine: opt.engine, MemModel: opt.memModel, MemBudgetBytes: opt.memBudget, StepLimit: opt.stepLimit},
 	}
 	if opt.timeout > 0 {
 		areq.DeadlineMS = opt.timeout.Milliseconds()

@@ -5,16 +5,18 @@
 //
 // Usage:
 //
-//	fsamrun [-engine NAME] [-schedules N] [-fuel N] [-membudget N] [-verbose] prog.mc
+//	fsamrun [-engine NAME] [-memmodel NAME] [-schedules N] [-fuel N] [-membudget N] [-verbose] prog.mc
 //
 // Every registered engine is sound, so the cross-check applies to all of
 // them: a load observation outside the selected engine's points-to set is
-// a soundness violation regardless of tier.
+// a soundness violation regardless of tier. The interpreter executes
+// sequentially-consistent interleavings, which every -memmodel admits, so
+// the cross-check is valid for sc, tso and pso alike.
 //
 // Exit codes: 0 all observations covered at the requested engine's tier,
-// 1 hard failure or a coverage violation, 2 usage, 3/4/5 the analysis
-// degraded (thread-oblivious / Andersen-only / CFG-free) so the
-// cross-check ran below the requested tier.
+// 1 hard failure or a coverage violation, 2 usage, 3/4/5/6 the analysis
+// degraded (thread-oblivious / Andersen-only / CFG-free / thread-modular)
+// so the cross-check ran below the requested tier.
 package main
 
 import (
@@ -32,6 +34,7 @@ import (
 func main() {
 	var (
 		engine    = flag.String("engine", fsam.DefaultEngine, "analysis engine ("+strings.Join(fsam.Engines(), ", ")+")")
+		memModel  = flag.String("memmodel", fsam.DefaultMemModel, "memory consistency model ("+strings.Join(fsam.MemModels(), ", ")+")")
 		schedules = flag.Int("schedules", 16, "number of seeded schedules to run")
 		fuel      = flag.Int("fuel", 0, "statement budget per run (0 = default)")
 		verbose   = flag.Bool("verbose", false, "print every load observation")
@@ -46,6 +49,10 @@ func main() {
 		fmt.Fprintf(os.Stderr, "fsamrun: unknown engine %q (known: %s)\n", *engine, strings.Join(fsam.Engines(), ", "))
 		os.Exit(exitcode.Usage)
 	}
+	if !fsam.KnownMemModel(*memModel) {
+		fmt.Fprintf(os.Stderr, "fsamrun: unknown memory model %q (known: %s)\n", *memModel, strings.Join(fsam.MemModels(), ", "))
+		os.Exit(exitcode.Usage)
+	}
 	srcBytes, err := os.ReadFile(flag.Arg(0))
 	if err != nil {
 		fatal(err)
@@ -54,7 +61,7 @@ func main() {
 	// Normalize keeps the CLI on the same canonical configuration the
 	// fsamd cache keys on, so a local run and a served run can't diverge.
 	a, err := fsam.AnalyzeSource(flag.Arg(0), string(srcBytes),
-		fsam.Config{Engine: *engine, MemBudgetBytes: *memBud}.Normalize())
+		fsam.Config{Engine: *engine, MemModel: *memModel, MemBudgetBytes: *memBud}.Normalize())
 	if err != nil {
 		fatal(err)
 	}

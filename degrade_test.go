@@ -114,14 +114,44 @@ func TestSparsePanicDegradesToThreadOblivious(t *testing.T) {
 	}
 }
 
-// TestPersistentSparseFailureDegradesToCFGFree: when the thread-oblivious
-// fallback's sparse solve fails too, the ladder lands on the CFG-free
-// rung, which shares no sparse machinery with the failed tiers.
-func TestPersistentSparseFailureDegradesToCFGFree(t *testing.T) {
+// TestPersistentSparseFailureDegradesToTmod: when the thread-oblivious
+// fallback's sparse solve fails too, the ladder lands on the
+// thread-modular rung — its per-thread solves run their own phase, not
+// the shared sparse one, so the injected fault cannot reach it.
+func TestPersistentSparseFailureDegradesToTmod(t *testing.T) {
 	for _, seq := range []bool{false, true} {
 		wrapSparse(t, func(orig pipeline.Phase, ctx context.Context, st *pipeline.State) error {
 			panic("injected persistent fault")
 		})
+		a, err := fsam.AnalyzeSource("test.mc", ladderSrc, fsam.Config{Sequential: seq})
+		if err != nil {
+			t.Fatalf("Sequential=%v: degraded run errored: %v", seq, err)
+		}
+		if a.Precision != fsam.PrecisionThreadModularFS {
+			t.Fatalf("Sequential=%v: precision = %s, want %s (degraded: %q)",
+				seq, a.Precision, fsam.PrecisionThreadModularFS, a.Stats.Degraded)
+		}
+		if a.Engine != "tmod" || a.Tmod == nil {
+			t.Fatalf("Sequential=%v: engine = %q, Tmod = %v, want landed tmod rung", seq, a.Engine, a.Tmod)
+		}
+		if !strings.Contains(a.Stats.Degraded, "panicked") ||
+			!strings.Contains(a.Stats.Degraded, "oblivious fallback") {
+			t.Errorf("Degraded = %q, want original fault and fallback failure", a.Stats.Degraded)
+		}
+		checkSubsetOfAndersen(t, a, "p", "q", "r", "c")
+		fsam.SetTestPhaseWrap(nil)
+	}
+}
+
+// TestPersistentSparseFailureDegradesToCFGFree: when the sparse solves
+// and the thread-modular rung all fail, the ladder lands on the CFG-free
+// rung, which shares no sparse machinery with the failed tiers.
+func TestPersistentSparseFailureDegradesToCFGFree(t *testing.T) {
+	for _, seq := range []bool{false, true} {
+		wrapPhases(t, []string{fsam.PhaseSparse, fsam.PhaseTmod},
+			func(orig pipeline.Phase, ctx context.Context, st *pipeline.State) error {
+				panic("injected persistent fault")
+			})
 		a, err := fsam.AnalyzeSource("test.mc", ladderSrc, fsam.Config{Sequential: seq})
 		if err != nil {
 			t.Fatalf("Sequential=%v: degraded run errored: %v", seq, err)
@@ -134,8 +164,9 @@ func TestPersistentSparseFailureDegradesToCFGFree(t *testing.T) {
 			t.Fatalf("Sequential=%v: engine = %q, CFGFree = %v, want landed cfgfree rung", seq, a.Engine, a.CFGFree)
 		}
 		if !strings.Contains(a.Stats.Degraded, "panicked") ||
-			!strings.Contains(a.Stats.Degraded, "oblivious fallback") {
-			t.Errorf("Degraded = %q, want original fault and fallback failure", a.Stats.Degraded)
+			!strings.Contains(a.Stats.Degraded, "oblivious fallback") ||
+			!strings.Contains(a.Stats.Degraded, "tmod fallback") {
+			t.Errorf("Degraded = %q, want original fault and both fallback failures", a.Stats.Degraded)
 		}
 		if _, err := a.Races(); err == nil || !strings.Contains(err.Error(), "cfgfree-fs") {
 			t.Errorf("Races on degraded tier: err = %v, want precision-gated refusal", err)
@@ -154,7 +185,7 @@ func TestPersistentSparseFailureDegradesToCFGFree(t *testing.T) {
 // the precision-gated clients refuse cleanly instead of crashing.
 func TestPersistentFailureDegradesToAndersen(t *testing.T) {
 	for _, seq := range []bool{false, true} {
-		wrapPhases(t, []string{fsam.PhaseSparse, fsam.PhaseCFGFree},
+		wrapPhases(t, []string{fsam.PhaseSparse, fsam.PhaseTmod, fsam.PhaseCFGFree},
 			func(orig pipeline.Phase, ctx context.Context, st *pipeline.State) error {
 				panic("injected persistent fault")
 			})
@@ -168,8 +199,9 @@ func TestPersistentFailureDegradesToAndersen(t *testing.T) {
 		}
 		if !strings.Contains(a.Stats.Degraded, "panicked") ||
 			!strings.Contains(a.Stats.Degraded, "oblivious fallback") ||
+			!strings.Contains(a.Stats.Degraded, "tmod fallback") ||
 			!strings.Contains(a.Stats.Degraded, "cfgfree fallback") {
-			t.Errorf("Degraded = %q, want original fault and both fallback failures", a.Stats.Degraded)
+			t.Errorf("Degraded = %q, want original fault and every fallback failure", a.Stats.Degraded)
 		}
 		// Andersen answers are the Andersen sets exactly.
 		pt, err := a.PointsToGlobal("c")

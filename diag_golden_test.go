@@ -185,3 +185,49 @@ func TestDiagnosticsBaselineRoundTrip(t *testing.T) {
 		t.Fatalf("baseline left %d of %d findings (known %d)", len(remaining), len(all), known)
 	}
 }
+
+// TestRacyPubGolden pins the memory-model-aware checker's output: the
+// flag-publication fixture analyzed under tso must report racypub (text
+// and SARIF pinned as testdata/diag/racypub_tso.{txt,sarif}), and the same
+// fixture under sc — where the pattern is safe — must stay silent.
+func TestRacyPubGolden(t *testing.T) {
+	path := filepath.Join("testdata", "racypub.mc")
+	src, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	name := filepath.ToSlash(path)
+
+	for _, mm := range []string{"sc", "tso"} {
+		a, err := fsam.AnalyzeSource(name, string(src), fsam.Config{MemModel: mm})
+		if err != nil {
+			t.Fatalf("analyze under %s: %v", mm, err)
+		}
+		res, err := a.Diagnostics("racypub")
+		if err != nil {
+			t.Fatalf("diagnostics under %s: %v", mm, err)
+		}
+		if len(res.Skipped) > 0 {
+			t.Fatalf("racypub skipped under %s: %v", mm, res.Skipped)
+		}
+		if mm == "sc" {
+			if len(res.Diags) != 0 {
+				t.Fatalf("racypub reported %d finding(s) under sc, want 0: %+v", len(res.Diags), res.Diags)
+			}
+			continue
+		}
+		if len(res.Diags) == 0 {
+			t.Fatal("racypub reported nothing under tso")
+		}
+		var txt bytes.Buffer
+		if err := diag.WriteText(&txt, res.Diags); err != nil {
+			t.Fatal(err)
+		}
+		checkGolden(t, filepath.Join("testdata", "diag", "racypub_tso.txt"), txt.Bytes())
+		var sarif bytes.Buffer
+		if err := diag.WriteSARIF(&sarif, res.Diags, checkers.Rules("racypub")); err != nil {
+			t.Fatal(err)
+		}
+		checkGolden(t, filepath.Join("testdata", "diag", "racypub_tso.sarif"), sarif.Bytes())
+	}
+}

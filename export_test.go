@@ -17,4 +17,5 @@ const (
 	PhaseDefUse  = solver.PhaseDefUse
 	PhaseIL      = solver.PhaseIL
 	PhaseCFGFree = solver.PhaseCFGFree
+	PhaseTmod    = solver.PhaseTmod
 )

@@ -26,6 +26,7 @@ import (
 	"fmt"
 	"runtime"
 	"sort"
+	"strings"
 	"sync"
 	"time"
 
@@ -46,6 +47,7 @@ import (
 	"repro/internal/pts"
 	"repro/internal/race"
 	"repro/internal/solver"
+	"repro/internal/tmod"
 	"repro/internal/vfg"
 )
 
@@ -64,12 +66,26 @@ const (
 	PrecisionNone              = solver.PrecisionNone
 	PrecisionAndersenOnly      = solver.PrecisionAndersenOnly
 	PrecisionCFGFreeFS         = solver.PrecisionCFGFreeFS
+	PrecisionThreadModularFS   = solver.PrecisionThreadModularFS
 	PrecisionThreadObliviousFS = solver.PrecisionThreadObliviousFS
 	PrecisionSparseFS          = solver.PrecisionSparseFS
 )
 
 // DefaultEngine is the backend an empty Config.Engine selects.
 const DefaultEngine = solver.DefaultEngine
+
+// DefaultMemModel is the memory model an empty Config.MemModel selects
+// (sequential consistency).
+const DefaultMemModel = solver.DefaultMemModel
+
+// MemModels lists the supported memory models, most to least constrained
+// (sc, tso, pso). Only the thread-modular engine's interference gate
+// consumes the model today; it participates in every engine's canonical
+// configuration regardless.
+func MemModels() []string { return solver.MemModels() }
+
+// KnownMemModel reports whether name is a supported memory model.
+func KnownMemModel(name string) bool { return solver.KnownMemModel(name) }
 
 // ParsePrecision maps a Precision.String() rendering back onto the tier.
 func ParsePrecision(s string) (Precision, bool) { return solver.ParsePrecision(s) }
@@ -83,6 +99,16 @@ func LadderEngines() []string {
 	var out []string
 	for _, s := range solver.Ladder() {
 		out = append(out, s.Name())
+	}
+	return out
+}
+
+// LadderTiers lists the precision tiers of the ladder's rungs, most
+// precise first, aligned index-for-index with LadderEngines.
+func LadderTiers() []Precision {
+	var out []Precision
+	for _, s := range solver.Ladder() {
+		out = append(out, s.Tier())
 	}
 	return out
 }
@@ -102,12 +128,20 @@ type PhaseTimes struct {
 	// CFGFree is the CFG-free engine's solve time (its analogue of the
 	// Sparse slot).
 	CFGFree time.Duration
+	// Tmod is the thread-modular engine's interference solve time (its
+	// analogue of the Sparse slot).
+	Tmod time.Duration
+	// Extra holds sub-phase durations the pipeline Report carries under
+	// dotted names (e.g. "tmod.round1", "tmod.thread0" — the thread-modular
+	// engine's per-round and per-thread solve times). Sub-phase time is
+	// already contained in its parent phase, so Total does not sum Extra.
+	Extra map[string]time.Duration
 }
 
 // Total sums all phases.
 func (p PhaseTimes) Total() time.Duration {
 	return p.Compile + p.PreAnalysis + p.ThreadModel + p.Interleave +
-		p.LockSpans + p.DefUse + p.Sparse + p.CFGFree
+		p.LockSpans + p.DefUse + p.Sparse + p.CFGFree + p.Tmod
 }
 
 // Each visits every phase with its stable name (the pipeline phase names),
@@ -123,6 +157,15 @@ func (p PhaseTimes) Each(f func(phase string, d time.Duration)) {
 	f("defuse", p.DefUse)
 	f("sparse", p.Sparse)
 	f("cfgfree", p.CFGFree)
+	f("tmod", p.Tmod)
+	keys := make([]string, 0, len(p.Extra))
+	for k := range p.Extra {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		f(k, p.Extra[k])
+	}
 }
 
 // setPhase records one pipeline phase's duration by its stable name (the
@@ -146,6 +189,17 @@ func (p *PhaseTimes) setPhase(name string, d time.Duration) {
 		p.Sparse = d
 	case solver.PhaseCFGFree:
 		p.CFGFree = d
+	case solver.PhaseTmod:
+		p.Tmod = d
+	default:
+		// Dotted names are sub-phase measurements riding the Report
+		// (pipeline.Phase.Subphases); anything else is future-proofing.
+		if strings.Contains(name, ".") {
+			if p.Extra == nil {
+				p.Extra = map[string]time.Duration{}
+			}
+			p.Extra[name] = d
+		}
 	}
 }
 
@@ -176,6 +230,9 @@ type Stats struct {
 	LockSpans      int
 	Iterations     int
 	Stmts          int
+	// InterferenceRounds counts the thread-modular engine's interference
+	// rounds to fixpoint (0 for other engines).
+	InterferenceRounds int
 	// Degraded records why the result is below the requested engine's tier
 	// (empty when the requested engine completed): the failing phase and
 	// its panic, deadline, or budget reason, plus any fallback rung that
@@ -198,6 +255,7 @@ type Analysis struct {
 	Result    *core.Result      // sparse flow-sensitive result
 	NS        *nonsparse.Result // NONSPARSE engine result
 	CFGFree   *cfgfree.Result   // CFG-free engine result
+	Tmod      *tmod.Result      // thread-modular engine result
 	Engine    string
 	Precision Precision
 	Stats     Stats
@@ -313,6 +371,9 @@ func runEngine(ctx context.Context, cfg Config, name, src string, withCompile bo
 	if eng == nil {
 		return nil, fmt.Errorf("unknown engine %q (known: %v)", cfg.Engine, solver.Names())
 	}
+	if !solver.KnownMemModel(cfg.MemModel) {
+		return nil, fmt.Errorf("unknown memory model %q (known: %v)", cfg.MemModel, solver.MemModels())
+	}
 	ctx = engine.WithBudget(ctx, engine.Budget{MemBytes: cfg.MemBudgetBytes, MaxSteps: cfg.StepLimit})
 	phases := eng.Phases(cfg)
 	if withCompile {
@@ -350,6 +411,7 @@ func assemble(st *pipeline.State) *Analysis {
 		Result:  pipeline.Get[*core.Result](st, solver.SlotResult),
 		NS:      pipeline.Get[*nonsparse.Result](st, solver.SlotNSResult),
 		CFGFree: pipeline.Get[*cfgfree.Result](st, solver.SlotCFGFree),
+		Tmod:    pipeline.Get[*tmod.Result](st, solver.SlotTmod),
 	}
 }
 
@@ -436,7 +498,7 @@ func (a *Analysis) clearResults(st *pipeline.State) {
 	for _, slot := range solver.ResultSlots {
 		st.Delete(slot)
 	}
-	a.Graph, a.Result, a.NS, a.CFGFree, a.view = nil, nil, nil, nil, nil
+	a.Graph, a.Result, a.NS, a.CFGFree, a.Tmod, a.view = nil, nil, nil, nil, nil, nil
 }
 
 // adoptRung rebinds the facade to a ladder rung's completed result: the
@@ -447,6 +509,7 @@ func (a *Analysis) adoptRung(rung solver.Solver, v solver.PTSView, st *pipeline.
 	a.Result = pipeline.Get[*core.Result](st, solver.SlotResult)
 	a.NS = pipeline.Get[*nonsparse.Result](st, solver.SlotNSResult)
 	a.CFGFree = pipeline.Get[*cfgfree.Result](st, solver.SlotCFGFree)
+	a.Tmod = pipeline.Get[*tmod.Result](st, solver.SlotTmod)
 	a.Engine = rung.Name()
 	a.Precision = rung.Tier()
 	a.view = v
@@ -512,6 +575,11 @@ func (a *Analysis) fillStats(rep *pipeline.Report) {
 func (a *Analysis) fillResultStats() {
 	var rs *engine.RefStats
 	switch {
+	case a.Tmod != nil:
+		a.Stats.Iterations = a.Tmod.Iterations
+		a.Stats.SolvePops = a.Tmod.Iterations
+		a.Stats.InterferenceRounds = a.Tmod.Rounds
+		rs = a.Tmod.InternStats()
 	case a.Result != nil:
 		a.Stats.Iterations = a.Result.Iterations
 		a.Stats.SolvePops = a.Result.Iterations
@@ -595,6 +663,15 @@ func (a *Analysis) PointsToGlobalAnywhere(name string) ([]string, error) {
 		for _, n := range a.Graph.Nodes {
 			if n.Obj == obj {
 				acc.UnionWith(a.Result.PointsToMem(n.ID))
+			}
+		}
+		return a.names(acc), nil
+	}
+	if a.Graph != nil && a.Tmod != nil {
+		acc := &pts.Set{}
+		for _, n := range a.Graph.Nodes {
+			if n.Obj == obj {
+				acc.UnionWith(a.Tmod.PointsToMem(n.ID))
 			}
 		}
 		return a.names(acc), nil
@@ -801,6 +878,7 @@ func (a *Analysis) checkerFacts() *checkers.Facts {
 		Points:        a.Result,
 		FullPrecision: a.Precision == PrecisionSparseFS && a.Result != nil,
 		PrecisionNote: a.Precision.String(),
+		MemModel:      a.Config.MemModel,
 	}
 	if f.File == "" {
 		f.File = "program"

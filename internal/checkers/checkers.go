@@ -53,6 +53,11 @@ type Facts struct {
 	// reason otherwise, for skip messages.
 	FullPrecision bool
 	PrecisionNote string
+	// MemModel is the memory consistency model the analysis ran under
+	// ("sc", "tso", "pso"; "" reads as "sc"). Memory-model-aware checkers
+	// (racypub) key off it: a pattern that is only unsafe under relaxed
+	// models reports nothing under SC.
+	MemModel string
 }
 
 // pointsTo answers a top-level-variable points-to query from the most
@@ -101,6 +106,7 @@ var all = []*Checker{
 	uafChecker,
 	doubleFreeChecker,
 	pthreadChecker,
+	racypubChecker,
 }
 
 // All returns the registered checkers in canonical order.

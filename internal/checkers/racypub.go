@@ -1,0 +1,152 @@
+package checkers
+
+// Racy publication under relaxed memory: a thread initializes an object
+// with one or more stores and then publishes a pointer to it through a
+// shared location another thread reads. Under sequential consistency the
+// program-order init→publish edge guarantees every reader that sees the
+// pointer also sees the initialization. Under TSO/PSO the initializing
+// store can still sit in the writer's store buffer when the publication
+// commits, so a reader may dereference the pointer into uninitialized (or
+// stale) memory — the double-checked-locking bug class. The checker is
+// memory-model aware: it reports nothing under SC, where the pattern is
+// safe.
+//
+// Detection is structural over the pre-analysis and the thread model (so
+// it is available at every precision tier): within one thread's walk of a
+// function, a store S1 whose address may name object X followed by a store
+// S2 that (a) writes a value that may point to X and (b) targets a shared
+// object some other thread may read, is a publication of X racing its own
+// initialization.
+
+import (
+	"fmt"
+
+	"repro/internal/diag"
+	"repro/internal/ir"
+	"repro/internal/threads"
+)
+
+var racypubChecker = &Checker{
+	ID:       "racypub",
+	Name:     "RacyPublication",
+	Doc:      "pointer published to another thread before its pointee's stores commit (unsafe under tso/pso)",
+	Severity: diag.SevWarning,
+	available: func(f *Facts) string {
+		if f.Model == nil {
+			return "requires the thread model (" + f.PrecisionNote + ")"
+		}
+		return ""
+	},
+	run: func(f *Facts) []diag.Diagnostic {
+		if f.MemModel == "" || f.MemModel == "sc" {
+			// Program-order init→publish is preserved at commit time under
+			// SC: nothing to report.
+			return nil
+		}
+		return racyPublications(f)
+	},
+}
+
+// objReaders maps each object to the set of thread IDs that may load from
+// it, per the pre-analysis address sets and the thread model's slices.
+func objReaders(f *Facts) map[ir.ObjID]map[int]bool {
+	readers := map[ir.ObjID]map[int]bool{}
+	for _, t := range f.Model.Threads {
+		for _, fc := range sortedFuncs(f.Model, t) {
+			for _, blk := range fc.Func.Blocks {
+				for _, s := range blk.Stmts {
+					l, ok := s.(*ir.Load)
+					if !ok {
+						continue
+					}
+					f.Pre.PointsToVar(l.Addr).ForEach(func(id uint32) {
+						obj := f.Prog.Objects[id]
+						if readers[obj.ID] == nil {
+							readers[obj.ID] = map[int]bool{}
+						}
+						readers[obj.ID][t.ID] = true
+					})
+				}
+			}
+		}
+	}
+	return readers
+}
+
+// racyPublications walks every thread's functions in program order, tracks
+// the earliest in-walk store to each object, and flags stores that publish
+// a pointer to an already-stored-to object into a location a different
+// thread (or another instance of a multi thread) may read.
+func racyPublications(f *Facts) []diag.Diagnostic {
+	readers := objReaders(f)
+	type key struct {
+		pub     ir.StmtID
+		pointee ir.ObjID
+	}
+	seen := map[key]bool{}
+	var out []diag.Diagnostic
+	for _, t := range f.Model.Threads {
+		for _, fc := range sortedFuncs(f.Model, t) {
+			firstStore := map[ir.ObjID]*ir.Store{}
+			for _, blk := range fc.Func.Blocks {
+				for _, s := range blk.Stmts {
+					st, ok := s.(*ir.Store)
+					if !ok {
+						continue
+					}
+					targets := f.Pre.PointsToVar(st.Addr)
+					published := f.Pre.PointsToVar(st.Src)
+					targets.ForEach(func(gid uint32) {
+						g := f.Prog.Objects[gid]
+						if !readByPeer(readers[g.ID], t) {
+							return
+						}
+						published.ForEach(func(xid uint32) {
+							x := f.Prog.Objects[xid]
+							init := firstStore[x.ID]
+							if init == nil || init == st || x == g {
+								return
+							}
+							k := key{st.ID(), x.ID}
+							if seen[k] {
+								return
+							}
+							seen[k] = true
+							out = append(out, diag.Diagnostic{
+								Line: ir.LineOf(st),
+								Message: fmt.Sprintf(
+									"%s publishes a pointer to %s through %s before the initializing store may commit under %s",
+									t, x, g, f.MemModel),
+								Object:  g.Name,
+								Threads: []string{t.String()},
+								Related: []diag.Related{{
+									Line:    ir.LineOf(init),
+									Message: fmt.Sprintf("%s initialized here; still buffered when the publication commits", x),
+								}},
+							})
+						})
+					})
+					// Record after flagging so a store never races itself.
+					targets.ForEach(func(gid uint32) {
+						obj := f.Prog.Objects[gid]
+						if firstStore[obj.ID] == nil {
+							firstStore[obj.ID] = st
+						}
+					})
+				}
+			}
+		}
+	}
+	return out
+}
+
+// readByPeer reports whether a thread other than the publisher — or
+// another runtime instance of a multi publisher — may read the object.
+func readByPeer(rs map[int]bool, publisher *threads.Thread) bool {
+	for id := range rs {
+		if id != publisher.ID || publisher.Multi {
+			return true
+		}
+	}
+	return false
+}

@@ -2,6 +2,12 @@
 // cmd/ tools, so scripts driving them can distinguish "worked at full
 // precision" from "worked, but the degradation ladder kicked in" from
 // "failed outright" without parsing output.
+//
+// Degradation codes are registry-driven: the solver ladder's top tier is
+// OK, the three historical rungs keep their pinned codes (3/4/5 — scripts
+// depend on them), and every rung registered since is assigned the next
+// free code from 6 upward in descending-tier order. Inserting a new rung
+// therefore never renumbers an existing one.
 package exitcode
 
 import fsam "repro"
@@ -33,19 +39,43 @@ const (
 	DegradedCFGFree = 5
 )
 
+// pinned holds the codes assigned before numbering became registry-driven.
+// They are frozen: scripts in the wild match on them.
+var pinned = map[fsam.Precision]int{
+	fsam.PrecisionThreadObliviousFS: DegradedThreadOblivious,
+	fsam.PrecisionAndersenOnly:      DegradedAndersen,
+	fsam.PrecisionCFGFreeFS:         DegradedCFGFree,
+}
+
+// codes maps every on-ladder tier to its exit code, built once from the
+// solver registry at init.
+var codes = buildCodes()
+
+func buildCodes() map[fsam.Precision]int {
+	m := map[fsam.Precision]int{}
+	tiers := fsam.LadderTiers()
+	if len(tiers) == 0 {
+		return m
+	}
+	m[tiers[0]] = OK
+	next := 6
+	for _, tier := range tiers[1:] {
+		if c, ok := pinned[tier]; ok {
+			m[tier] = c
+			continue
+		}
+		m[tier] = next
+		next++
+	}
+	return m
+}
+
 // ForPrecision maps a result tier onto the exit-code convention.
 // PrecisionNone maps to Failure: the ladder only reports it alongside an
 // error, which callers should have handled already.
 func ForPrecision(p fsam.Precision) int {
-	switch p {
-	case fsam.PrecisionSparseFS:
-		return OK
-	case fsam.PrecisionThreadObliviousFS:
-		return DegradedThreadOblivious
-	case fsam.PrecisionCFGFreeFS:
-		return DegradedCFGFree
-	case fsam.PrecisionAndersenOnly:
-		return DegradedAndersen
+	if c, ok := codes[p]; ok {
+		return c
 	}
 	return Failure
 }
@@ -62,28 +92,46 @@ func ForAnalysis(a *fsam.Analysis) int {
 	return ForPrecision(a.Precision)
 }
 
-// Worst returns the more severe of two codes under the convention:
-// Failure and Usage dominate everything; otherwise the lower-precision
-// degradation tier wins (DegradedAndersen > DegradedCFGFree >
-// DegradedThreadOblivious > OK).
-func Worst(a, b int) int {
-	rank := func(c int) int {
-		switch c {
-		case Failure:
-			return 4
-		case Usage:
-			return 3
-		case DegradedAndersen:
-			return 2
-		case DegradedCFGFree:
-			return 1
-		case DegradedThreadOblivious:
-			return 0
-		}
-		return -1
+// IsDegraded reports whether c is one of the degradation-rung codes: the
+// run completed, but below the tier that was asked for.
+func IsDegraded(c int) bool {
+	if c == OK {
+		return false
 	}
+	for _, code := range codes {
+		if c == code {
+			return true
+		}
+	}
+	return false
+}
+
+// Worst returns the more severe of two codes under the convention:
+// Failure and Usage dominate everything; among degradation codes the
+// lower-precision tier wins (DegradedAndersen > DegradedCFGFree > tmod's
+// rung > DegradedThreadOblivious > OK).
+func Worst(a, b int) int {
 	if rank(b) > rank(a) {
 		return b
 	}
 	return a
+}
+
+// rank orders codes by severity. Degradation codes rank by ladder depth —
+// the registry map already knows each code's tier, so a new rung slots in
+// without touching this function.
+func rank(c int) int {
+	switch c {
+	case Failure:
+		return 1 << 20
+	case Usage:
+		return 1 << 19
+	}
+	for tier, code := range codes {
+		if code == c && code != OK {
+			// Lower tiers (smaller Precision values) are worse.
+			return 1<<10 - int(tier)
+		}
+	}
+	return -1
 }

@@ -1,0 +1,75 @@
+package exitcode
+
+import (
+	"testing"
+
+	fsam "repro"
+)
+
+// TestPinnedCodes freezes the historically-assigned codes: adding rungs to
+// the ladder must never renumber them.
+func TestPinnedCodes(t *testing.T) {
+	cases := []struct {
+		tier fsam.Precision
+		want int
+	}{
+		{fsam.PrecisionSparseFS, OK},
+		{fsam.PrecisionThreadObliviousFS, 3},
+		{fsam.PrecisionAndersenOnly, 4},
+		{fsam.PrecisionCFGFreeFS, 5},
+		{fsam.PrecisionNone, Failure},
+	}
+	for _, c := range cases {
+		if got := ForPrecision(c.tier); got != c.want {
+			t.Errorf("ForPrecision(%v) = %d, want %d", c.tier, got, c.want)
+		}
+	}
+}
+
+// TestRegistryAssignedCodes: tiers added after the pinned era draw from 6
+// upward in descending-tier order — tmod, the first such rung, gets 6.
+func TestRegistryAssignedCodes(t *testing.T) {
+	if got := ForPrecision(fsam.PrecisionThreadModularFS); got != 6 {
+		t.Errorf("ForPrecision(thread-modular-fs) = %d, want 6", got)
+	}
+	seen := map[int]fsam.Precision{}
+	for _, tier := range fsam.LadderTiers() {
+		c := ForPrecision(tier)
+		if prev, dup := seen[c]; dup {
+			t.Errorf("code %d assigned to both %v and %v", c, prev, tier)
+		}
+		seen[c] = tier
+	}
+}
+
+func TestIsDegraded(t *testing.T) {
+	for _, c := range []int{OK, Failure, Usage} {
+		if IsDegraded(c) {
+			t.Errorf("IsDegraded(%d) = true, want false", c)
+		}
+	}
+	for _, c := range []int{DegradedThreadOblivious, DegradedAndersen, DegradedCFGFree,
+		ForPrecision(fsam.PrecisionThreadModularFS)} {
+		if !IsDegraded(c) {
+			t.Errorf("IsDegraded(%d) = false, want true", c)
+		}
+	}
+}
+
+// TestWorstOrdering: Failure > Usage > Andersen > CFGFree > tmod >
+// ThreadOblivious > OK, and Worst is symmetric.
+func TestWorstOrdering(t *testing.T) {
+	tmodCode := ForPrecision(fsam.PrecisionThreadModularFS)
+	order := []int{Failure, Usage, DegradedAndersen, DegradedCFGFree,
+		tmodCode, DegradedThreadOblivious, OK}
+	for i, hi := range order {
+		for _, lo := range order[i:] {
+			if got := Worst(hi, lo); got != hi {
+				t.Errorf("Worst(%d, %d) = %d, want %d", hi, lo, got, hi)
+			}
+			if got := Worst(lo, hi); got != hi {
+				t.Errorf("Worst(%d, %d) = %d, want %d", lo, hi, got, hi)
+			}
+		}
+	}
+}

@@ -212,6 +212,15 @@ type EngineRow struct {
 	Precision  string        `json:"precision"`
 	Degraded   string        `json:"degraded,omitempty"`
 	OOT        bool          `json:"oot"`
+	// Rounds is the thread-modular engine's interference round count
+	// (zero for engines without an interference fixpoint).
+	Rounds int `json:"interference_rounds,omitempty"`
+	// SeqTime is the wall time of the same tmod run with its per-thread
+	// solves forced onto one goroutine (Config.Sequential); ParSpeedup is
+	// SeqTime/Time — the measured benefit of solving threads concurrently.
+	// Populated for tmod rows only.
+	SeqTime    time.Duration `json:"seq_time_ns,omitempty"`
+	ParSpeedup float64       `json:"par_speedup,omitempty"`
 }
 
 // RunEngineMatrix measures every benchmark under each named engine,
@@ -239,6 +248,17 @@ func RunEngineMatrix(scale int, timeout time.Duration, engines []string) ([]Engi
 				row.AliasPairs = a.AliasPairs()
 				row.Precision = a.Precision.String()
 				row.Degraded = a.Stats.Degraded
+				row.Rounds = a.Stats.InterferenceRounds
+			}
+			if eng == "tmod" && !row.OOT && row.Degraded == "" {
+				// Re-run with the per-thread solves serialized to measure
+				// what the goroutine-per-thread rounds actually buy.
+				if _, st, err := RunFSAM(spec, scale, fsam.Config{Engine: eng, Sequential: true}, timeout); err == nil {
+					row.SeqTime = st
+					if row.Time > 0 {
+						row.ParSpeedup = float64(st) / float64(row.Time)
+					}
+				}
 			}
 			rows = append(rows, row)
 		}
@@ -263,8 +283,15 @@ func PrintEngineMatrix(w io.Writer, rows []EngineRow) {
 		if r.OOT {
 			t = fmt.Sprintf("%12s", "OOT")
 		}
-		fmt.Fprintf(w, "%-14s %-10s %s %12.2f %12d  %s\n",
-			name, r.Engine, t, float64(r.Bytes)/1e6, r.AliasPairs, r.Precision)
+		extra := ""
+		if r.Rounds > 0 {
+			extra = fmt.Sprintf("  rounds=%d", r.Rounds)
+			if r.ParSpeedup > 0 {
+				extra += fmt.Sprintf(" seq/par=%.2fx", r.ParSpeedup)
+			}
+		}
+		fmt.Fprintf(w, "%-14s %-10s %s %12.2f %12d  %s%s\n",
+			name, r.Engine, t, float64(r.Bytes)/1e6, r.AliasPairs, r.Precision, extra)
 		if r.Degraded != "" {
 			fmt.Fprintf(w, "%-14s   degraded: %s\n", "", r.Degraded)
 		}

@@ -40,6 +40,19 @@ type Phase struct {
 	// Bytes optionally reports the resident footprint of the phase's
 	// outputs; the Manager records it after Run succeeds.
 	Bytes func(st *State) uint64
+	// Subphases optionally reports named sub-measurements after Run
+	// succeeds (e.g. the thread-modular engine's per-round and per-thread
+	// solve times); the Manager records each under "<phase>.<name>", so
+	// they ride the Report into phase timing displays without becoming
+	// schedulable DAG nodes.
+	Subphases func(st *State) []Subphase
+}
+
+// Subphase is one named sub-measurement of a phase (see Phase.Subphases).
+type Subphase struct {
+	Name  string
+	Time  time.Duration
+	Bytes uint64
 }
 
 // State is the shared slot store phases communicate through. It is safe for
@@ -355,6 +368,11 @@ func (m *Manager) Run(ctx context.Context, st *State) (*Report, error) {
 			b = p.Bytes(st)
 		}
 		rep.record(p.Name, time.Since(t0), b)
+		if p.Subphases != nil {
+			for _, sp := range p.Subphases(st) {
+				rep.record(p.Name+"."+sp.Name, sp.Time, sp.Bytes)
+			}
+		}
 		return doneMsg{i, nil}
 	}
 

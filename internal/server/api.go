@@ -64,7 +64,11 @@ type ConfigRequest struct {
 	// Engine selects the analysis backend (default "fsam"; see
 	// fsam.Engines). The engine participates in the content address, so
 	// the same source analyzed by two engines yields two cache entries.
-	Engine         string `json:"engine,omitempty"`
+	Engine string `json:"engine,omitempty"`
+	// MemModel selects the memory consistency model (default "sc"; see
+	// fsam.MemModels). Like the engine it participates in the content
+	// address: the same source under sc and tso is two cache entries.
+	MemModel       string `json:"memmodel,omitempty"`
 	NoInterleaving bool   `json:"no_interleaving,omitempty"`
 	NoValueFlow    bool   `json:"no_valueflow,omitempty"`
 	NoLock         bool   `json:"no_lock,omitempty"`
@@ -77,6 +81,7 @@ type ConfigRequest struct {
 func (c ConfigRequest) Config() fsam.Config {
 	return fsam.Config{
 		Engine:         c.Engine,
+		MemModel:       c.MemModel,
 		NoInterleaving: c.NoInterleaving,
 		NoValueFlow:    c.NoValueFlow,
 		NoLock:         c.NoLock,
@@ -107,7 +112,8 @@ type AnalyzeResponse struct {
 	Precision string `json:"precision"`
 	Degraded  string `json:"degraded,omitempty"`
 	// ExitCode is the repo-wide exit-code convention value (0 at the
-	// requested tier, 3 thread-oblivious, 4 Andersen-only, 5 CFG-free).
+	// requested tier, 3 thread-oblivious, 4 Andersen-only, 5 CFG-free,
+	// 6 thread-modular; later rungs are registry-assigned from 6 upward).
 	ExitCode int `json:"exit_code"`
 	// Stats is the shared harness statistics schema (fsam_ns is the
 	// server-observed pipeline wall time for the run that produced the
@@ -208,10 +214,10 @@ type ErrorResponse struct {
 // response labels the tier — the HTTP analogue of a nonzero-but-not-failure
 // exit code.
 func HTTPStatus(code int) int {
-	switch code {
-	case exitcode.OK, exitcode.DegradedThreadOblivious, exitcode.DegradedAndersen,
-		exitcode.DegradedCFGFree:
+	if code == exitcode.OK || exitcode.IsDegraded(code) {
 		return http.StatusOK
+	}
+	switch code {
 	case exitcode.Usage:
 		return http.StatusBadRequest
 	case exitcode.Failure:

@@ -498,6 +498,9 @@ func DecodeAnalyze(body []byte, q url.Values) (AnalyzeRequest, error) {
 	if v := q.Get("engine"); v != "" {
 		req.Config.Engine = v
 	}
+	if v := q.Get("memmodel"); v != "" {
+		req.Config.MemModel = v
+	}
 	return req, nil
 }
 
@@ -511,6 +514,10 @@ func ResolveInputs(req AnalyzeRequest, maxScale int) (name, src string, cfg fsam
 	if req.Config.Engine != "" && !fsam.KnownEngine(req.Config.Engine) {
 		return "", "", cfg, http.StatusBadRequest,
 			fmt.Errorf("unknown engine %q (known: %s)", req.Config.Engine, strings.Join(fsam.Engines(), ", "))
+	}
+	if req.Config.MemModel != "" && !fsam.KnownMemModel(req.Config.MemModel) {
+		return "", "", cfg, http.StatusBadRequest,
+			fmt.Errorf("unknown memory model %q (known: %s)", req.Config.MemModel, strings.Join(fsam.MemModels(), ", "))
 	}
 	switch {
 	case req.Source != "" && req.Benchmark != "":

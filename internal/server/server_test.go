@@ -370,6 +370,7 @@ func TestHTTPStatusMapping(t *testing.T) {
 		{exitcode.OK, http.StatusOK},
 		{exitcode.DegradedThreadOblivious, http.StatusOK},
 		{exitcode.DegradedAndersen, http.StatusOK},
+		{exitcode.ForPrecision(fsam.PrecisionThreadModularFS), http.StatusOK},
 		{exitcode.Usage, http.StatusBadRequest},
 		{exitcode.Failure, http.StatusUnprocessableEntity},
 		{99, http.StatusInternalServerError},

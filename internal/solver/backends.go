@@ -12,11 +12,13 @@ import (
 	"repro/internal/nonsparse"
 	"repro/internal/pipeline"
 	"repro/internal/pts"
+	"repro/internal/tmod"
 )
 
 func init() {
 	Register(fsamSolver{})
 	Register(obliviousSolver{})
+	Register(tmodSolver{})
 	Register(cfgfreeSolver{})
 	Register(andersenSolver{})
 	Register(nonsparseSolver{})
@@ -67,6 +69,37 @@ func (obliviousSolver) Phases(cfg Config) []pipeline.Phase {
 func (obliviousSolver) Result(st *pipeline.State) PTSView {
 	if r := pipeline.Get[*core.Result](st, SlotResult); r != nil {
 		return coreView{r}
+	}
+	return nil
+}
+
+// tmodView adapts the thread-modular engine's composed result.
+type tmodView struct{ r *tmod.Result }
+
+func (v tmodView) VarPTS(x *ir.Var) *pts.Set { return v.r.PointsToVar(x) }
+func (v tmodView) GlobalExit(main *ir.Function, obj *ir.Object) *pts.Set {
+	return v.r.ObjAtExit(main, obj)
+}
+
+// tmodSolver is the thread-modular interference engine: per-thread sparse
+// flow-sensitive solves over slices of the thread-oblivious def-use graph,
+// composed through a global interference environment iterated to fixpoint,
+// with the interference gate set by Config.MemModel. Cross-thread flows are
+// sound (unlike the oblivious engine) but thread-granular (coarser than
+// fsam's statement-level interleaving reasoning), which places its ladder
+// rung between oblivious and cfgfree.
+type tmodSolver struct{}
+
+func (tmodSolver) Name() string    { return "tmod" }
+func (tmodSolver) Tier() Precision { return PrecisionThreadModularFS }
+func (tmodSolver) OnLadder() bool  { return true }
+func (tmodSolver) Phases(cfg Config) []pipeline.Phase {
+	return []pipeline.Phase{PreAnalysisPhase(cfg.CtxDepth), ThreadModelPhase(),
+		ObliviousDefUsePhase(), TmodPhase(cfg)}
+}
+func (tmodSolver) Result(st *pipeline.State) PTSView {
+	if r := pipeline.Get[*tmod.Result](st, SlotTmod); r != nil {
+		return tmodView{r}
 	}
 	return nil
 }

@@ -27,6 +27,7 @@ import (
 	"repro/internal/pcg"
 	"repro/internal/pipeline"
 	"repro/internal/threads"
+	"repro/internal/tmod"
 	"repro/internal/vfg"
 )
 
@@ -42,6 +43,7 @@ const (
 	SlotResult   = "result"   // *core.Result
 	SlotNSResult = "nsresult" // *nonsparse.Result
 	SlotCFGFree  = "cfgfree"  // *cfgfree.Result
+	SlotTmod     = "tmod"     // *tmod.Result
 
 	PhaseCompile   = "compile"
 	PhasePre       = "preanalysis"
@@ -52,13 +54,14 @@ const (
 	PhaseSparse    = "sparse"
 	PhaseNonSparse = "nonsparse"
 	PhaseCFGFree   = "cfgfree"
+	PhaseTmod      = "tmod"
 )
 
 // ResultSlots lists every slot that holds an engine's final result. The
 // degradation ladder clears them all before retrying a cheaper rung, so a
 // failed tier's partial outputs can neither leak into the next rung's view
 // nor hold heap a memory-budgeted retry needs back.
-var ResultSlots = []string{SlotVFG, SlotResult, SlotNSResult, SlotCFGFree}
+var ResultSlots = []string{SlotVFG, SlotResult, SlotNSResult, SlotCFGFree, SlotTmod}
 
 // CompilePhase parses and lowers source into the prog slot. Having it on
 // the manager means compile time is measured directly rather than derived
@@ -268,6 +271,50 @@ func SparsePhase() pipeline.Phase {
 			// phase already accounts for.
 			res := pipeline.Get[*core.Result](st, SlotResult)
 			return res.Bytes() - pipeline.Get[*vfg.Graph](st, SlotVFG).Bytes()
+		},
+	}
+}
+
+// TmodPhase runs the thread-modular interference solve over the
+// thread-oblivious def-use graph: per-thread sparse solves (one goroutine
+// per thread unless cfg.Sequential) iterated against a global interference
+// environment gated by cfg.MemModel. Per-round and per-thread wall times
+// ride the Report as subphases ("tmod.round1", "tmod.thread0", ...).
+func TmodPhase(cfg Config) pipeline.Phase {
+	return pipeline.Phase{
+		Name:     PhaseTmod,
+		Needs:    []string{SlotModel, SlotVFG},
+		Provides: []string{SlotTmod},
+		Run: func(ctx context.Context, st *pipeline.State) error {
+			res, err := tmod.SolveCtx(ctx,
+				pipeline.Get[*threads.Model](st, SlotModel),
+				pipeline.Get[*vfg.Graph](st, SlotVFG),
+				tmod.Options{MemModel: cfg.MemModel, Sequential: cfg.Sequential})
+			if err != nil {
+				return err
+			}
+			st.Put(SlotTmod, res)
+			return nil
+		},
+		Bytes: func(st *pipeline.State) uint64 {
+			// Result.Bytes includes the def-use graph, which the defuse
+			// phase already accounts for.
+			res := pipeline.Get[*tmod.Result](st, SlotTmod)
+			return res.Bytes() - pipeline.Get[*vfg.Graph](st, SlotVFG).Bytes()
+		},
+		Subphases: func(st *pipeline.State) []pipeline.Subphase {
+			res := pipeline.Get[*tmod.Result](st, SlotTmod)
+			if res == nil {
+				return nil
+			}
+			out := make([]pipeline.Subphase, 0, len(res.RoundWall)+len(res.ThreadWall))
+			for i, d := range res.RoundWall {
+				out = append(out, pipeline.Subphase{Name: fmt.Sprintf("round%d", i+1), Time: d})
+			}
+			for i, d := range res.ThreadWall {
+				out = append(out, pipeline.Subphase{Name: fmt.Sprintf("thread%d", i), Time: d})
+			}
+			return out
 		},
 	}
 }

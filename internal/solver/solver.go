@@ -27,15 +27,23 @@ import (
 	"repro/internal/ir"
 	"repro/internal/pipeline"
 	"repro/internal/pts"
+	"repro/internal/tmod"
 )
 
 // Config selects the analysis engine, its variants, and resource budgets.
 type Config struct {
 	// Engine names the registered analysis backend ("fsam", "oblivious",
-	// "cfgfree", "andersen", "nonsparse"); empty selects the default
-	// sparse FSAM engine. Unknown names fail the run before any phase is
-	// scheduled.
+	// "tmod", "cfgfree", "andersen", "nonsparse"); empty selects the
+	// default sparse FSAM engine. Unknown names fail the run before any
+	// phase is scheduled.
 	Engine string
+	// MemModel selects the memory consistency model ("sc", "tso", "pso";
+	// empty means DefaultMemModel). Only the thread-modular engine's
+	// interference gate consumes it today, but it is part of every
+	// engine's canonical configuration — and cache identity — so a future
+	// consumer cannot silently alias results across models. Unknown names
+	// fail the run before any phase is scheduled.
+	MemModel string
 	// NoInterleaving replaces the flow- and context-sensitive interleaving
 	// analysis with the coarse procedure-level PCG MHP (Figure 12).
 	NoInterleaving bool
@@ -69,6 +77,18 @@ type Config struct {
 // empty: the full sparse flow-sensitive FSAM analysis.
 const DefaultEngine = "fsam"
 
+// DefaultMemModel is the memory model Normalize selects when
+// Config.MemModel is empty: sequential consistency, the model the paper's
+// interleaving semantics assumes.
+const DefaultMemModel = tmod.MemModelSC
+
+// MemModels lists the supported memory models, most to least constrained
+// (sc, tso, pso).
+func MemModels() []string { return tmod.MemModels() }
+
+// KnownMemModel reports whether name is a supported memory model.
+func KnownMemModel(name string) bool { return tmod.KnownMemModel(name) }
+
 // Normalize returns cfg with implementation defaults made explicit and
 // out-of-range values clamped, so two Configs that would drive identical
 // analyses compare (and render) identically. It is the shared
@@ -78,6 +98,9 @@ const DefaultEngine = "fsam"
 func (c Config) Normalize() Config {
 	if c.Engine == "" {
 		c.Engine = DefaultEngine
+	}
+	if c.MemModel == "" {
+		c.MemModel = DefaultMemModel
 	}
 	if c.CtxDepth <= 0 {
 		c.CtxDepth = callgraph.DefaultMaxDepth
@@ -102,8 +125,8 @@ func (c Config) Canonical() string {
 		}
 		return 0
 	}
-	return fmt.Sprintf("eng=%s il=%d vf=%d lk=%d ctx=%d seq=%d mem=%d steps=%d nodeg=%d",
-		n.Engine, b2i(n.NoInterleaving), b2i(n.NoValueFlow), b2i(n.NoLock),
+	return fmt.Sprintf("eng=%s mm=%s il=%d vf=%d lk=%d ctx=%d seq=%d mem=%d steps=%d nodeg=%d",
+		n.Engine, n.MemModel, b2i(n.NoInterleaving), b2i(n.NoValueFlow), b2i(n.NoLock),
 		n.CtxDepth, b2i(n.Sequential), n.MemBudgetBytes, n.StepLimit, b2i(n.NoDegrade))
 }
 
@@ -126,6 +149,12 @@ const (
 	// admitted by a one-shot control-flow/concurrency reachability summary.
 	// Sounder orderings than Andersen, cheaper than memory-SSA tiers.
 	PrecisionCFGFreeFS
+	// PrecisionThreadModularFS: per-thread sparse flow-sensitive solves
+	// composed through a global interference environment iterated to
+	// fixpoint (internal/tmod). Sound for cross-thread flows under the
+	// configured memory model, coarser than the statement-level
+	// interleaving reasoning of the tiers above it.
+	PrecisionThreadModularFS
 	// PrecisionThreadObliviousFS: sparse flow-sensitive solve over the
 	// thread-oblivious def-use graph only (interference phases skipped).
 	// Sound for sequential flows; cross-thread value flows are missing.
@@ -143,6 +172,8 @@ func (p Precision) String() string {
 		return "andersen-only"
 	case PrecisionCFGFreeFS:
 		return "cfgfree-fs"
+	case PrecisionThreadModularFS:
+		return "thread-modular-fs"
 	case PrecisionThreadObliviousFS:
 		return "thread-oblivious-fs"
 	case PrecisionSparseFS:
@@ -157,7 +188,8 @@ func (p Precision) String() string {
 // analysis — parse here instead of re-hardcoding the strings.
 func ParsePrecision(s string) (Precision, bool) {
 	for _, p := range []Precision{PrecisionNone, PrecisionAndersenOnly,
-		PrecisionCFGFreeFS, PrecisionThreadObliviousFS, PrecisionSparseFS} {
+		PrecisionCFGFreeFS, PrecisionThreadModularFS,
+		PrecisionThreadObliviousFS, PrecisionSparseFS} {
 		if p.String() == s {
 			return p, true
 		}
@@ -242,9 +274,9 @@ func Names() []string {
 }
 
 // Ladder returns the on-ladder engines in descending Tier order: the
-// degradation sequence sparse FS → thread-oblivious FS → cfgfree →
-// Andersen-only. The facade walks the returned slice, attempting each rung
-// strictly below the failed engine's tier.
+// degradation sequence sparse FS → thread-oblivious FS → thread-modular →
+// cfgfree → Andersen-only. The facade walks the returned slice, attempting
+// each rung strictly below the failed engine's tier.
 func Ladder() []Solver {
 	regMu.RLock()
 	defer regMu.RUnlock()

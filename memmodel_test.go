@@ -1,0 +1,132 @@
+package fsam_test
+
+// Memory-model properties of the thread-modular engine over the committed
+// fixture corpus: relaxing the model only ever widens results (sc ⊆ tso ⊆
+// pso per variable and per global), and at least one committed fixture
+// witnesses each inclusion strictly — so the models are ordered AND
+// genuinely distinct on real programs, not just by construction.
+
+import (
+	"os"
+	"path/filepath"
+	"sort"
+	"testing"
+
+	fsam "repro"
+	"repro/internal/ir"
+)
+
+// memModelChain is the widening order under test.
+var memModelChain = []string{"sc", "tso", "pso"}
+
+// analyzeTmodCorpus analyzes one fixture under tmod with each memory
+// model, failing on degradation.
+func analyzeTmodCorpus(t *testing.T, path string) []*fsam.Analysis {
+	t.Helper()
+	src, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make([]*fsam.Analysis, 0, len(memModelChain))
+	for _, mm := range memModelChain {
+		a, err := fsam.AnalyzeSource(filepath.ToSlash(path), string(src),
+			fsam.Config{Engine: "tmod", MemModel: mm})
+		if err != nil {
+			t.Fatalf("%s under %s: %v", path, mm, err)
+		}
+		if a.Stats.Degraded != "" {
+			t.Fatalf("%s under %s degraded: %s", path, mm, a.Stats.Degraded)
+		}
+		out = append(out, a)
+	}
+	return out
+}
+
+func corpusPaths(t *testing.T) []string {
+	t.Helper()
+	paths, err := filepath.Glob(filepath.Join("testdata", "*.mc"))
+	if err != nil || len(paths) == 0 {
+		t.Fatalf("corpus glob: %v (%d files)", err, len(paths))
+	}
+	sort.Strings(paths)
+	return paths
+}
+
+// TestMemModelMonotonic: pt(sc) ⊆ pt(tso) ⊆ pt(pso) per top-level
+// variable and per global on every fixture.
+func TestMemModelMonotonic(t *testing.T) {
+	for _, path := range corpusPaths(t) {
+		runs := analyzeTmodCorpus(t, path)
+		for vi, v := range runs[0].Prog.Vars {
+			prev := runs[0].PointsToVar(v)
+			for i := 1; i < len(runs); i++ {
+				next := runs[i].PointsToVar(runs[i].Prog.Vars[vi])
+				if !prev.SubsetOf(next) {
+					t.Errorf("%s: pt(%s) under %s = %s exceeds %s = %s",
+						path, v, memModelChain[i-1], prev, memModelChain[i], next)
+				}
+				prev = next
+			}
+		}
+		for _, o := range runs[0].Prog.Objects {
+			if o.Kind != ir.ObjGlobal {
+				continue
+			}
+			prev, err := runs[0].PointsToGlobal(o.Name)
+			if err != nil {
+				continue
+			}
+			for i := 1; i < len(runs); i++ {
+				next, err := runs[i].PointsToGlobal(o.Name)
+				if err != nil {
+					t.Fatalf("%s: pt(%s) under %s: %v", path, o.Name, memModelChain[i], err)
+				}
+				if !nameSubset(prev, next) {
+					t.Errorf("%s: pt(%s) under %s = %v exceeds %s = %v",
+						path, o.Name, memModelChain[i-1], prev, memModelChain[i], next)
+				}
+				prev = next
+			}
+		}
+	}
+}
+
+// TestMemModelStrictness: the committed memmodel.mc fixture separates the
+// three models — pso answers a strict superset of sc, with tso strictly in
+// between on the late reader and pso alone widening the early reader.
+func TestMemModelStrictness(t *testing.T) {
+	runs := analyzeTmodCorpus(t, filepath.Join("testdata", "memmodel.mc"))
+	pt := func(i int, name string) []string {
+		t.Helper()
+		s, err := runs[i].PointsToGlobal(name)
+		if err != nil {
+			t.Fatalf("pt(%s) under %s: %v", name, memModelChain[i], err)
+		}
+		return s
+	}
+	late := [3][]string{pt(0, "outLate"), pt(1, "outLate"), pt(2, "outLate")}
+	early := [3][]string{pt(0, "outEarly"), pt(1, "outEarly"), pt(2, "outEarly")}
+	if len(late[0]) >= len(late[1]) {
+		t.Errorf("tso did not strictly widen outLate: sc=%v tso=%v", late[0], late[1])
+	}
+	if len(early[1]) >= len(early[2]) {
+		t.Errorf("pso did not strictly widen outEarly: tso=%v pso=%v", early[1], early[2])
+	}
+	if !nameSubset(late[0], late[2]) || len(late[0]) >= len(late[2]) {
+		t.Errorf("pso is not a strict superset of sc on outLate: sc=%v pso=%v", late[0], late[2])
+	}
+}
+
+// nameSubset reports a ⊆ b over sorted-or-not name slices.
+func nameSubset(a, b []string) bool {
+	in := map[string]bool{}
+	for _, n := range b {
+		in[n] = true
+	}
+	for _, n := range a {
+		if !in[n] {
+			return false
+		}
+	}
+	return true
+}

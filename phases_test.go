@@ -8,6 +8,7 @@ package fsam_test
 import (
 	"context"
 	"errors"
+	"reflect"
 	"sort"
 	"testing"
 	"time"
@@ -85,7 +86,7 @@ func TestParallelSequentialIdentical(t *testing.T) {
 		st.Times = fsam.PhaseTimes{}
 		return st
 	}
-	if zeroTimes(par.Stats) != zeroTimes(seq.Stats) {
+	if !reflect.DeepEqual(zeroTimes(par.Stats), zeroTimes(seq.Stats)) {
 		t.Errorf("stats diverge between schedules:\nparallel:   %+v\nsequential: %+v",
 			zeroTimes(par.Stats), zeroTimes(seq.Stats))
 	}
