@@ -12,6 +12,11 @@
 //	                   (tmod widens cross-thread visibility accordingly)
 //	-baseline          run the NONSPARSE baseline instead of FSAM
 //	-races             report candidate data races (FSAM only)
+//	-escape            report the thread-escape classification: per-class
+//	                   counts plus every handed-off and shared object with
+//	                   its accessor threads
+//	-escapeprune NAME  thread-escape interference pruning: on (default) or
+//	                   off (differential escape hatch; results identical)
 //	-globals           print the points-to set of every global at exit
 //	-query NAME        print the points-to set of one global
 //	-stats             print analysis statistics
@@ -44,6 +49,7 @@ import (
 	"time"
 
 	fsam "repro"
+	"repro/internal/escape"
 	"repro/internal/exitcode"
 	"repro/internal/ir"
 	"repro/internal/pipeline"
@@ -57,6 +63,8 @@ func main() {
 		memModel = flag.String("memmodel", fsam.DefaultMemModel, "memory consistency model ("+strings.Join(fsam.MemModels(), ", ")+")")
 		baseline = flag.Bool("baseline", false, "run the NonSparse baseline")
 		races    = flag.Bool("races", false, "report candidate data races")
+		escRep   = flag.Bool("escape", false, "report the thread-escape classification")
+		escPrune = flag.String("escapeprune", "", "thread-escape pruning ("+strings.Join(fsam.EscapePruneModes(), ", ")+"; default on)")
 		globals  = flag.Bool("globals", false, "print points-to of every global at exit")
 		query    = flag.String("query", "", "print points-to of one global")
 		stats    = flag.Bool("stats", false, "print analysis statistics")
@@ -85,6 +93,10 @@ func main() {
 		fmt.Fprintf(os.Stderr, "fsam: unknown memory model %q (known: %s)\n", *memModel, strings.Join(fsam.MemModels(), ", "))
 		os.Exit(exitcode.Usage)
 	}
+	if !fsam.KnownEscapePrune(*escPrune) {
+		fmt.Fprintf(os.Stderr, "fsam: unknown escape-prune mode %q (known: %s)\n", *escPrune, strings.Join(fsam.EscapePruneModes(), ", "))
+		os.Exit(exitcode.Usage)
+	}
 	srcBytes, err := os.ReadFile(flag.Arg(0))
 	if err != nil {
 		fatal(err)
@@ -97,11 +109,12 @@ func main() {
 			os.Exit(exitcode.Usage)
 		}
 		os.Exit(runServed(*srvURL, flag.Arg(0), src, servedOpts{
-			query: *query, races: *races, stats: *stats,
+			query: *query, races: *races, stats: *stats, escape: *escRep,
 			cfg: server.ConfigRequest{
 				Engine: *engine, MemModel: *memModel,
 				NoInterleaving: *noIL, NoValueFlow: *noVF, NoLock: *noLK,
 				MemBudgetBytes: *memBud, StepLimit: *stepLim,
+				EscapePrune: *escPrune,
 			},
 			timeout: *timeout,
 		}))
@@ -140,7 +153,7 @@ func main() {
 	// Normalize keeps the CLI on the same canonical configuration the
 	// fsamd cache keys on, so a local run and a served run can't diverge.
 	cfg := fsam.Config{
-		Engine: *engine, MemModel: *memModel,
+		Engine: *engine, MemModel: *memModel, EscapePrune: *escPrune,
 		NoInterleaving: *noIL, NoValueFlow: *noVF, NoLock: *noLK,
 		MemBudgetBytes: *memBud, StepLimit: *stepLim,
 	}.Normalize()
@@ -195,6 +208,8 @@ func main() {
 		fmt.Printf("def-use edges:     %d (%d thread-oblivious + %d thread-aware)\n",
 			st.DefUseEdges, st.ObliviousEdges, st.ThreadEdges)
 		fmt.Printf("lock spans:        %d\n", st.LockSpans)
+		fmt.Printf("escape classes:    %d local / %d handedoff / %d shared (pruned %d interference edges)\n",
+			st.EscapeLocal, st.EscapeHandedOff, st.EscapeShared, st.EscapePrunedEdges)
 		fmt.Printf("solver iterations: %d\n", st.Iterations)
 		fmt.Printf("worklist pops:     %d pre + %d solve\n", st.PrePops, st.SolvePops)
 		fmt.Printf("memory:            %.2f MB\n", float64(st.Bytes)/1e6)
@@ -241,6 +256,10 @@ func main() {
 		}
 	}
 
+	if *escRep {
+		printEscape(a)
+	}
+
 	os.Exit(exitcode.ForAnalysis(a))
 }
 
@@ -249,11 +268,36 @@ func fatal(err error) {
 	os.Exit(exitcode.Failure)
 }
 
+// printEscape renders the thread-escape classification: the per-class
+// summary, then every handed-off and shared object with the threads that
+// access it (thread-local objects are elided — they are the common case).
+func printEscape(a *fsam.Analysis) {
+	esc := a.EscapeResult()
+	if esc == nil {
+		fatal(fmt.Errorf("no thread model at precision %s: escape classification unavailable", a.Precision))
+	}
+	fmt.Printf("escape: %d objects: %d local, %d handedoff, %d shared (pruned %d interference edges)\n",
+		len(a.Prog.Objects), esc.NumLocal, esc.NumHandedOff, esc.NumShared,
+		a.Stats.EscapePrunedEdges)
+	for _, o := range a.Prog.Objects {
+		cls := esc.ClassOf(o.ID)
+		if cls == escape.ThreadLocal {
+			continue
+		}
+		var names []string
+		for _, tid := range esc.AccessorThreads(o.ID) {
+			names = append(names, esc.Model.Threads[tid].String())
+		}
+		fmt.Printf("%-9s  %s (accessed by %s)\n", cls, o, strings.Join(names, ", "))
+	}
+}
+
 // servedOpts is the subset of the CLI surface that works against fsamd.
 type servedOpts struct {
 	query   string
 	races   bool
 	stats   bool
+	escape  bool
 	cfg     server.ConfigRequest
 	timeout time.Duration
 }
@@ -324,6 +368,15 @@ func runServed(baseURL, name, src string, opts servedOpts) int {
 		for _, r := range rr.Reports {
 			fmt.Println(r)
 		}
+	}
+
+	if opts.escape {
+		// The served view is the counter summary only — the per-object
+		// classification needs the in-memory escape.Result, which stays
+		// server-side. Run without -server for the full report.
+		fmt.Printf("escape: %d local, %d handedoff, %d shared (pruned %d interference edges)\n",
+			resp.Stats.FSAMEscapeLocal, resp.Stats.FSAMEscapeHandedOff,
+			resp.Stats.FSAMEscapeShared, resp.Stats.FSAMEscapePruned)
 	}
 	return resp.ExitCode
 }

@@ -40,7 +40,8 @@
 // to every engine alike, so any analysis can appear as an OOT row.
 // -engine selects the backend of the Table 2 FSAM column (default fsam);
 // -memmodel selects the memory consistency model those runs assume
-// (sc/tso/pso; tmod widens interference accordingly); -membudget and
+// (sc/tso/pso; tmod widens interference accordingly); -escapeprune turns
+// the thread-escape pruning oracle off for ablation; -membudget and
 // -steplimit impose the degradation ladder's resource budgets on those
 // runs; a tripped row reports its tier in the fsam_precision /
 // fsam_degraded columns rather than failing. Engine-matrix tmod rows also
@@ -99,6 +100,7 @@ func run() (int, error) {
 		timeout   = flag.Duration("timeout", harness.DefaultTimeout, "per-analysis deadline (stand-in for the paper's 2h)")
 		memBud    = flag.Uint64("membudget", 0, "soft heap budget in bytes for each FSAM run, 0 = unlimited")
 		stepLim   = flag.Int64("steplimit", 0, "per-phase worklist-pop limit for each FSAM run, 0 = unlimited")
+		escPrune  = flag.String("escapeprune", "", "thread-escape pruning mode for each FSAM run ("+strings.Join(fsam.EscapePruneModes(), ", ")+"); empty = on")
 		asJSON    = flag.Bool("json", false, "emit the selected tables as JSON instead of text (alone, implies -table2)")
 		srvURL    = flag.String("server", "", "drive a running fsamd at this base URL instead of analyzing in-process")
 		requests  = flag.Int("requests", 5, "requests per benchmark in -server mode")
@@ -120,13 +122,17 @@ func run() (int, error) {
 		fmt.Fprintf(os.Stderr, "fsambench: unknown memory model %q (known: %s)\n", *memModel, strings.Join(fsam.MemModels(), ", "))
 		os.Exit(exitcode.Usage)
 	}
+	if !fsam.KnownEscapePrune(*escPrune) {
+		fmt.Fprintf(os.Stderr, "fsambench: unknown escape-prune mode %q (known: %s)\n", *escPrune, strings.Join(fsam.EscapePruneModes(), ", "))
+		os.Exit(exitcode.Usage)
+	}
 	if *clusterM {
 		return runCluster(*replicas, *traffic, *chaosStr, *kill, *hedge, *seed)
 	}
 	if *srvURL != "" {
 		return runServer(*srvURL, *requests, *scale, *timeout, *engine, *memBud, *stepLim)
 	}
-	cfg := fsam.Config{Engine: *engine, MemModel: *memModel, MemBudgetBytes: *memBud, StepLimit: *stepLim}
+	cfg := fsam.Config{Engine: *engine, MemModel: *memModel, MemBudgetBytes: *memBud, StepLimit: *stepLim, EscapePrune: *escPrune}
 	if *incr {
 		scales := []int{1, 4, 16}
 		if *scalesCSV != "" {

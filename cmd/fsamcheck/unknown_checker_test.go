@@ -1,0 +1,89 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+
+	"repro/internal/checkers"
+	"repro/internal/exitcode"
+	"repro/internal/server"
+)
+
+// TestUnknownCheckerExits2 pins the CLI contract for a misspelled -checkers
+// entry: exit code 2 (usage) and a stderr message listing every registered
+// checker ID, so the caller can self-correct without consulting docs.
+func TestUnknownCheckerExits2(t *testing.T) {
+	dir := t.TempDir()
+	path := writeFile(t, dir, "prog.mc", incrBaseSrc)
+
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-checkers", "race,nosuchchecker", path}, &stdout, &stderr)
+	if code != exitcode.Usage {
+		t.Fatalf("exit code = %d, want %d (usage)", code, exitcode.Usage)
+	}
+	msg := stderr.String()
+	if !strings.Contains(msg, `"nosuchchecker"`) {
+		t.Errorf("stderr %q does not quote the unknown ID", msg)
+	}
+	for _, id := range checkers.IDs() {
+		if !strings.Contains(msg, id) {
+			t.Errorf("stderr %q does not list registered checker %q", msg, id)
+		}
+	}
+}
+
+// TestUnknownCheckerServed400 is the same contract through fsamd: the
+// /v1/diagnostics handler answers 400 with the checkers package's
+// ErrUnknownChecker message — the one source of truth for both surfaces.
+func TestUnknownCheckerServed400(t *testing.T) {
+	base := newDaemon(t)
+
+	body, _ := json.Marshal(server.AnalyzeRequest{Name: "prog.mc", Source: incrBaseSrc})
+	resp, err := http.Post(base+"/v1/analyze", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatalf("analyze: %v", err)
+	}
+	var ar server.AnalyzeResponse
+	if err := json.NewDecoder(resp.Body).Decode(&ar); err != nil {
+		t.Fatalf("decode analyze: %v", err)
+	}
+	resp.Body.Close()
+
+	resp, err = http.Get(base + "/v1/diagnostics?id=" + ar.ID + "&checkers=nosuchchecker")
+	if err != nil {
+		t.Fatalf("diagnostics: %v", err)
+	}
+	defer resp.Body.Close()
+	raw, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status = %d, want 400; body %s", resp.StatusCode, raw)
+	}
+	var er server.ErrorResponse
+	if err := json.Unmarshal(raw, &er); err != nil {
+		t.Fatalf("decode error body: %v", err)
+	}
+	if er.ExitCode != exitcode.Usage {
+		t.Errorf("exit_code = %d, want %d", er.ExitCode, exitcode.Usage)
+	}
+	if !strings.Contains(er.Error, `"nosuchchecker"`) {
+		t.Errorf("error %q does not quote the unknown ID", er.Error)
+	}
+	for _, id := range checkers.IDs() {
+		if !strings.Contains(er.Error, id) {
+			t.Errorf("error %q does not list registered checker %q", er.Error, id)
+		}
+	}
+
+	// And the served CLI path folds the 400 back into exit 2.
+	dir := t.TempDir()
+	path := writeFile(t, dir, "prog.mc", incrBaseSrc)
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-server", base, "-checkers", "nosuchchecker", path}, &stdout, &stderr)
+	if code != exitcode.Usage {
+		t.Fatalf("served CLI exit code = %d, want %d; stderr %s", code, exitcode.Usage, stderr.String())
+	}
+}

@@ -36,6 +36,7 @@ import (
 	"repro/internal/deadlock"
 	"repro/internal/diag"
 	"repro/internal/engine"
+	"repro/internal/escape"
 	"repro/internal/facts"
 	"repro/internal/ir"
 	"repro/internal/leak"
@@ -87,6 +88,22 @@ func MemModels() []string { return solver.MemModels() }
 // KnownMemModel reports whether name is a supported memory model.
 func KnownMemModel(name string) bool { return solver.KnownMemModel(name) }
 
+// EscapePruneOn is the Config.EscapePrune value an empty string selects:
+// the thread-escape pruning oracle is consulted by every
+// interference-bearing engine.
+const EscapePruneOn = solver.EscapePruneOn
+
+// EscapePruneOff disables the thread-escape pruning oracle — the
+// differential escape hatch; results are identical either way.
+const EscapePruneOff = solver.EscapePruneOff
+
+// EscapePruneModes lists the supported Config.EscapePrune values.
+func EscapePruneModes() []string { return solver.EscapePruneModes() }
+
+// KnownEscapePrune reports whether mode is a supported EscapePrune value
+// (the empty string reads as the default, EscapePruneOn).
+func KnownEscapePrune(mode string) bool { return solver.KnownEscapePrune(mode) }
+
 // ParsePrecision maps a Precision.String() rendering back onto the tier.
 func ParsePrecision(s string) (Precision, bool) { return solver.ParsePrecision(s) }
 
@@ -123,8 +140,10 @@ type PhaseTimes struct {
 	ThreadModel time.Duration
 	Interleave  time.Duration
 	LockSpans   time.Duration
-	DefUse      time.Duration
-	Sparse      time.Duration
+	// Escape is the thread-escape/sharedness classification time.
+	Escape time.Duration
+	DefUse time.Duration
+	Sparse time.Duration
 	// CFGFree is the CFG-free engine's solve time (its analogue of the
 	// Sparse slot).
 	CFGFree time.Duration
@@ -141,7 +160,7 @@ type PhaseTimes struct {
 // Total sums all phases.
 func (p PhaseTimes) Total() time.Duration {
 	return p.Compile + p.PreAnalysis + p.ThreadModel + p.Interleave +
-		p.LockSpans + p.DefUse + p.Sparse + p.CFGFree + p.Tmod
+		p.LockSpans + p.Escape + p.DefUse + p.Sparse + p.CFGFree + p.Tmod
 }
 
 // Each visits every phase with its stable name (the pipeline phase names),
@@ -154,6 +173,7 @@ func (p PhaseTimes) Each(f func(phase string, d time.Duration)) {
 	f("threadmodel", p.ThreadModel)
 	f("interleave", p.Interleave)
 	f("locks", p.LockSpans)
+	f("escape", p.Escape)
 	f("defuse", p.DefUse)
 	f("sparse", p.Sparse)
 	f("cfgfree", p.CFGFree)
@@ -183,6 +203,8 @@ func (p *PhaseTimes) setPhase(name string, d time.Duration) {
 		p.Interleave = d
 	case solver.PhaseLocks:
 		p.LockSpans = d
+	case solver.PhaseEscape:
+		p.Escape = d
 	case solver.PhaseDefUse:
 		p.DefUse = d
 	case solver.PhaseSparse, solver.PhaseNonSparse:
@@ -233,6 +255,16 @@ type Stats struct {
 	// InterferenceRounds counts the thread-modular engine's interference
 	// rounds to fixpoint (0 for other engines).
 	InterferenceRounds int
+	// EscapeLocal, EscapeHandedOff and EscapeShared count the objects the
+	// thread-escape analysis classified per sharedness class (all zero for
+	// engines that never build a thread model). EscapePrunedEdges counts
+	// the interference work units the oracle skipped: fsam's [THREAD-VF]
+	// candidate objects, tmod's interference publications, and a degraded
+	// cfgfree rung's reach admissions.
+	EscapeLocal       int
+	EscapeHandedOff   int
+	EscapeShared      int
+	EscapePrunedEdges int
 	// Degraded records why the result is below the requested engine's tier
 	// (empty when the requested engine completed): the failing phase and
 	// its panic, deadline, or budget reason, plus any fallback rung that
@@ -256,6 +288,7 @@ type Analysis struct {
 	NS        *nonsparse.Result // NONSPARSE engine result
 	CFGFree   *cfgfree.Result   // CFG-free engine result
 	Tmod      *tmod.Result      // thread-modular engine result
+	Escape    *escape.Result    // thread-escape classification (nil without a thread model)
 	Engine    string
 	Precision Precision
 	Stats     Stats
@@ -313,6 +346,12 @@ type Analysis struct {
 	diagsOnce sync.Once
 	diags     *checkers.Result
 	diagsErr  error
+
+	// escOnce memoizes escapeResult: the slot value when the engine's DAG
+	// computed one, else a lazy classification for engines (oblivious,
+	// nonsparse) that have a thread model but no escape phase.
+	escOnce sync.Once
+	escLazy *escape.Result
 }
 
 // AnalyzeSource parses, compiles and analyzes MiniC source.
@@ -374,6 +413,9 @@ func runEngine(ctx context.Context, cfg Config, name, src string, withCompile bo
 	if !solver.KnownMemModel(cfg.MemModel) {
 		return nil, fmt.Errorf("unknown memory model %q (known: %v)", cfg.MemModel, solver.MemModels())
 	}
+	if !solver.KnownEscapePrune(cfg.EscapePrune) {
+		return nil, fmt.Errorf("unknown escape-prune mode %q (known: %v)", cfg.EscapePrune, solver.EscapePruneModes())
+	}
 	ctx = engine.WithBudget(ctx, engine.Budget{MemBytes: cfg.MemBudgetBytes, MaxSteps: cfg.StepLimit})
 	phases := eng.Phases(cfg)
 	if withCompile {
@@ -412,6 +454,7 @@ func assemble(st *pipeline.State) *Analysis {
 		NS:      pipeline.Get[*nonsparse.Result](st, solver.SlotNSResult),
 		CFGFree: pipeline.Get[*cfgfree.Result](st, solver.SlotCFGFree),
 		Tmod:    pipeline.Get[*tmod.Result](st, solver.SlotTmod),
+		Escape:  pipeline.Get[*escape.Result](st, solver.SlotEscape),
 	}
 }
 
@@ -510,6 +553,7 @@ func (a *Analysis) adoptRung(rung solver.Solver, v solver.PTSView, st *pipeline.
 	a.NS = pipeline.Get[*nonsparse.Result](st, solver.SlotNSResult)
 	a.CFGFree = pipeline.Get[*cfgfree.Result](st, solver.SlotCFGFree)
 	a.Tmod = pipeline.Get[*tmod.Result](st, solver.SlotTmod)
+	a.Escape = pipeline.Get[*escape.Result](st, solver.SlotEscape)
 	a.Engine = rung.Name()
 	a.Precision = rung.Tier()
 	a.view = v
@@ -569,10 +613,32 @@ func (a *Analysis) fillStats(rep *pipeline.Report) {
 	a.fillResultStats()
 }
 
+// fillEscapeStats derives the escape classification counters and the
+// pruned-work tally from whichever prune sites ran.
+func (a *Analysis) fillEscapeStats() {
+	if a.Escape != nil {
+		a.Stats.EscapeLocal = a.Escape.NumLocal
+		a.Stats.EscapeHandedOff = a.Escape.NumHandedOff
+		a.Stats.EscapeShared = a.Escape.NumShared
+	}
+	pruned := 0
+	if a.Graph != nil {
+		pruned += a.Graph.FilteredByEscape
+	}
+	if a.Tmod != nil {
+		pruned += a.Tmod.PrunedPubs
+	}
+	if a.CFGFree != nil {
+		pruned += a.CFGFree.PrunedPairs
+	}
+	a.Stats.EscapePrunedEdges = pruned
+}
+
 // fillResultStats derives the result-shape counters from whichever
 // engine's result is present; re-run after the degradation ladder replaces
 // the result with a fallback rung's.
 func (a *Analysis) fillResultStats() {
+	a.fillEscapeStats()
 	var rs *engine.RefStats
 	switch {
 	case a.Tmod != nil:
@@ -791,6 +857,9 @@ func (a *Analysis) Races() ([]*race.Report, error) {
 			Locks:  a.Locks,
 			Points: a.Result,
 		}
+		if a.Config.EscapePrune != solver.EscapePruneOff {
+			d.Escape = a.escapeResult()
+		}
 		a.races = d.Detect()
 	})
 	return a.races, a.racesErr
@@ -867,6 +936,26 @@ type DiagnosticsResult struct {
 	Suppressed int
 }
 
+// EscapeResult returns the thread-escape classification for reporting
+// clients (fsam -escape, the fsamd ?escape= summary): the engine DAG's
+// when one was computed, else a lazy run over the thread model. Nil when
+// no thread model exists at all (the andersen/cfgfree engines' DAGs).
+func (a *Analysis) EscapeResult() *escape.Result { return a.escapeResult() }
+
+// escapeResult returns the thread-escape classification: the engine DAG's
+// when one was computed, else a lazy run over the thread model (nil when
+// no thread model exists at all). Memoized — a completed Analysis is an
+// immutable value served to concurrent readers.
+func (a *Analysis) escapeResult() *escape.Result {
+	a.escOnce.Do(func() {
+		a.escLazy = a.Escape
+		if a.escLazy == nil && a.Base != nil && a.Base.Model != nil {
+			a.escLazy = escape.Analyze(a.Base.Model)
+		}
+	})
+	return a.escLazy
+}
+
 // checkerFacts assembles the Facts bundle the checker registry consumes
 // from this analysis' completed phases.
 func (a *Analysis) checkerFacts() *checkers.Facts {
@@ -893,6 +982,7 @@ func (a *Analysis) checkerFacts() *checkers.Facts {
 			f.Reachable = a.Base.CG.Reachable
 		}
 	}
+	f.Escape = a.escapeResult()
 	return f
 }
 

@@ -1,0 +1,53 @@
+package cfgfree_test
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/cfgfree"
+	"repro/internal/escape"
+	"repro/internal/ir"
+	"repro/internal/pipeline"
+	"repro/internal/randprog"
+)
+
+// TestPrunedSubsetOfUnpruned: the escape oracle is a precision refinement
+// for the CFG-free engine, not a pure work skip — the mutual-concurrency
+// reach disjunct admits sequentially unreachable store→load pairs that
+// the oracle proves impossible for non-shared objects. So the pruned
+// result must be a subset of the unpruned one (never larger), and on
+// programs where only some objects are shared it is allowed to be
+// strictly smaller.
+func TestPrunedSubsetOfUnpruned(t *testing.T) {
+	prunedSomewhere := false
+	for seed := int64(0); seed < 40; seed++ {
+		src := randprog.Threaded(seed, 3)
+		b, err := pipeline.FromSource("prune.mc", src)
+		if err != nil {
+			t.Fatalf("seed %d: %v\n%s", seed, err, src)
+		}
+		esc := escape.Analyze(b.Model)
+		full, err := cfgfree.AnalyzeCtx(context.Background(), b.CG, b.G)
+		if err != nil {
+			t.Fatalf("seed %d: unpruned: %v", seed, err)
+		}
+		pruned, err := cfgfree.AnalyzeCtxPruned(context.Background(), b.CG, b.G,
+			func(objID uint32) bool { return esc.IsShared(ir.ObjID(objID)) })
+		if err != nil {
+			t.Fatalf("seed %d: pruned: %v", seed, err)
+		}
+		if pruned.PrunedPairs > 0 {
+			prunedSomewhere = true
+		}
+		for _, v := range b.Prog.Vars {
+			p, f := pruned.PointsToVar(v), full.PointsToVar(v)
+			if !p.SubsetOf(f) {
+				t.Errorf("seed %d: pruned pt(%s)=%v exceeds unpruned %v\n%s",
+					seed, v, p, f, src)
+			}
+		}
+	}
+	if !prunedSomewhere {
+		t.Error("oracle admitted every reach pair on 40 random threaded programs")
+	}
+}

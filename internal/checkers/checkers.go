@@ -19,6 +19,7 @@ import (
 	"repro/internal/andersen"
 	"repro/internal/core"
 	"repro/internal/diag"
+	"repro/internal/escape"
 	"repro/internal/ir"
 	"repro/internal/locks"
 	"repro/internal/mhp"
@@ -58,6 +59,10 @@ type Facts struct {
 	// (racypub) key off it: a pattern that is only unsafe under relaxed
 	// models reports nothing under SC.
 	MemModel string
+	// Escape is the thread-escape sharedness classification. The
+	// escape-aware checkers (localonlylock, unsyncshared, escapeleak) need
+	// it; nil skips them.
+	Escape *escape.Result
 }
 
 // pointsTo answers a top-level-variable points-to query from the most
@@ -107,6 +112,9 @@ var all = []*Checker{
 	doubleFreeChecker,
 	pthreadChecker,
 	racypubChecker,
+	localOnlyLockChecker,
+	unsyncSharedChecker,
+	escapeLeakChecker,
 }
 
 // All returns the registered checkers in canonical order.

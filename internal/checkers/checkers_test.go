@@ -36,7 +36,8 @@ func byChecker(diags []diag.Diagnostic) map[string][]diag.Diagnostic {
 }
 
 func TestRegistry(t *testing.T) {
-	want := []string{"race", "deadlock", "leak", "uaf", "doublefree", "pthread", "racypub"}
+	want := []string{"race", "deadlock", "leak", "uaf", "doublefree", "pthread",
+		"racypub", "localonlylock", "unsyncshared", "escapeleak"}
 	got := checkers.IDs()
 	if len(got) != len(want) {
 		t.Fatalf("IDs() = %v, want %v", got, want)

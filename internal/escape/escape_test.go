@@ -1,0 +1,214 @@
+package escape_test
+
+import (
+	"testing"
+
+	"repro/internal/escape"
+	"repro/internal/ir"
+	"repro/internal/pipeline"
+	"repro/internal/threads"
+)
+
+// setup compiles src and runs the escape analysis over its thread model.
+func setup(t *testing.T, src string) (*threads.Model, *escape.Result) {
+	t.Helper()
+	b, err := pipeline.FromSource("test.mc", src)
+	if err != nil {
+		t.Fatalf("pipeline: %v", err)
+	}
+	return b.Model, escape.Analyze(b.Model)
+}
+
+// globalID resolves a global object by name.
+func globalID(t *testing.T, prog *ir.Program, name string) ir.ObjID {
+	t.Helper()
+	for _, o := range prog.Objects {
+		if o.Kind == ir.ObjGlobal && o.Name == name {
+			return o.ID
+		}
+	}
+	t.Fatalf("no global %s", name)
+	return 0
+}
+
+// classSrc exercises all three lattice points in one program: g is written
+// by two parallel threads (Shared), h is written by wa and then — after wa
+// is fully joined — by wc (HandedOff), l and the never-accessed u stay
+// ThreadLocal.
+const classSrc = `
+int g; int h; int l; int u;
+
+void wa(void *arg) { g = 1; h = 1; }
+void wb(void *arg) { g = 2; }
+void wc(void *arg) { h = 2; }
+
+int main() {
+	l = 3;
+	thread_t ta; thread_t tb;
+	ta = spawn(wa, NULL);
+	tb = spawn(wb, NULL);
+	join(ta);
+	join(tb);
+	thread_t tc;
+	tc = spawn(wc, NULL);
+	join(tc);
+	return 0;
+}
+`
+
+func TestClassification(t *testing.T) {
+	m, r := setup(t, classSrc)
+	for name, want := range map[string]escape.Class{
+		"g": escape.Shared,
+		"h": escape.HandedOff,
+		"l": escape.ThreadLocal,
+		"u": escape.ThreadLocal,
+	} {
+		id := globalID(t, m.Prog, name)
+		if got := r.ClassOf(id); got != want {
+			t.Errorf("ClassOf(%s) = %v, want %v", name, got, want)
+		}
+	}
+	if r.NumLocal+r.NumHandedOff+r.NumShared != len(m.Prog.Objects) {
+		t.Errorf("counters %d+%d+%d do not cover %d objects",
+			r.NumLocal, r.NumHandedOff, r.NumShared, len(m.Prog.Objects))
+	}
+	if r.NumShared == 0 || r.NumHandedOff == 0 || r.NumLocal == 0 {
+		t.Errorf("expected all three classes populated: local=%d handedoff=%d shared=%d",
+			r.NumLocal, r.NumHandedOff, r.NumShared)
+	}
+	g := globalID(t, m.Prog, "g")
+	tids := r.AccessorThreads(g)
+	if len(tids) < 2 {
+		t.Errorf("AccessorThreads(g) = %v, want >= 2 threads", tids)
+	}
+	for i := 1; i < len(tids); i++ {
+		if tids[i-1] >= tids[i] {
+			t.Errorf("AccessorThreads(g) = %v, not strictly sorted", tids)
+		}
+	}
+	if r.Bytes() == 0 {
+		t.Error("Bytes() = 0")
+	}
+}
+
+// TestMultiSelfShared: two instances of one loop-forked thread may run in
+// parallel with each other, so an object only that thread accesses is
+// still Shared (the self-pair).
+func TestMultiSelfShared(t *testing.T) {
+	m, r := setup(t, `
+int v;
+
+void worker(void *arg) { v = 1; }
+
+int main() {
+	thread_t pool[4];
+	int i;
+	for (i = 0; i < 4; i++) {
+		pool[i] = spawn(worker, NULL);
+	}
+	for (i = 0; i < 4; i++) {
+		join(pool[i]);
+	}
+	return 0;
+}
+`)
+	if got := r.ClassOf(globalID(t, m.Prog, "v")); got != escape.Shared {
+		t.Errorf("ClassOf(v) = %v, want Shared", got)
+	}
+}
+
+func TestInterferesUnder(t *testing.T) {
+	m, r := setup(t, classSrc)
+	g := globalID(t, m.Prog, "g")
+	h := globalID(t, m.Prog, "h")
+	l := globalID(t, m.Prog, "l")
+	for _, mm := range []string{"", "sc", "tso", "pso"} {
+		if !r.InterferesUnder(g, mm) {
+			t.Errorf("Shared g must interfere under %q", mm)
+		}
+		if r.InterferesUnder(l, mm) {
+			t.Errorf("ThreadLocal l must never interfere (under %q)", mm)
+		}
+	}
+	// HandedOff flows only along HB edges: invisible under SC, visible
+	// under relaxed models where the HB edge does not order memory.
+	for mm, want := range map[string]bool{"": false, "sc": false, "tso": true, "pso": true} {
+		if got := r.InterferesUnder(h, mm); got != want {
+			t.Errorf("InterferesUnder(h, %q) = %v, want %v", mm, got, want)
+		}
+	}
+}
+
+func TestOutOfRangeIsShared(t *testing.T) {
+	_, r := setup(t, `int main() { return 0; }`)
+	if got := r.ClassOf(ir.ObjID(1 << 20)); got != escape.Shared {
+		t.Errorf("out-of-range ClassOf = %v, want the conservative Shared", got)
+	}
+	if !r.IsShared(ir.ObjID(1 << 20)) {
+		t.Error("out-of-range IsShared = false, want true")
+	}
+}
+
+func TestClassString(t *testing.T) {
+	for c, want := range map[escape.Class]string{
+		escape.ThreadLocal: "local",
+		escape.HandedOff:   "handedoff",
+		escape.Shared:      "shared",
+	} {
+		if got := c.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", c, got, want)
+		}
+	}
+}
+
+// checkInvariants asserts the classification's semantic invariants from
+// the public API alone: counters partition the object space, and any
+// object two MHP-parallel threads both dereference is Shared.
+func checkInvariants(t *testing.T, m *threads.Model, r *escape.Result) {
+	t.Helper()
+	if r.NumLocal+r.NumHandedOff+r.NumShared != len(m.Prog.Objects) {
+		t.Fatalf("counters %d+%d+%d do not cover %d objects",
+			r.NumLocal, r.NumHandedOff, r.NumShared, len(m.Prog.Objects))
+	}
+	byID := map[int]*threads.Thread{}
+	for _, th := range m.Threads {
+		byID[th.ID] = th
+	}
+	for _, o := range m.Prog.Objects {
+		tids := r.AccessorThreads(o.ID)
+		for i, a := range tids {
+			ta := byID[a]
+			if ta == nil {
+				t.Fatalf("object %s: unknown accessor thread %d", o, a)
+			}
+			for _, b := range tids[i:] {
+				tb := byID[b]
+				if a == b && !ta.Multi {
+					continue
+				}
+				if m.MayHappenInParallelThreads(ta, tb) && !r.IsShared(o.ID) {
+					t.Fatalf("object %s: MHP accessors %d,%d but class %v",
+						o, a, b, r.ClassOf(o.ID))
+				}
+			}
+		}
+	}
+}
+
+// FuzzEscape: the escape analysis is panic-free on anything that compiles,
+// and its classification invariants hold on arbitrary programs.
+func FuzzEscape(f *testing.F) {
+	f.Add(classSrc)
+	f.Add(`int v; void w(void *a) { v = 1; } int main() { thread_t t; t = spawn(w, NULL); v = 2; join(t); return 0; }`)
+	f.Add(`lock_t m; int *gp; void w(void *a) { int s; lock(&m); gp = &s; unlock(&m); } int main() { thread_t t; t = spawn(w, NULL); join(t); return 0; }`)
+	f.Add(`}{`)
+	f.Fuzz(func(t *testing.T, src string) {
+		b, err := pipeline.FromSource("fuzz.mc", src)
+		if err != nil {
+			return
+		}
+		r := escape.Analyze(b.Model)
+		checkInvariants(t, b.Model, r)
+	})
+}

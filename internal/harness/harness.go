@@ -88,6 +88,13 @@ type FSAMStats struct {
 	FSAMEngine     string        `json:"fsam_engine,omitempty"`
 	FSAMPrecision  string        `json:"fsam_precision"`
 	FSAMDegraded   string        `json:"fsam_degraded,omitempty"`
+	// Thread-escape classification counters (zero on engines whose DAG
+	// builds no thread model); FSAMEscapePruned counts interference edges
+	// the escape oracle let every prune site skip.
+	FSAMEscapeLocal     int `json:"fsam_escape_local,omitempty"`
+	FSAMEscapeHandedOff int `json:"fsam_escape_handedoff,omitempty"`
+	FSAMEscapeShared    int `json:"fsam_escape_shared,omitempty"`
+	FSAMEscapePruned    int `json:"fsam_escape_pruned,omitempty"`
 }
 
 // StatsOf extracts the shared statistics view from a completed (possibly
@@ -104,6 +111,10 @@ func StatsOf(a *fsam.Analysis, elapsed time.Duration, oot bool) FSAMStats {
 		st.FSAMEngine = a.Engine
 		st.FSAMPrecision = a.Precision.String()
 		st.FSAMDegraded = a.Stats.Degraded
+		st.FSAMEscapeLocal = a.Stats.EscapeLocal
+		st.FSAMEscapeHandedOff = a.Stats.EscapeHandedOff
+		st.FSAMEscapeShared = a.Stats.EscapeShared
+		st.FSAMEscapePruned = a.Stats.EscapePrunedEdges
 	}
 	return st
 }
@@ -221,6 +232,12 @@ type EngineRow struct {
 	// Populated for tmod rows only.
 	SeqTime    time.Duration `json:"seq_time_ns,omitempty"`
 	ParSpeedup float64       `json:"par_speedup,omitempty"`
+	// EscapeShared and EscapePruned summarize the thread-escape
+	// classification of the run: how many abstract objects ended up
+	// Shared, and how many interference edges/publications/pairs the
+	// sharedness oracle pruned. Zero for engines without a thread model.
+	EscapeShared int `json:"escape_shared,omitempty"`
+	EscapePruned int `json:"escape_pruned,omitempty"`
 }
 
 // RunEngineMatrix measures every benchmark under each named engine,
@@ -249,6 +266,8 @@ func RunEngineMatrix(scale int, timeout time.Duration, engines []string) ([]Engi
 				row.Precision = a.Precision.String()
 				row.Degraded = a.Stats.Degraded
 				row.Rounds = a.Stats.InterferenceRounds
+				row.EscapeShared = a.Stats.EscapeShared
+				row.EscapePruned = a.Stats.EscapePrunedEdges
 			}
 			if eng == "tmod" && !row.OOT && row.Degraded == "" {
 				// Re-run with the per-thread solves serialized to measure
@@ -289,6 +308,9 @@ func PrintEngineMatrix(w io.Writer, rows []EngineRow) {
 			if r.ParSpeedup > 0 {
 				extra += fmt.Sprintf(" seq/par=%.2fx", r.ParSpeedup)
 			}
+		}
+		if r.EscapeShared > 0 || r.EscapePruned > 0 {
+			extra += fmt.Sprintf("  shared=%d pruned=%d", r.EscapeShared, r.EscapePruned)
 		}
 		fmt.Fprintf(w, "%-14s %-10s %s %12.2f %12d  %s%s\n",
 			name, r.Engine, t, float64(r.Bytes)/1e6, r.AliasPairs, r.Precision, extra)

@@ -387,6 +387,17 @@ func (sp *Span) Tail(r *Result, obj *ir.Object) map[nodeCtx]bool {
 	return tl
 }
 
+// AccessStmts returns the span's Load/Store statements in discovery
+// order. Duplicates are possible when one statement is reached under
+// several contexts; callers that need a set should deduplicate.
+func (sp *Span) AccessStmts() []ir.Stmt {
+	out := make([]ir.Stmt, len(sp.accesses))
+	for i, a := range sp.accesses {
+		out[i] = a.node.Stmt
+	}
+	return out
+}
+
 // SpansOf returns the spans containing the given instance.
 func (r *Result) SpansOf(in Inst) []*Span {
 	return r.spansOf[instKey{thread: in.Thread.ID, ctx: in.Ctx, stmt: in.Stmt.ID()}]

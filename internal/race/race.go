@@ -12,6 +12,7 @@ import (
 	"sort"
 
 	"repro/internal/core"
+	"repro/internal/escape"
 	"repro/internal/ir"
 	"repro/internal/locks"
 	"repro/internal/mhp"
@@ -44,6 +45,11 @@ type Detector struct {
 	// Points is the flow-sensitive result used for alias refinement; when
 	// nil the pre-analysis points-to sets are used instead.
 	Points *core.Result
+	// Escape is the thread-escape pruning oracle: pair enumeration skips
+	// objects it proves non-Shared, since a race witness needs an MHP
+	// instance pair and non-Shared objects have none. Nil disables the
+	// skip; reported races are identical either way.
+	Escape *escape.Result
 }
 
 // addrPts returns the refined points-to set of an access address.
@@ -149,6 +155,9 @@ func (d *Detector) Detect() []*Report {
 			common.ForEach(func(id uint32) {
 				obj := prog.Objects[id]
 				if !raceRelevant(obj) {
+					return
+				}
+				if d.Escape != nil && !d.Escape.IsShared(obj.ID) {
 					return
 				}
 				key := [3]uint64{uint64(st.ID()), uint64(acc.ID()), uint64(id)}

@@ -75,6 +75,12 @@ type ConfigRequest struct {
 	CtxDepth       int    `json:"ctx_depth,omitempty"`
 	MemBudgetBytes uint64 `json:"membudget,omitempty"`
 	StepLimit      int64  `json:"steplimit,omitempty"`
+	// EscapePrune gates the thread-escape pruning oracle ("on", the
+	// default, or "off"). It participates in the content address through
+	// the canonical configuration even though results are identical either
+	// way — the two runs do different work, and cache entries record what
+	// ran.
+	EscapePrune string `json:"escapeprune,omitempty"`
 }
 
 // Config maps the wire form onto a canonicalized fsam.Config.
@@ -88,6 +94,7 @@ func (c ConfigRequest) Config() fsam.Config {
 		CtxDepth:       c.CtxDepth,
 		MemBudgetBytes: c.MemBudgetBytes,
 		StepLimit:      c.StepLimit,
+		EscapePrune:    c.EscapePrune,
 	}.Normalize()
 }
 
@@ -129,6 +136,19 @@ type AnalyzeResponse struct {
 	// from-scratch runs). On a cached replay it still describes the original
 	// producing run, not this request.
 	Delta *DeltaResponse `json:"delta,omitempty"`
+	// Escape is the thread-escape classification summary, present only when
+	// the request asked for it with ?escape=1. Nil also when the result's
+	// tier has no thread model (andersen/cfgfree) — absence, not zeros.
+	Escape *EscapeSummary `json:"escape,omitempty"`
+}
+
+// EscapeSummary is the ?escape=1 view of the thread-escape classification
+// of the analyzed program's abstract objects.
+type EscapeSummary struct {
+	Local       int `json:"local"`
+	HandedOff   int `json:"handedoff"`
+	Shared      int `json:"shared"`
+	PrunedEdges int `json:"pruned_edges"`
 }
 
 // DeltaResponse is the wire form of fsam.DeltaReport: what an incremental

@@ -227,6 +227,7 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 	// deliberately — a draining replica's cache stays warm, serving from it
 	// costs nothing, and siblings may keep filling from it until it exits.
 	cachedOnly := r.URL.Query().Get("cachedonly") == "1"
+	wantEscape := r.URL.Query().Get("escape") == "1"
 	if s.draining.Load() && !cachedOnly {
 		s.met.observeShed("draining")
 		w.Header().Set("Retry-After", retryAfterDraining)
@@ -257,7 +258,7 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 
 	if cachedOnly {
 		if ent, ok := s.cache.peek(key); ok {
-			s.respondAnalyze(w, ent, true, false)
+			s.respondAnalyze(w, ent, true, false, wantEscape)
 			return
 		}
 		writeError(w, http.StatusNotFound, 0, "not cached")
@@ -266,7 +267,7 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 
 	// Fast path: a cache hit costs no admission and no pipeline run.
 	if ent, ok := s.cache.get(key); ok {
-		s.respondAnalyze(w, ent, true, false)
+		s.respondAnalyze(w, ent, true, false, wantEscape)
 		return
 	}
 
@@ -320,7 +321,7 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 		writeError(w, status, code, "%v", err)
 		return
 	}
-	s.respondAnalyze(w, ent, fromCache, shared)
+	s.respondAnalyze(w, ent, fromCache, shared, wantEscape)
 }
 
 // runAnalysis executes one pipeline run (the singleflight leader path,
@@ -425,12 +426,32 @@ func (s *Server) runDelta(key, name, src string, baseEnt *entry, deadline time.D
 	return ent, 0, nil
 }
 
+// escapeSummary renders a cached analysis' thread-escape classification
+// (nil when the result's tier has no thread model). EscapeResult is
+// memoized and safe for concurrent readers, so cached replays are cheap.
+func escapeSummary(ent *entry) *EscapeSummary {
+	esc := ent.a.EscapeResult()
+	if esc == nil {
+		return nil
+	}
+	return &EscapeSummary{
+		Local:       esc.NumLocal,
+		HandedOff:   esc.NumHandedOff,
+		Shared:      esc.NumShared,
+		PrunedEdges: ent.a.Stats.EscapePrunedEdges,
+	}
+}
+
 // respondAnalyze replays an entry's response skeleton with the per-request
-// Cached/Shared flags.
-func (s *Server) respondAnalyze(w http.ResponseWriter, ent *entry, cached, shared bool) {
+// Cached/Shared flags (and the ?escape=1 summary, which is per-request
+// presentation, not part of the cached skeleton).
+func (s *Server) respondAnalyze(w http.ResponseWriter, ent *entry, cached, shared, wantEscape bool) {
 	resp := ent.resp
 	resp.Cached = cached
 	resp.Shared = shared
+	if wantEscape {
+		resp.Escape = escapeSummary(ent)
+	}
 	w.Header().Set("X-Fsamd-Engine", resp.Engine)
 	w.Header().Set("X-Fsamd-Precision", resp.Precision)
 	if resp.ProgKey != "" {
@@ -501,6 +522,9 @@ func DecodeAnalyze(body []byte, q url.Values) (AnalyzeRequest, error) {
 	if v := q.Get("memmodel"); v != "" {
 		req.Config.MemModel = v
 	}
+	if v := q.Get("escapeprune"); v != "" {
+		req.Config.EscapePrune = v
+	}
 	return req, nil
 }
 
@@ -518,6 +542,10 @@ func ResolveInputs(req AnalyzeRequest, maxScale int) (name, src string, cfg fsam
 	if req.Config.MemModel != "" && !fsam.KnownMemModel(req.Config.MemModel) {
 		return "", "", cfg, http.StatusBadRequest,
 			fmt.Errorf("unknown memory model %q (known: %s)", req.Config.MemModel, strings.Join(fsam.MemModels(), ", "))
+	}
+	if !fsam.KnownEscapePrune(req.Config.EscapePrune) {
+		return "", "", cfg, http.StatusBadRequest,
+			fmt.Errorf("unknown escape-prune mode %q (known: %s)", req.Config.EscapePrune, strings.Join(fsam.EscapePruneModes(), ", "))
 	}
 	switch {
 	case req.Source != "" && req.Benchmark != "":

@@ -560,3 +560,84 @@ func TestGracefulDrain(t *testing.T) {
 		t.Fatalf("in-flight request unexpectedly served from cache")
 	}
 }
+
+// TestAnalyzeEscape covers the thread-escape surface of the service: the
+// ?escape=1 summary, the escapeprune knob's participation in the content
+// address (on and off are distinct cache entries), and rejection of
+// unknown modes.
+func TestAnalyzeEscape(t *testing.T) {
+	_, ts := newTestServer(t, Options{})
+
+	// ?escape=1 attaches the classification summary; the Fig. 1a program
+	// has shared globals, so the shared class must be populated.
+	status, got, _ := postAnalyze(t, ts.URL, AnalyzeRequest{Source: fig1aSrc}, "escape=1")
+	if status != http.StatusOK {
+		t.Fatalf("analyze with escape=1: status %d", status)
+	}
+	if got.Escape == nil {
+		t.Fatalf("escape=1: no escape summary in response")
+	}
+	if got.Escape.Shared == 0 {
+		t.Errorf("escape summary: shared = 0, want > 0 for fig1a")
+	}
+	if got.Escape.PrunedEdges == 0 {
+		t.Errorf("escape summary: pruned_edges = 0, want > 0 with pruning on")
+	}
+	if got.Stats.FSAMEscapeShared != got.Escape.Shared {
+		t.Errorf("stats (%d) and summary (%d) disagree on shared count",
+			got.Stats.FSAMEscapeShared, got.Escape.Shared)
+	}
+
+	// Without ?escape=1 the summary is absent — presentation, not cache
+	// state: the second request hits the same entry.
+	status, plain, _ := postAnalyze(t, ts.URL, AnalyzeRequest{Source: fig1aSrc}, "")
+	if status != http.StatusOK {
+		t.Fatalf("analyze without escape: status %d", status)
+	}
+	if plain.Escape != nil {
+		t.Errorf("escape summary present without ?escape=1")
+	}
+	if !plain.Cached {
+		t.Errorf("plain re-request missed the cache: escape=1 must not change the key")
+	}
+
+	// escapeprune=off is a different canonical config, hence a different
+	// content address, and its run pruned nothing.
+	status, off, _ := postAnalyze(t, ts.URL, AnalyzeRequest{Source: fig1aSrc}, "escapeprune=off&escape=1")
+	if status != http.StatusOK {
+		t.Fatalf("analyze escapeprune=off: status %d", status)
+	}
+	if off.Cached {
+		t.Errorf("escapeprune=off served from the pruned entry's cache slot")
+	}
+	if off.ID == got.ID {
+		t.Errorf("escapeprune=off got the same content address %s as the default", off.ID)
+	}
+	if off.Escape == nil {
+		t.Fatalf("escapeprune=off with escape=1: no summary")
+	}
+	if off.Escape.PrunedEdges != 0 {
+		t.Errorf("escapeprune=off pruned %d edges, want 0", off.Escape.PrunedEdges)
+	}
+	if off.Escape.Shared != got.Escape.Shared {
+		t.Errorf("classification differs across prune modes: %d vs %d shared",
+			off.Escape.Shared, got.Escape.Shared)
+	}
+
+	// Unknown modes are a 400 naming the known ones, via body and query.
+	status, _, er := postAnalyze(t, ts.URL, AnalyzeRequest{Source: fig1aSrc,
+		Config: ConfigRequest{EscapePrune: "sometimes"}}, "")
+	if status != http.StatusBadRequest {
+		t.Errorf("unknown escapeprune in body: status %d, want 400", status)
+	}
+	if !strings.Contains(er.Error, "escape-prune") || !strings.Contains(er.Error, "on") {
+		t.Errorf("unknown escapeprune error %q does not name the known modes", er.Error)
+	}
+	status, _, er = postAnalyze(t, ts.URL, AnalyzeRequest{Source: fig1aSrc}, "escapeprune=bogus")
+	if status != http.StatusBadRequest {
+		t.Errorf("unknown escapeprune in query: status %d, want 400", status)
+	}
+	if !strings.Contains(er.Error, "bogus") {
+		t.Errorf("query escapeprune error %q does not echo the bad mode", er.Error)
+	}
+}

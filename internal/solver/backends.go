@@ -41,7 +41,7 @@ func (fsamSolver) Tier() Precision { return PrecisionSparseFS }
 func (fsamSolver) OnLadder() bool  { return true }
 func (fsamSolver) Phases(cfg Config) []pipeline.Phase {
 	ps := []pipeline.Phase{PreAnalysisPhase(cfg.CtxDepth), ThreadModelPhase(),
-		InterleavePhase(cfg.NoInterleaving)}
+		InterleavePhase(cfg.NoInterleaving), EscapePhase()}
 	if !cfg.NoLock {
 		ps = append(ps, LocksPhase())
 	}
@@ -95,7 +95,7 @@ func (tmodSolver) Tier() Precision { return PrecisionThreadModularFS }
 func (tmodSolver) OnLadder() bool  { return true }
 func (tmodSolver) Phases(cfg Config) []pipeline.Phase {
 	return []pipeline.Phase{PreAnalysisPhase(cfg.CtxDepth), ThreadModelPhase(),
-		ObliviousDefUsePhase(), TmodPhase(cfg)}
+		EscapePhase(), ObliviousDefUsePhase(), TmodPhase(cfg)}
 }
 func (tmodSolver) Result(st *pipeline.State) PTSView {
 	if r := pipeline.Get[*tmod.Result](st, SlotTmod); r != nil {
@@ -123,7 +123,7 @@ func (cfgfreeSolver) Name() string    { return "cfgfree" }
 func (cfgfreeSolver) Tier() Precision { return PrecisionCFGFreeFS }
 func (cfgfreeSolver) OnLadder() bool  { return true }
 func (cfgfreeSolver) Phases(cfg Config) []pipeline.Phase {
-	return []pipeline.Phase{PreAnalysisPhase(cfg.CtxDepth), CFGFreePhase()}
+	return []pipeline.Phase{PreAnalysisPhase(cfg.CtxDepth), CFGFreePhase(cfg)}
 }
 func (cfgfreeSolver) Result(st *pipeline.State) PTSView {
 	if r := pipeline.Get[*cfgfree.Result](st, SlotCFGFree); r != nil {

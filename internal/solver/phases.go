@@ -20,6 +20,7 @@ import (
 	"repro/internal/andersen"
 	"repro/internal/cfgfree"
 	"repro/internal/core"
+	"repro/internal/escape"
 	"repro/internal/ir"
 	"repro/internal/locks"
 	"repro/internal/mhp"
@@ -44,12 +45,14 @@ const (
 	SlotNSResult = "nsresult" // *nonsparse.Result
 	SlotCFGFree  = "cfgfree"  // *cfgfree.Result
 	SlotTmod     = "tmod"     // *tmod.Result
+	SlotEscape   = "escape"   // *escape.Result
 
 	PhaseCompile   = "compile"
 	PhasePre       = "preanalysis"
 	PhaseModel     = "threadmodel"
 	PhaseIL        = "interleave"
 	PhaseLocks     = "locks"
+	PhaseEscape    = "escape"
 	PhaseDefUse    = "defuse"
 	PhaseSparse    = "sparse"
 	PhaseNonSparse = "nonsparse"
@@ -191,9 +194,38 @@ func LocksPhase() pipeline.Phase {
 	}
 }
 
+// EscapePhase runs the thread-escape/sharedness classification over the
+// thread model. It always runs for engines that consult interference —
+// the verdicts feed Stats and the escape-aware checkers even when pruning
+// is off — and the consuming phases decide from cfg.EscapePrune whether
+// to use it as a pruning oracle.
+func EscapePhase() pipeline.Phase {
+	return pipeline.Phase{
+		Name:     PhaseEscape,
+		Needs:    []string{SlotModel},
+		Provides: []string{SlotEscape},
+		Run: func(ctx context.Context, st *pipeline.State) error {
+			st.Put(SlotEscape, escape.Analyze(pipeline.Get[*threads.Model](st, SlotModel)))
+			return nil
+		},
+		Bytes: func(st *pipeline.State) uint64 {
+			return pipeline.Get[*escape.Result](st, SlotEscape).Bytes()
+		},
+	}
+}
+
+// escapeOracle returns the computed escape result when cfg enables
+// pruning, nil otherwise.
+func escapeOracle(cfg Config, st *pipeline.State) *escape.Result {
+	if cfg.EscapePrune == EscapePruneOff {
+		return nil
+	}
+	return pipeline.Get[*escape.Result](st, SlotEscape)
+}
+
 // DefUsePhase builds the thread-oblivious + thread-aware def-use graph.
 func DefUsePhase(cfg Config) pipeline.Phase {
-	needs := []string{SlotModel}
+	needs := []string{SlotModel, SlotEscape}
 	if cfg.NoInterleaving {
 		needs = append(needs, SlotPCG)
 	} else {
@@ -207,12 +239,19 @@ func DefUsePhase(cfg Config) pipeline.Phase {
 		Needs:    needs,
 		Provides: []string{SlotVFG},
 		Run: func(ctx context.Context, st *pipeline.State) error {
-			g, err := vfg.BuildCtx(ctx, pipeline.Get[*threads.Model](st, SlotModel), vfg.Options{
+			opt := vfg.Options{
 				Interleave:  pipeline.Get[*mhp.Result](st, SlotMHP),
 				PCG:         pipeline.Get[*pcg.Result](st, SlotPCG),
 				Locks:       pipeline.Get[*locks.Result](st, SlotLocks),
 				NoValueFlow: cfg.NoValueFlow,
-			})
+			}
+			// The oracle's soundness argument needs the pointer gate the
+			// No-Value-Flow ablation removes, so that configuration always
+			// builds unpruned.
+			if !cfg.NoValueFlow {
+				opt.Escape = escapeOracle(cfg, st)
+			}
+			g, err := vfg.BuildCtx(ctx, pipeline.Get[*threads.Model](st, SlotModel), opt)
 			if err != nil {
 				return err
 			}
@@ -283,13 +322,14 @@ func SparsePhase() pipeline.Phase {
 func TmodPhase(cfg Config) pipeline.Phase {
 	return pipeline.Phase{
 		Name:     PhaseTmod,
-		Needs:    []string{SlotModel, SlotVFG},
+		Needs:    []string{SlotModel, SlotVFG, SlotEscape},
 		Provides: []string{SlotTmod},
 		Run: func(ctx context.Context, st *pipeline.State) error {
 			res, err := tmod.SolveCtx(ctx,
 				pipeline.Get[*threads.Model](st, SlotModel),
 				pipeline.Get[*vfg.Graph](st, SlotVFG),
-				tmod.Options{MemModel: cfg.MemModel, Sequential: cfg.Sequential})
+				tmod.Options{MemModel: cfg.MemModel, Sequential: cfg.Sequential,
+					Escape: escapeOracle(cfg, st)})
 			if err != nil {
 				return err
 			}
@@ -322,14 +362,22 @@ func TmodPhase(cfg Config) pipeline.Phase {
 // CFGFreePhase runs the CFG-free flow-sensitive solve over the
 // pre-analysis Base. It needs only SlotBase, so it can run as a
 // degradation rung after the thread model or interference analyses failed.
-func CFGFreePhase() pipeline.Phase {
+// SlotEscape is picked up opportunistically rather than required: the
+// standalone cfgfree engine has no thread model to classify against, but a
+// degradation from a higher rung that already computed the verdicts hands
+// them to the reach-admission gate for free.
+func CFGFreePhase(cfg Config) pipeline.Phase {
 	return pipeline.Phase{
 		Name:     PhaseCFGFree,
 		Needs:    []string{SlotBase},
 		Provides: []string{SlotCFGFree},
 		Run: func(ctx context.Context, st *pipeline.State) error {
 			base := pipeline.Get[*pipeline.Base](st, SlotBase)
-			res, err := cfgfree.AnalyzeCtx(ctx, base.CG, base.G)
+			var shared cfgfree.SharedFn
+			if esc := escapeOracle(cfg, st); esc != nil {
+				shared = func(objID uint32) bool { return esc.IsShared(ir.ObjID(objID)) }
+			}
+			res, err := cfgfree.AnalyzeCtxPruned(ctx, base.CG, base.G, shared)
 			if err != nil {
 				return err
 			}

@@ -71,6 +71,15 @@ type Config struct {
 	// failure (panic, deadline, budget) surfaces as an error alongside
 	// the partial Analysis, as in the pre-ladder API.
 	NoDegrade bool
+	// EscapePrune gates the thread-escape pruning oracle ("on" or "off";
+	// empty means on). When on, the interference-bearing engines skip
+	// work for objects the escape analysis proves non-shared: fsam skips
+	// interference value-flow edge construction, tmod skips interference
+	// publication, a degraded cfgfree rung skips mutual-concurrency reach
+	// admission, and the race detector skips pair enumeration. Pruned and
+	// unpruned results are identical by construction; the knob is the
+	// escape hatch that lets the differential gate prove it.
+	EscapePrune string
 }
 
 // DefaultEngine is the backend Normalize selects when Config.Engine is
@@ -88,6 +97,23 @@ func MemModels() []string { return tmod.MemModels() }
 
 // KnownMemModel reports whether name is a supported memory model.
 func KnownMemModel(name string) bool { return tmod.KnownMemModel(name) }
+
+// EscapePruneOn is the Config.EscapePrune value Normalize selects when the
+// field is empty: thread-escape pruning enabled.
+const EscapePruneOn = "on"
+
+// EscapePruneOff disables the thread-escape pruning oracle (the
+// `-escapeprune=off` escape hatch and the differential gate's baseline).
+const EscapePruneOff = "off"
+
+// EscapePruneModes lists the supported Config.EscapePrune values.
+func EscapePruneModes() []string { return []string{EscapePruneOn, EscapePruneOff} }
+
+// KnownEscapePrune reports whether mode is a supported EscapePrune value
+// (the empty string normalizes to on).
+func KnownEscapePrune(mode string) bool {
+	return mode == "" || mode == EscapePruneOn || mode == EscapePruneOff
+}
 
 // Normalize returns cfg with implementation defaults made explicit and
 // out-of-range values clamped, so two Configs that would drive identical
@@ -108,6 +134,9 @@ func (c Config) Normalize() Config {
 	if c.StepLimit < 0 {
 		c.StepLimit = 0
 	}
+	if c.EscapePrune == "" {
+		c.EscapePrune = EscapePruneOn
+	}
 	return c
 }
 
@@ -125,9 +154,9 @@ func (c Config) Canonical() string {
 		}
 		return 0
 	}
-	return fmt.Sprintf("eng=%s mm=%s il=%d vf=%d lk=%d ctx=%d seq=%d mem=%d steps=%d nodeg=%d",
+	return fmt.Sprintf("eng=%s mm=%s il=%d vf=%d lk=%d ctx=%d seq=%d mem=%d steps=%d nodeg=%d esc=%s",
 		n.Engine, n.MemModel, b2i(n.NoInterleaving), b2i(n.NoValueFlow), b2i(n.NoLock),
-		n.CtxDepth, b2i(n.Sequential), n.MemBudgetBytes, n.StepLimit, b2i(n.NoDegrade))
+		n.CtxDepth, b2i(n.Sequential), n.MemBudgetBytes, n.StepLimit, b2i(n.NoDegrade), n.EscapePrune)
 }
 
 // Precision labels the tier of the result an analysis carries, in

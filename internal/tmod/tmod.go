@@ -26,6 +26,7 @@ import (
 	"time"
 
 	"repro/internal/engine"
+	"repro/internal/escape"
 	"repro/internal/ir"
 	"repro/internal/pts"
 	"repro/internal/threads"
@@ -70,6 +71,12 @@ type Options struct {
 	// switch exists for determinism tests and the bench harness'
 	// parallel-vs-sequential comparison.
 	Sequential bool
+	// Escape is the thread-escape pruning oracle: interference publication
+	// skips objects whose stores cannot be absorbed under the configured
+	// memory model's gate (non-Shared under sc, ThreadLocal under tso and
+	// pso, where the gate also admits happens-before-ordered pairs). Nil
+	// disables pruning; pruned and unpruned fixpoints are identical.
+	Escape *escape.Result
 }
 
 // Result holds the composed thread-modular points-to information. The query
@@ -87,6 +94,9 @@ type Result struct {
 	NumThreads int
 	// Iterations counts worklist pops summed over all threads and rounds.
 	Iterations int
+	// PrunedPubs counts (thread, object) interference publications the
+	// escape oracle skipped, summed over all rounds.
+	PrunedPubs int
 
 	// RoundWall is the wall time of each round's solve step. ThreadWall and
 	// ThreadPops are per-thread totals across all rounds, indexed like
@@ -635,6 +645,15 @@ func (c *coordinator) exchange() bool {
 				continue
 			}
 			o := uint32(c.g.Nodes[nid].Obj.ID)
+			// Thread-escape pruning: skip publications no receiver's gate
+			// can absorb. The oracle's accessor attribution matches the
+			// slice attribution (dead functions to main), so every gated
+			// absorber of o is an accessor and the gate check below would
+			// reject each of these pairs anyway.
+			if c.opt.Escape != nil && !c.opt.Escape.InterferesUnder(ir.ObjID(o), c.opt.MemModel) {
+				c.r.PrunedPubs++
+				continue
+			}
 			if m[o] == nil {
 				m[o] = &pts.Set{}
 			}

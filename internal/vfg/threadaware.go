@@ -82,6 +82,15 @@ func (b *gbuilder) buildThreadAware() error {
 		return v
 	}
 	for objID, ss := range storesOf {
+		// Thread-escape pruning: a non-Shared object has no accessor pair
+		// that may run in parallel, so statement-level MHP — which refines
+		// thread-level MHP — rejects every candidate pair below. Skipping
+		// the object wholesale is result-identical; it only saves the MHP
+		// and lock-filter work.
+		if b.opt.Escape != nil && !b.opt.Escape.IsShared(objID) {
+			g.FilteredByEscape++
+			continue
+		}
 		obj := g.Prog.Objects[objID]
 		for _, s := range ss {
 			for _, peer := range accessesOf[objID] {

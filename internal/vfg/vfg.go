@@ -25,6 +25,7 @@ import (
 	"repro/internal/andersen"
 	"repro/internal/dom"
 	"repro/internal/engine"
+	"repro/internal/escape"
 	"repro/internal/ir"
 	"repro/internal/locks"
 	"repro/internal/mhp"
@@ -122,6 +123,13 @@ type Options struct {
 	// ignores cross-thread value flows, used when the interference phases
 	// or the full sparse solve fail by panic or budget.
 	ThreadOblivious bool
+	// Escape is the thread-escape pruning oracle: [THREAD-VF] construction
+	// skips objects it proves non-Shared (no accessor pair may run in
+	// parallel, so no statement-level MHP store-access pair exists for
+	// them). Nil disables pruning. It is never consulted under
+	// NoValueFlow, whose ungated ablation edges bypass the pointer gate
+	// the oracle's soundness argument relies on.
+	Escape *escape.Result
 }
 
 // Graph is the finished def-use graph.
@@ -148,6 +156,10 @@ type Graph struct {
 	ThreadEdges    int
 	FilteredByLock int
 	FilteredByVF   int
+	// FilteredByEscape counts objects whose [THREAD-VF] candidate pairs
+	// were skipped wholesale because the escape oracle proved them
+	// non-shared.
+	FilteredByEscape int
 }
 
 type stmtObjKey struct {

@@ -160,7 +160,7 @@ func TestStatsTimesComeFromManager(t *testing.T) {
 	}
 	ti := a.Stats.Times
 	sum := ti.Compile + ti.PreAnalysis + ti.ThreadModel + ti.Interleave +
-		ti.LockSpans + ti.DefUse + ti.Sparse
+		ti.Escape + ti.LockSpans + ti.DefUse + ti.Sparse
 	if ti.Total() != sum {
 		t.Errorf("Total() = %v, sum of phases = %v", ti.Total(), sum)
 	}
@@ -169,6 +169,7 @@ func TestStatsTimesComeFromManager(t *testing.T) {
 		"PreAnalysis": ti.PreAnalysis,
 		"ThreadModel": ti.ThreadModel,
 		"Interleave":  ti.Interleave,
+		"Escape":      ti.Escape,
 		"LockSpans":   ti.LockSpans,
 		"DefUse":      ti.DefUse,
 		"Sparse":      ti.Sparse,
